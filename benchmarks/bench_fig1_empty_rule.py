@@ -1,0 +1,29 @@
+"""F1: Figure 1 — summary after expanding the empty rule (Marketing).
+
+Size weighting, k = 4, mw = 5 (the paper's Section 5 defaults).
+Asserts the exact four-rule set the paper's screenshot reports.
+"""
+
+from __future__ import annotations
+
+from repro.core import SizeWeight, brs
+from repro.experiments import run_fig1_empty_rule
+
+
+def test_fig1_rules_and_runtime(benchmark, marketing7):
+    wf = SizeWeight()
+    result = benchmark(lambda: brs(marketing7, wf, 4, 5.0))
+    got = {(str(e.rule), int(e.count)) for e in result.rule_list}
+    assert got == {
+        ("(?, Female, ?, ?, ?, ?, ?)", 4918),
+        ("(?, Male, ?, ?, ?, ?, ?)", 4075),
+        ("(?, Female, ?, ?, ?, ?, >10 years)", 2940),
+        ("(?, Male, Never married, ?, ?, ?, >10 years)", 980),
+    }
+
+
+def test_fig1_transcript(benchmark):
+    result = benchmark(run_fig1_empty_rule)
+    print()
+    print(result.name)
+    print(result.text)

@@ -1,0 +1,30 @@
+"""F2: Figure 2 — star drill-down on the Education column (Marketing).
+
+Clicking the ``?`` in Education of the Female rule lists the most
+frequent education levels among females.
+"""
+
+from __future__ import annotations
+
+from repro.core import Rule, SizeWeight, star_drilldown
+from repro.experiments import run_fig2_star_education
+
+
+def test_fig2_star_education(benchmark, marketing7):
+    female = Rule.from_named(marketing7, Sex="Female")
+    wf = SizeWeight()
+    result = benchmark(
+        lambda: star_drilldown(marketing7, female, "Education", wf, 4, 5.0)
+    )
+    edu_idx = marketing7.schema.index_of("Education")
+    assert len(result.rules) == 4
+    for rule in result.rules:
+        assert not rule.is_star(edu_idx)
+        assert rule[1] == "Female"
+
+
+def test_fig2_transcript(benchmark):
+    result = benchmark(run_fig2_star_education)
+    print()
+    print(result.name)
+    print(result.text)

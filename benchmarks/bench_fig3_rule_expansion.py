@@ -1,0 +1,26 @@
+"""F3: Figure 3 — expanding a Figure 1 rule (Marketing).
+
+The expansion of the (Female, >10 years) rule into more specific
+sub-population rules.
+"""
+
+from __future__ import annotations
+
+from repro.core import Rule, SizeWeight, rule_drilldown
+from repro.experiments import run_fig3_rule_expansion
+
+
+def test_fig3_rule_expansion(benchmark, marketing7):
+    parent = Rule.from_named(marketing7, Sex="Female", TimeInBayArea=">10 years")
+    wf = SizeWeight()
+    result = benchmark(lambda: rule_drilldown(marketing7, parent, wf, 4, 5.0))
+    assert result.rules
+    for rule in result.rules:
+        assert parent.is_strict_subrule_of(rule)
+
+
+def test_fig3_transcript(benchmark):
+    result = benchmark(run_fig3_rule_expansion)
+    print()
+    print(result.name)
+    print(result.text)

@@ -1,0 +1,36 @@
+"""F4: Figure 4 — a regular drill-down on the Age column (Marketing).
+
+Traditional drill-down as the weighting-function special case of
+Section 5.1: one rule per distinct Age bucket, ordered by count.
+"""
+
+from __future__ import annotations
+
+from repro.core import Rule, traditional_drilldown
+from repro.experiments import run_fig4_traditional_age
+
+
+def test_fig4_traditional_age(benchmark, marketing7):
+    root = Rule.trivial(marketing7.n_columns)
+    result = benchmark(lambda: traditional_drilldown(marketing7, root, "Age"))
+    assert len(result.rules) == 7  # one per Age bucket
+    counts = [e.count for e in result.rule_list]
+    assert counts == sorted(counts, reverse=True)
+    assert sum(counts) == marketing7.n_rows
+
+
+def test_fig4_brs_equivalence(benchmark, marketing7):
+    """The §5.1 equivalence: indicator-weight BRS = group-by."""
+    root = Rule.trivial(marketing7.n_columns)
+    via_brs = benchmark(
+        lambda: traditional_drilldown(marketing7, root, "Age", via_brs=True)
+    )
+    direct = traditional_drilldown(marketing7, root, "Age")
+    assert set(via_brs.rules) == set(direct.rules)
+
+
+def test_fig4_transcript(benchmark):
+    result = benchmark(run_fig4_traditional_age)
+    print()
+    print(result.name)
+    print(result.text)

@@ -1,0 +1,69 @@
+"""F5: Figure 5 — running time vs the ``mw`` parameter.
+
+Four series as in the paper: {Marketing, Census} × {Size, Bits}.
+Expected shape: runtime grows (roughly linearly) with ``mw`` because a
+larger max-weight bound weakens the a-priori pruning; the paper reports
+the same on its datasets.  The benchmark fixture times one
+representative point per series; the sweep printout reports the full
+curve with its fitted slope.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import brs
+from repro.experiments import report_table, run_mw_sweep, trend_slope, weighting_by_name
+
+MW_VALUES = [1, 2, 3, 5, 8, 12, 16, 20]
+
+
+@pytest.mark.parametrize("weighting,mw", [("size", 5.0), ("bits", 20.0)])
+def test_marketing_expand_empty_rule(benchmark, marketing7, weighting, mw):
+    wf = weighting_by_name(weighting, marketing7)
+    result = benchmark(lambda: brs(marketing7, wf, 4, mw))
+    assert len(result.rules) == 4
+
+
+@pytest.mark.parametrize("weighting,mw", [("size", 5.0), ("bits", 20.0)])
+def test_census_expand_empty_rule(benchmark, census, weighting, mw):
+    wf = weighting_by_name(weighting, census)
+    result = benchmark(lambda: brs(census, wf, 4, mw))
+    assert len(result.rules) == 4
+
+
+def test_fig5_sweep_shape(benchmark, marketing7, census):
+    """The full Figure 5 sweep: runtime grows with mw on every series."""
+
+    def sweep():
+        out = {}
+        for name, table in (("Marketing", marketing7), ("Census", census)):
+            for weighting in ("size", "bits"):
+                out[f"{name} {weighting}"] = run_mw_sweep(
+                    table, weighting, MW_VALUES, repeats=1, name=f"{name} {weighting}"
+                )
+        return out
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for name, s in series.items():
+        slope = trend_slope(s.xs, s.ys)
+        rows.append(
+            [name]
+            + [f"{y * 1000:.0f}" for y in s.ys]
+            + [f"{slope * 1000:.2f}"]
+        )
+        # Paper shape: more mw never makes the search cheaper by much —
+        # the large-mw end must cost at least the small-mw end.
+        assert s.ys[-1] >= 0.5 * s.ys[0]
+        # And the achievable score is monotone in mw.
+        scores = s.extra("score")
+        assert all(b >= a - 1e-9 for a, b in zip(scores, scores[1:]))
+    print()
+    print(
+        report_table(
+            "Figure 5 — expansion time (ms) vs mw",
+            ["series"] + [f"mw={v}" for v in MW_VALUES] + ["slope ms/mw"],
+            rows,
+        )
+    )

@@ -1,0 +1,23 @@
+"""F7: Figure 7 — the max(0, Size−1) weighting summary (Marketing).
+
+Zero weight for single-column rules forces the optimiser to display
+rules with at least two instantiated columns (§5.1.2).
+"""
+
+from __future__ import annotations
+
+from repro.core import SizeMinusOneWeight, brs
+from repro.experiments import run_fig7_size_minus_one
+
+
+def test_fig7_size_minus_one(benchmark, marketing7):
+    wf = SizeMinusOneWeight()
+    result = benchmark(lambda: brs(marketing7, wf, 4, 5.0))
+    assert all(r.size >= 2 for r in result.rules)
+
+
+def test_fig7_transcript(benchmark):
+    result = benchmark(run_fig7_size_minus_one)
+    print()
+    print(result.name)
+    print(result.text)

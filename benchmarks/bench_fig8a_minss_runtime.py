@@ -1,0 +1,58 @@
+"""F8(a): Figure 8(a) — expansion time vs the ``minSS`` parameter.
+
+Expected shape (paper §5.2.2): BRS time on a sample grows roughly
+linearly in the sample size, so the curve rises with minSS; the
+Marketing series is dominated by the ``b·minSS`` term, the Census
+series by the scan that creates the sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SizeWeight, brs
+from repro.experiments import report_table, run_minss_sweep, trend_slope
+
+MINSS_VALUES = [250, 500, 1000, 2000, 4000, 8000]
+
+
+@pytest.mark.parametrize("minss", [1000, 5000])
+def test_brs_on_sample(benchmark, census, minss):
+    rng = np.random.default_rng(0)
+    idx = np.sort(rng.choice(census.n_rows, size=minss, replace=False))
+    sample = census.take(idx)
+    result = benchmark(lambda: brs(sample, SizeWeight(), 4, 5.0))
+    assert len(result.rules) == 4
+
+
+def test_fig8a_sweep_shape(benchmark, marketing7, census):
+    def sweep():
+        return {
+            "Marketing size": run_minss_sweep(
+                marketing7, "size", MINSS_VALUES, iterations=3, seed=0
+            ),
+            "Census size": run_minss_sweep(
+                census, "size", MINSS_VALUES, iterations=3, seed=0
+            ),
+            "Census bits": run_minss_sweep(
+                census, "bits", MINSS_VALUES, iterations=3, seed=0, mw=20.0
+            ),
+        }
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for name, points in series.items():
+        times = [p.seconds for p in points]
+        slope = trend_slope([p.min_sample_size for p in points], times)
+        rows.append([name] + [f"{t * 1000:.1f}" for t in times] + [f"{slope * 1e6:.2f}"])
+        # Paper shape: time grows with minSS.
+        assert slope > 0
+    print()
+    print(
+        report_table(
+            "Figure 8(a) — BRS time (ms) vs minSS",
+            ["series"] + [f"minSS={v}" for v in MINSS_VALUES] + ["slope us/tuple"],
+            rows,
+        )
+    )

@@ -1,0 +1,42 @@
+"""F8(b): Figure 8(b) — percent error in displayed counts vs ``minSS``.
+
+Expected shape (paper §5.2.2): the error "decreases approximately as
+1/sqrt(minSS)" — quadrupling the sample should roughly halve the error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import report_table, run_minss_sweep
+
+MINSS_VALUES = [250, 1000, 4000]
+
+
+def test_fig8b_error_decay(benchmark, marketing7, census):
+    def sweep():
+        return {
+            "Marketing size": run_minss_sweep(
+                marketing7, "size", MINSS_VALUES, iterations=8, seed=1
+            ),
+            "Census size": run_minss_sweep(
+                census, "size", MINSS_VALUES, iterations=8, seed=1
+            ),
+        }
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for name, points in series.items():
+        errors = [p.percent_error for p in points]
+        rows.append([name] + [f"{e:.2f}%" for e in errors])
+        # Monotone decay, and ≈ 2× shrink per 4× sample (allow slack 1.5×).
+        assert errors[-1] < errors[0]
+        assert errors[-1] < errors[0] / 1.5
+    print()
+    print(
+        report_table(
+            "Figure 8(b) — % count error vs minSS (expect ~1/sqrt decay)",
+            ["series"] + [f"minSS={v}" for v in MINSS_VALUES],
+            rows,
+        )
+    )

@@ -1,0 +1,42 @@
+"""F8(c): Figure 8(c) — number of incorrect displayed rules vs ``minSS``.
+
+Expected shape (paper §5.2.2): the count of rules that differ from the
+full-table expansion falls as minSS grows; the paper reports ≈ 1 at
+minSS ≤ 1000 on Census, ≈ 0.3 beyond, and near-0 for Marketing/Size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import report_table, run_minss_sweep
+
+MINSS_VALUES = [250, 1000, 4000, 8000]
+
+
+def test_fig8c_incorrect_rules(benchmark, marketing7, census):
+    def sweep():
+        return {
+            "Marketing size": run_minss_sweep(
+                marketing7, "size", MINSS_VALUES, iterations=8, seed=2
+            ),
+            "Census size": run_minss_sweep(
+                census, "size", MINSS_VALUES, iterations=8, seed=2
+            ),
+        }
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for name, points in series.items():
+        incorrect = [p.incorrect_rules for p in points]
+        rows.append([name] + [f"{x:.2f}" for x in incorrect])
+        # Shape: large samples make fewer mistakes than tiny ones.
+        assert incorrect[-1] <= incorrect[0]
+        # And healthy sample sizes display mostly-correct rule sets.
+        assert incorrect[-1] <= 1.5
+    print()
+    print(
+        report_table(
+            "Figure 8(c) — incorrect rules (of k=4) vs minSS",
+            ["series"] + [f"minSS={v}" for v in MINSS_VALUES],
+            rows,
+        )
+    )

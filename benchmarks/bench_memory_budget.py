@@ -1,0 +1,56 @@
+"""Extension experiment: memory budget M vs interaction responsiveness.
+
+The paper fixes M = 50,000 = 10 × minSS without a sweep; this benchmark
+supplies the missing curve: the fraction of drill-downs served from
+memory (Find/Combine) rises with M and the simulated disk time falls,
+saturating near the paper's chosen operating point.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import report_table
+from repro.experiments.interaction import run_memory_budget_sweep, simulate_exploration
+
+BUDGETS = [6_000, 12_000, 25_000, 50_000]
+
+
+def test_exploration_trace(benchmark, census):
+    result = benchmark.pedantic(
+        lambda: simulate_exploration(census, clicks=5, min_sample_size=3_000),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.clicks >= 3
+    assert result.created >= 1  # the first pass is unavoidable
+
+
+def test_memory_budget_sweep(benchmark, census):
+    sweep = benchmark.pedantic(
+        lambda: run_memory_budget_sweep(
+            census, BUDGETS, clicks=5, min_sample_size=3_000
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    hit_rates = [sweep[b].memory_hit_rate for b in BUDGETS]
+    io_seconds = [sweep[b].simulated_io_seconds for b in BUDGETS]
+    # Shape: more memory, more drill-downs served without disk.
+    assert hit_rates[-1] >= hit_rates[0]
+    assert io_seconds[-1] <= io_seconds[0] * 1.5
+    print()
+    print(
+        report_table(
+            "Memory budget M vs interaction responsiveness (5-click traces)",
+            ["M (tuples)", "memory-served", "created", "hit rate", "sim io s"],
+            [
+                [
+                    f"{b:,}",
+                    sweep[b].served_from_memory,
+                    sweep[b].created,
+                    f"{sweep[b].memory_hit_rate:.0%}",
+                    f"{sweep[b].simulated_io_seconds:.2f}",
+                ]
+                for b in BUDGETS
+            ],
+        )
+    )

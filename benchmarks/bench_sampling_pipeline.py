@@ -1,0 +1,73 @@
+"""End-to-end sampled interaction cost (SampleHandler + session, §4.3).
+
+Times the three access paths the paper's response-time story depends
+on: the initial Create pass, a Find re-service, and a Combine-served
+sub-drill-down; plus one full prefetch-enabled exploration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Rule, SizeWeight, brs
+from repro.datasets import generate_census
+from repro.sampling import SampleHandler
+from repro.session import DrillDownSession
+from repro.storage import DiskTable
+
+
+@pytest.fixture(scope="module")
+def census_disk_table():
+    return generate_census(100_000, n_columns=7, seed=21)
+
+
+def test_create_path(benchmark, census_disk_table):
+    def create():
+        disk = DiskTable(census_disk_table)
+        handler = SampleHandler(
+            disk, memory_capacity=50_000, min_sample_size=5_000,
+            rng=np.random.default_rng(0),
+        )
+        sample, method = handler.get_sample(Rule.trivial(7))
+        assert method == "create"
+        return sample
+
+    sample = benchmark(create)
+    assert sample.size >= 5_000
+
+
+def test_find_path(benchmark, census_disk_table):
+    disk = DiskTable(census_disk_table)
+    handler = SampleHandler(
+        disk, memory_capacity=50_000, min_sample_size=5_000,
+        rng=np.random.default_rng(0),
+    )
+    handler.get_sample(Rule.trivial(7))
+
+    def find():
+        sample, method = handler.get_sample(Rule.trivial(7))
+        assert method == "find"
+        return sample
+
+    benchmark(find)
+
+
+def test_full_exploration_with_prefetch(benchmark, census_disk_table):
+    def explore():
+        disk = DiskTable(census_disk_table)
+        session = DrillDownSession(
+            disk,
+            k=3,
+            mw=5.0,
+            memory_capacity=50_000,
+            min_sample_size=5_000,
+            rng=np.random.default_rng(1),
+        )
+        children = session.expand(session.root.rule)
+        session.expand(children[0].rule)
+        return session
+
+    session = benchmark.pedantic(explore, rounds=2, iterations=1)
+    # The second expansion is served from memory thanks to prefetch.
+    assert session.history[1].sample_method in ("find", "combine")

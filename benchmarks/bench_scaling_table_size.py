@@ -1,0 +1,65 @@
+"""X1: §5.2.3 — runtime ≈ a·|T| + b·minSS.
+
+The Create path's simulated I/O must be linear in the table size while
+the BRS-on-sample term stays flat; a drill-down served by Find/Combine
+is independent of |T| entirely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Rule, SizeWeight, brs
+from repro.datasets import generate_census
+from repro.experiments import report_table, run_scaling_sweep
+from repro.sampling import SampleHandler
+from repro.storage import DiskTable
+
+SIZES = (25_000, 50_000, 100_000)
+
+
+def test_scaling_sweep(benchmark):
+    tables = [generate_census(n, n_columns=7, seed=11) for n in SIZES]
+    series = benchmark.pedantic(
+        lambda: run_scaling_sweep(tables, min_sample_size=5_000), rounds=1, iterations=1
+    )
+    io = series.extra("simulated_io_seconds")
+    brs_only = series.extra("brs_only_seconds")
+    # a·|T|: doubling rows doubles scan cost.
+    assert io[1] == pytest.approx(2 * io[0], rel=0.05)
+    assert io[2] == pytest.approx(4 * io[0], rel=0.05)
+    # b·minSS: the in-memory term does not scale with |T|.
+    assert max(brs_only) < 5 * min(brs_only) + 0.05
+    print()
+    print(
+        report_table(
+            "§5.2.3 — drill-down cost vs |T| (Create pass + BRS)",
+            ["rows", "wall s", "simulated io s", "brs-only s"],
+            [
+                [f"{int(p.x)}", f"{p.y:.3f}", f"{p.extra['simulated_io_seconds']:.3f}",
+                 f"{p.extra['brs_only_seconds']:.3f}"]
+                for p in series.points
+            ],
+        )
+    )
+
+
+def test_memory_served_drilldown_independent_of_table(benchmark):
+    """Find/Combine responses do not touch the table at all."""
+    table = generate_census(SIZES[-1], n_columns=7, seed=11)
+    disk = DiskTable(table)
+    handler = SampleHandler(
+        disk, memory_capacity=50_000, min_sample_size=5_000, rng=np.random.default_rng(0)
+    )
+    root = Rule.trivial(7)
+    handler.get_sample(root)  # pay the Create once
+    io_before = disk.io_stats.simulated_seconds
+
+    def served_from_memory():
+        sample, method = handler.get_sample(root)
+        assert method == "find"
+        return brs(sample.table, SizeWeight(), 4, 5.0)
+
+    benchmark(served_from_memory)
+    assert disk.io_stats.simulated_seconds == io_before

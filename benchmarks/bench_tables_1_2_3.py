@@ -1,0 +1,44 @@
+"""T1–T3: the Example 1 retail transcript (paper Tables 1–3).
+
+Benchmarks the first smart drill-down on the 6000-row department-store
+table and asserts the exact Table 2 / Table 3 rule sets.
+"""
+
+from __future__ import annotations
+
+from repro.core import Rule, SizeWeight, brs, rule_drilldown
+from repro.experiments import run_tables_1_2_3
+
+
+def test_table2_first_drilldown(benchmark, retail):
+    wf = SizeWeight()
+    result = benchmark(lambda: brs(retail, wf, 3, 3.0))
+    got = {(str(e.rule), int(e.count)) for e in result.rule_list}
+    assert got == {
+        ("(Target, bicycles, ?, ?)", 200),
+        ("(?, comforters, MA-3, ?)", 600),
+        ("(Walmart, ?, ?, ?)", 1000),
+    }
+
+
+def test_table3_walmart_expansion(benchmark, retail):
+    wf = SizeWeight()
+    walmart = Rule.from_named(retail, Store="Walmart")
+    result = benchmark(lambda: rule_drilldown(retail, walmart, wf, 3, 3.0))
+    got = {(str(e.rule), int(e.count)) for e in result.rule_list}
+    assert got == {
+        ("(Walmart, cookies, ?, ?)", 200),
+        ("(Walmart, ?, CA-1, ?)", 150),
+        ("(Walmart, ?, WA-5, ?)", 130),
+    }
+
+
+def test_print_transcript(benchmark):
+    """Render both tables (the paper-vs-measured transcript)."""
+    table2, table3 = benchmark(run_tables_1_2_3)
+    print()
+    print(table2.name)
+    print(table2.text)
+    print()
+    print(table3.name)
+    print(table3.text)

@@ -1,0 +1,12 @@
+"""Root conftest: make `tests.conftest` helpers importable under plain pytest.
+
+`python -m pytest` inserts the current directory into sys.path but the
+`pytest` entry point does not; test modules import shared helpers via
+`from tests.conftest import ...`, so the repository root must be
+importable either way.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,76 @@
+"""The Section 5.1 qualitative study on the Marketing survey.
+
+Reproduces Figures 1–4, 6 and 7 as text tables, then walks through the
+paper's parameter-guidance machinery (§6.1): estimating ``mw`` from a
+pilot sample, the ``minSS`` recommendation, and the KKT analysis of the
+parametric weight family.
+
+Run with::
+
+    python examples/marketing_survey.py
+"""
+
+from __future__ import annotations
+
+from repro.core import SizeWeight, estimate_mw, recommend_min_sample_size
+from repro.core.params import exponent_for_target_fraction, kkt_analysis
+from repro.experiments import (
+    marketing_first_seven,
+    run_fig1_empty_rule,
+    run_fig2_star_education,
+    run_fig3_rule_expansion,
+    run_fig4_traditional_age,
+    run_fig6_bits,
+    run_fig7_size_minus_one,
+)
+from repro.table import compute_stats
+
+
+def show(result) -> None:
+    print("=" * 72)
+    print(result.name)
+    print("=" * 72)
+    print(result.text)
+    print()
+
+
+def main() -> None:
+    for runner in (
+        run_fig1_empty_rule,
+        run_fig2_star_education,
+        run_fig3_rule_expansion,
+        run_fig4_traditional_age,
+        run_fig6_bits,
+        run_fig7_size_minus_one,
+    ):
+        show(runner())
+
+    # --- Parameter guidance (§6.1 / §4.2) -------------------------------
+    table = marketing_first_seven()
+    stats = compute_stats(table)
+
+    print("=" * 72)
+    print("Parameter guidance")
+    print("=" * 72)
+    mw = estimate_mw(table, SizeWeight(), k=4, sample_size=1000)
+    print(f"estimated mw from a 1000-row pilot (2x safety): {mw:.0f}")
+    minss = recommend_min_sample_size(table, rho=10.0)
+    print(f"recommended minSS (rho=10): {minss:.0f} tuples")
+
+    # KKT analysis of the parametric family on this table's statistics.
+    fs = [c.top_fraction for c in stats.columns]
+    ws = [1.0] * len(fs)  # Size weighting
+    analysis = kkt_analysis(fs, ws, exponent=1.0)
+    names = [c.name for c in stats.columns]
+    preferred = [names[i] for i in analysis.predicted_columns[:3]]
+    print(f"KKT-preferred columns under Size weighting: {preferred}")
+    print(
+        "predicted instantiated fraction at k=1: "
+        f"{analysis.instantiated_fraction:.2f}"
+    )
+    k_for_half = exponent_for_target_fraction(fs, 0.5)
+    print(f"exponent k making the top rule instantiate half the columns: {k_for_half:.2f}")
+
+
+if __name__ == "__main__":
+    main()

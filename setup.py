@@ -1,0 +1,11 @@
+"""Setup shim for environments without PEP 660 editable-install support.
+
+``pip install -e .`` requires the ``wheel`` package to build editable
+wheels with older setuptools; fully offline environments can instead run
+``python setup.py develop --no-deps`` (or add ``src/`` to a ``.pth``
+file), which needs nothing beyond setuptools itself.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,12 @@
+"""Baseline algorithms smart drill-down is evaluated against."""
+
+from repro.baselines.apriori import FrequentItemset, apriori
+from repro.baselines.summaries import count_only_greedy, full_drilldown_size, top_k_itemsets
+
+__all__ = [
+    "FrequentItemset",
+    "apriori",
+    "count_only_greedy",
+    "full_drilldown_size",
+    "top_k_itemsets",
+]

@@ -1,0 +1,117 @@
+"""Classic a-priori frequent-itemset mining (Agrawal & Srikant [4]).
+
+Smart drill-down's marginal-rule search borrows a-priori's level-wise
+candidate generation (Section 3.5); this module implements the original
+algorithm over a relational table — items are ``(column, value)`` pairs
+— both as a comparison baseline (Section 7 discusses why frequent
+itemsets alone are not a good summary) and as an independent oracle for
+rule counts in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.rule import Rule
+from repro.errors import ReproError
+from repro.table.column import CategoricalColumn
+from repro.table.table import Table
+
+__all__ = ["FrequentItemset", "apriori"]
+
+
+@dataclass(frozen=True)
+class FrequentItemset:
+    """A frequent itemset: ``(column, value-code)`` pairs plus support."""
+
+    items: tuple[tuple[int, int], ...]  # ((column index, value code), ...)
+    support: int
+
+    def to_rule(self, table: Table) -> Rule:
+        """Decode into a :class:`~repro.core.rule.Rule` over ``table``."""
+        values = {}
+        for col, code in self.items:
+            column = table.column(col)
+            assert isinstance(column, CategoricalColumn)
+            values[col] = column.decode(code)
+        return Rule.from_items(table.n_columns, values)
+
+
+def _covered_rows(table: Table, items: tuple[tuple[int, int], ...]) -> np.ndarray:
+    mask = np.ones(table.n_rows, dtype=bool)
+    for col, code in items:
+        column = table.column(col)
+        assert isinstance(column, CategoricalColumn)
+        mask &= column.mask_eq(code)
+    return mask
+
+
+def apriori(
+    table: Table,
+    min_support: int,
+    *,
+    max_size: int | None = None,
+) -> list[FrequentItemset]:
+    """All itemsets with support ≥ ``min_support`` (level-wise search).
+
+    Candidates of size ``j`` are joins of frequent size-``j−1`` sets
+    sharing their first ``j−2`` items, pruned by the downward-closure
+    property before counting — the textbook algorithm.  Returns
+    itemsets sorted by (size, items) for determinism.
+    """
+    if min_support < 1:
+        raise ReproError("min_support must be >= 1")
+    cat_idx = table.schema.categorical_indexes
+    limit = len(cat_idx) if max_size is None else min(max_size, len(cat_idx))
+    results: list[FrequentItemset] = []
+
+    # Level 1: count every (column, code) item with one bincount per column.
+    singletons: list[tuple[tuple[int, int], ...]] = []
+    for col in cat_idx:
+        column = table.column(col)
+        assert isinstance(column, CategoricalColumn)
+        counts = column.counts()
+        for code in np.nonzero(counts >= min_support)[0]:
+            items = ((col, int(code)),)
+            singletons.append(items)
+            results.append(FrequentItemset(items, int(counts[code])))
+    frequent = list(singletons)
+    level = 1
+
+    frequent_set = set(frequent)
+    while frequent and level < limit:
+        level += 1
+        # Join step: extend each frequent set by single items on later
+        # columns (each candidate is generated exactly once, in column
+        # order).
+        candidates: list[tuple[tuple[int, int], ...]] = []
+        seen: set[tuple[tuple[int, int], ...]] = set()
+        for base in frequent:
+            last_col = base[-1][0]
+            for ext in singletons:
+                if ext[0][0] <= last_col:
+                    continue
+                candidate = base + ext
+                if candidate in seen:
+                    continue
+                seen.add(candidate)
+                # Prune step: all (j-1)-subsets must be frequent.
+                if all(
+                    candidate[:i] + candidate[i + 1 :] in frequent_set
+                    for i in range(len(candidate))
+                ):
+                    candidates.append(candidate)
+        next_frequent: list[tuple[tuple[int, int], ...]] = []
+        for candidate in candidates:
+            support = int(_covered_rows(table, candidate).sum())
+            if support >= min_support:
+                next_frequent.append(candidate)
+                results.append(FrequentItemset(candidate, support))
+        frequent = next_frequent
+        frequent_set.update(next_frequent)
+
+    results.sort(key=lambda f: (len(f.items), f.items))
+    return results

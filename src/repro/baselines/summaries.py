@@ -1,0 +1,86 @@
+"""Summary baselines smart drill-down is compared against (§2.1, §5.1, §7).
+
+Three one-shot summarisers producing a ``k``-rule list under the same
+``Score`` yardstick as BRS:
+
+* :func:`top_k_itemsets` — the pattern-mining strawman: the ``k`` most
+  frequent itemsets (weighted by ``W·Count``), ignoring overlap.  The
+  paper's Section 2.1 example shows why this fails: it happily returns
+  ``(a, b)``, ``(a, ?)``, ``(?, b)`` which summarise the same region
+  three times.
+* :func:`count_only_greedy` — greedy by ``W·Count`` with duplicates
+  removed but no marginal accounting (the "if we had defined total
+  score as Σ Count·W" ablation).
+* :func:`full_drilldown_size` — how many rows a *traditional* drill
+  down would display for the same click (the §5.1 information-overload
+  comparison: all distinct values, versus smart drill-down's ``k``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.apriori import apriori
+from repro.core.rule import Rule
+from repro.core.scoring import RuleList, aggregate
+from repro.core.weights import WeightFunction
+from repro.errors import ReproError
+from repro.table.column import CategoricalColumn
+from repro.table.table import Table
+
+__all__ = ["top_k_itemsets", "count_only_greedy", "full_drilldown_size"]
+
+
+def top_k_itemsets(
+    table: Table,
+    wf: WeightFunction,
+    k: int,
+    *,
+    min_support: int = 1,
+    max_size: int | None = None,
+) -> RuleList:
+    """The ``k`` rules with highest ``W(r)·Count(r)`` (overlap-blind)."""
+    if k < 0:
+        raise ReproError("k must be >= 0")
+    itemsets = apriori(table, min_support, max_size=max_size)
+    scored: list[tuple[float, int, Rule]] = []
+    for i, itemset in enumerate(itemsets):
+        rule = itemset.to_rule(table)
+        scored.append((wf.weight(rule) * itemset.support, i, rule))
+    scored.sort(key=lambda t: (-t[0], t[1]))
+    return RuleList((rule for _, _, rule in scored[:k]), table, wf)
+
+
+def count_only_greedy(
+    table: Table,
+    wf: WeightFunction,
+    k: int,
+    *,
+    min_support: int = 1,
+    max_size: int | None = None,
+) -> RuleList:
+    """Greedy by ``W·Count`` without marginal credit (§2.1 ablation).
+
+    Identical candidate pool to :func:`top_k_itemsets` but skips rules
+    equal to already-selected ones — still no ``MCount``, so redundant
+    overlapping rules survive.  Exists to quantify how much the
+    marginal objective matters (benchmark X-ablation).
+    """
+    # With a deduplicated pool, greedy-by-static-score IS the top-k;
+    # the separation from BRS comes entirely from MCount.  Kept as a
+    # distinct entry point for the ablation's naming clarity.
+    return top_k_itemsets(table, wf, k, min_support=min_support, max_size=max_size)
+
+
+def full_drilldown_size(table: Table, column: int | str) -> int:
+    """Rows a traditional drill-down on ``column`` would display (§5.1).
+
+    One row per distinct value present — the quantity that "could
+    easily overwhelm analysts" when large.
+    """
+    if isinstance(column, str):
+        column = table.schema.index_of(column)
+    col = table.column(column)
+    if not isinstance(col, CategoricalColumn):
+        raise ReproError("traditional drill-down needs a categorical column")
+    return int((col.counts() > 0).sum())

@@ -1,0 +1,198 @@
+"""BRS — Best Rule Set, the paper's Algorithm 1 (Section 3.4).
+
+``Score`` is submodular over rule sets (Lemma 3), so the greedy
+procedure — start empty, add the best marginal rule ``k`` times — is a
+``1 − (1 − 1/k)^k ≥ 1 − 1/e`` approximation of the optimal set, provided
+``mw`` upper-bounds the weight of every rule in the optimum.  BRS is
+*incremental*: the best rule-list of size ``k`` is a prefix of the best
+rule-list of size ``k+1`` as produced by the greedy, which Section 6.1
+exploits to stream rules to the user; :func:`brs_iter` exposes exactly
+that stream.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.marginal import MarginalResult, SearchStats, find_best_marginal_rule
+from repro.core.rule import Rule, cover_mask
+from repro.core.scoring import RuleList
+from repro.core.weights import WeightFunction
+from repro.table.table import Table
+
+__all__ = ["BRSResult", "brs", "brs_iter", "brs_time_limited"]
+
+
+@dataclass(frozen=True)
+class BRSResult:
+    """Outcome of one BRS invocation.
+
+    ``rule_list`` carries the weight-sorted display order with per-rule
+    Count/MCount; ``picks`` records the greedy selection order with the
+    marginal value each rule added; ``stats`` aggregates search work
+    across all ``k`` marginal-rule searches.
+    """
+
+    rule_list: RuleList
+    picks: tuple[MarginalResult, ...]
+    stats: SearchStats
+
+    @property
+    def rules(self) -> tuple[Rule, ...]:
+        return self.rule_list.rules
+
+    @property
+    def score(self) -> float:
+        return self.rule_list.score
+
+
+def brs_iter(
+    table: Table,
+    wf: WeightFunction,
+    mw: float,
+    *,
+    measures: np.ndarray | None = None,
+    max_rule_size: int | None = None,
+    prune: bool = True,
+    initial_top: np.ndarray | None = None,
+) -> Iterator[MarginalResult]:
+    """Yield greedy picks one at a time (the Section 6.1 streaming mode).
+
+    Stops when no rule adds positive marginal value.  The caller owns
+    the stopping condition otherwise — take ``k`` items for a fixed-size
+    summary, or consume under a time budget.
+
+    ``initial_top`` seeds the per-tuple ``W(TOP(t, S))`` state, which
+    drill-down uses to model "the clicked rule already covers this
+    sub-table": children then only earn credit for weight *above* the
+    parent's (this is what makes the Table 3 expansion produce
+    cookies/CA-1/WA-5 rather than re-listing the Walmart rule itself).
+    """
+    n = table.n_rows
+    top = (
+        np.zeros(n, dtype=np.float64)
+        if initial_top is None
+        else initial_top.astype(np.float64).copy()
+    )
+    while True:
+        result = find_best_marginal_rule(
+            table,
+            wf,
+            top,
+            mw,
+            measures=measures,
+            max_rule_size=max_rule_size,
+            prune=prune,
+        )
+        if result is None:
+            return
+        mask = cover_mask(result.rule, table)
+        np.maximum(top, np.where(mask, result.weight, 0.0), out=top)
+        yield result
+
+
+def brs(
+    table: Table,
+    wf: WeightFunction,
+    k: int,
+    mw: float,
+    *,
+    measures: np.ndarray | None = None,
+    max_rule_size: int | None = None,
+    prune: bool = True,
+    initial_top: np.ndarray | None = None,
+) -> BRSResult:
+    """Greedily select up to ``k`` rules maximising ``Score`` (Problem 3).
+
+    Parameters
+    ----------
+    table:
+        Table (or sample) to summarise.
+    wf:
+        Monotonic non-negative weight function.
+    k:
+        Number of rules requested; fewer are returned when no rule adds
+        positive marginal value.
+    mw:
+        Max-weight search parameter (see
+        :func:`repro.core.marginal.find_best_marginal_rule`); the
+        greedy guarantee holds when ``mw`` ≥ the heaviest rule in the
+        optimal set.
+    measures:
+        Optional per-tuple measures for Sum aggregation (Section 6.3).
+    max_rule_size, prune:
+        Passed through to the marginal search.
+    initial_top:
+        Optional seed for the per-tuple selected-weight state (see
+        :func:`brs_iter`).
+    """
+    picks: list[MarginalResult] = []
+    stats = SearchStats()
+    if k <= 0:
+        return BRSResult(
+            rule_list=RuleList((), table, wf, measures), picks=(), stats=stats
+        )
+    for result in brs_iter(
+        table,
+        wf,
+        mw,
+        measures=measures,
+        max_rule_size=max_rule_size,
+        prune=prune,
+        initial_top=initial_top,
+    ):
+        picks.append(result)
+        stats.merge(result.stats)
+        if len(picks) >= k:
+            break
+    rule_list = RuleList((p.rule for p in picks), table, wf, measures)
+    return BRSResult(rule_list=rule_list, picks=tuple(picks), stats=stats)
+
+
+def brs_time_limited(
+    table: Table,
+    wf: WeightFunction,
+    mw: float,
+    time_limit_seconds: float,
+    *,
+    max_rules: int | None = None,
+    measures: np.ndarray | None = None,
+    max_rule_size: int | None = None,
+    prune: bool = True,
+    initial_top: np.ndarray | None = None,
+) -> BRSResult:
+    """Keep adding rules until a wall-clock budget runs out (§6.1).
+
+    The paper's alternative to a fixed ``k``: "set a time limit (of say
+    5 seconds) and display as many rules as we can find within that
+    time limit".  BRS is incremental, so the rules found within the
+    budget are exactly the prefix a larger ``k`` would have produced.
+    At least one search is always attempted (a summary with zero rules
+    helps nobody); ``max_rules`` optionally caps the count as well.
+    """
+    if time_limit_seconds <= 0:
+        raise ValueError("time_limit_seconds must be positive")
+    picks: list[MarginalResult] = []
+    stats = SearchStats()
+    deadline = time.perf_counter() + time_limit_seconds
+    for result in brs_iter(
+        table,
+        wf,
+        mw,
+        measures=measures,
+        max_rule_size=max_rule_size,
+        prune=prune,
+        initial_top=initial_top,
+    ):
+        picks.append(result)
+        stats.merge(result.stats)
+        if max_rules is not None and len(picks) >= max_rules:
+            break
+        if time.perf_counter() >= deadline:
+            break
+    rule_list = RuleList((p.rule for p in picks), table, wf, measures)
+    return BRSResult(rule_list=rule_list, picks=tuple(picks), stats=stats)

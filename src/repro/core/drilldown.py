@@ -1,0 +1,231 @@
+"""The smart drill-down operators (paper Sections 2.3 and 3.1).
+
+Three user-facing operations, each reduced to Problem 2 exactly as in
+Section 3.1:
+
+* **Rule drill-down** — clicking rule ``r'`` filters the table to the
+  tuples covered by ``r'`` and mines that sub-table with the weight
+  function lifted through :class:`~repro.core.weights.MergedWeight`
+  (a candidate scores as its merge with ``r'``), so every displayed
+  rule is a super-rule of ``r'``.
+* **Star drill-down** — clicking a ``?`` in column ``c`` additionally
+  wraps the weight function in
+  :class:`~repro.core.weights.StarConstrainedWeight`, zeroing any rule
+  that leaves ``c`` starred; all displayed rules instantiate ``c``.
+* **Traditional drill-down** — the classic OLAP operator, expressed as
+  the Section 5.1 special case (indicator weight on one column,
+  ``k`` = number of distinct values) and also provided as a direct
+  group-by fast path; the two produce the same rule multiset.
+
+The functions operate on whatever :class:`~repro.table.Table` they are
+given — the interactive session layer passes in samples and rescales
+counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.brs import BRSResult, brs
+from repro.errors import RuleError
+from repro.core.marginal import SearchStats
+from repro.core.rule import Rule, cover_mask
+from repro.core.scoring import RuleList, tuple_measures
+from repro.core.weights import (
+    ColumnIndicatorWeight,
+    MergedWeight,
+    StarConstrainedWeight,
+    WeightFunction,
+)
+from repro.table.table import Table
+
+__all__ = ["DrillDownResult", "rule_drilldown", "star_drilldown", "traditional_drilldown"]
+
+
+@dataclass(frozen=True)
+class DrillDownResult:
+    """A drill-down's displayable outcome.
+
+    ``rule_list`` holds the weight-sorted super-rules of the clicked
+    rule with their Count/MCount on the mined table; ``subtable_rows``
+    is ``|T_{r'}|``; ``stats`` aggregates the BRS search work.
+    """
+
+    parent: Rule
+    rule_list: RuleList
+    subtable_rows: int
+    stats: SearchStats
+
+    @property
+    def rules(self) -> tuple[Rule, ...]:
+        return self.rule_list.rules
+
+
+def _merge_with_parent(rules: tuple[Rule, ...], parent: Rule) -> list[Rule]:
+    """Merge each mined rule with the clicked parent rule.
+
+    Every mined rule has positive support on the filtered table, so the
+    merge cannot conflict; the merge makes the Problem 1 super-rule
+    constraint explicit in the displayed rules.
+    """
+    merged: list[Rule] = []
+    for rule in rules:
+        combined = rule.merge(parent)
+        if combined is None:  # pragma: no cover - impossible for supported rules
+            raise RuleError(f"mined rule {rule} conflicts with parent {parent}")
+        if combined not in merged:
+            merged.append(combined)
+    return merged
+
+
+def rule_drilldown(
+    table: Table,
+    parent: Rule,
+    wf: WeightFunction,
+    k: int,
+    mw: float,
+    *,
+    measure: str | None = None,
+    max_rule_size: int | None = None,
+    prune: bool = True,
+) -> DrillDownResult:
+    """Expand ``parent`` into its best rule-list of ``k`` super-rules.
+
+    Implements the [Rule drill down] reduction of Section 3.1: filter
+    ``table`` to ``T_parent``, solve Problem 2 there under the
+    parent-merged weight function, then display the merged rules.
+
+    Parameters mirror :func:`repro.core.brs.brs`; ``measure`` selects
+    Sum aggregation over a numeric column instead of Count.
+    """
+    if len(parent) != table.n_columns:
+        raise RuleError("parent rule arity does not match the table")
+    subtable = table.filter(cover_mask(parent, table)) if not parent.is_trivial else table
+    lifted = MergedWeight(wf, parent) if not parent.is_trivial else wf
+    measures = tuple_measures(subtable, measure)
+    # Seed the greedy with the parent already covering the sub-table at
+    # its own weight: children earn credit only for the weight they add
+    # beyond the parent, which is what the paper's Table 3 expansion
+    # exhibits (and prevents the parent re-appearing as its own child).
+    seed = np.full(subtable.n_rows, wf.weight(parent), dtype=np.float64)
+    result: BRSResult = brs(
+        subtable,
+        lifted,
+        k,
+        mw,
+        measures=measures,
+        max_rule_size=max_rule_size,
+        prune=prune,
+        initial_top=seed,
+    )
+    merged = _merge_with_parent(result.rules, parent)
+    rule_list = RuleList(merged, subtable, wf, measures)
+    return DrillDownResult(
+        parent=parent,
+        rule_list=rule_list,
+        subtable_rows=subtable.n_rows,
+        stats=result.stats,
+    )
+
+
+def star_drilldown(
+    table: Table,
+    parent: Rule,
+    column: int | str,
+    wf: WeightFunction,
+    k: int,
+    mw: float,
+    *,
+    measure: str | None = None,
+    max_rule_size: int | None = None,
+    prune: bool = True,
+) -> DrillDownResult:
+    """Expand the ``?`` in ``column`` of ``parent`` (Section 2.3).
+
+    Implements the [Star drill down] reduction: like a rule drill-down,
+    but the weight function zeroes rules leaving ``column`` starred, so
+    every returned rule instantiates it.
+    """
+    if isinstance(column, str):
+        column = table.schema.index_of(column)
+    if column not in table.schema.categorical_indexes:
+        raise RuleError(
+            f"column {table.schema[column].name!r} is numeric; bucketize it "
+            "before star drill-down (Section 6.2)"
+        )
+    if not parent.is_star(column):
+        raise RuleError(f"parent rule already instantiates column {column}")
+    subtable = table.filter(cover_mask(parent, table)) if not parent.is_trivial else table
+    lifted: WeightFunction = MergedWeight(wf, parent) if not parent.is_trivial else wf
+    constrained = StarConstrainedWeight(lifted, column)
+    measures = tuple_measures(subtable, measure)
+    result = brs(
+        subtable,
+        constrained,
+        k,
+        mw,
+        measures=measures,
+        max_rule_size=max_rule_size,
+        prune=prune,
+    )
+    merged = _merge_with_parent(result.rules, parent)
+    rule_list = RuleList(merged, subtable, wf, measures)
+    return DrillDownResult(
+        parent=parent,
+        rule_list=rule_list,
+        subtable_rows=subtable.n_rows,
+        stats=result.stats,
+    )
+
+
+def traditional_drilldown(
+    table: Table,
+    parent: Rule,
+    column: int | str,
+    *,
+    measure: str | None = None,
+    k: int | None = None,
+    via_brs: bool = False,
+    wf: WeightFunction | None = None,
+) -> DrillDownResult:
+    """Classic OLAP drill-down on one column (Section 5.1, Figure 4).
+
+    Lists one super-rule of ``parent`` per distinct value of
+    ``column`` among the covered tuples, ordered by descending count.
+    ``k`` optionally truncates the list (the paper's point is precisely
+    that traditional drill-down has no good truncation).
+
+    With ``via_brs=True`` the result is computed through BRS with a
+    :class:`~repro.core.weights.ColumnIndicatorWeight` — the Section
+    5.1 equivalence — which tests use to cross-validate the fast path.
+    """
+    if isinstance(column, str):
+        column = table.schema.index_of(column)
+    if not parent.is_star(column):
+        raise RuleError(f"parent rule already instantiates column {column}")
+    subtable = table.filter(cover_mask(parent, table)) if not parent.is_trivial else table
+    col = subtable.categorical(column)
+    n_values = int((col.counts() > 0).sum())
+    limit = n_values if k is None else min(k, n_values)
+
+    if via_brs:
+        indicator = ColumnIndicatorWeight(column)
+        measures = tuple_measures(subtable, measure)
+        result = brs(subtable, indicator, limit, 1.0, measures=measures, max_rule_size=1)
+        merged = _merge_with_parent(result.rules, parent)
+        rule_list = RuleList(merged, subtable, wf or indicator, measures)
+        return DrillDownResult(parent, rule_list, subtable.n_rows, result.stats)
+
+    measures = tuple_measures(subtable, measure)
+    weights = np.bincount(col.codes, weights=measures, minlength=col.distinct_count)
+    order = np.argsort(-weights, kind="stable")
+    rules = [
+        parent.with_value(column, col.decode(int(code)))
+        for code in order[:limit]
+        if weights[code] > 0
+    ]
+    display_wf = wf or ColumnIndicatorWeight(column)
+    rule_list = RuleList(rules, subtable, display_wf, measures)
+    return DrillDownResult(parent, rule_list, subtable.n_rows, SearchStats())

@@ -1,0 +1,31 @@
+"""Back-compat shim: the exception hierarchy lives in :mod:`repro.errors`.
+
+Kept so ``repro.core.errors`` imports keep working; new code should
+import from :mod:`repro.errors` directly.
+"""
+
+from repro.errors import (
+    AllocationError,
+    DatasetError,
+    EncodingError,
+    ReproError,
+    RuleError,
+    SamplingError,
+    SchemaError,
+    SessionError,
+    StorageError,
+    WeightFunctionError,
+)
+
+__all__ = [
+    "AllocationError",
+    "DatasetError",
+    "EncodingError",
+    "ReproError",
+    "RuleError",
+    "SamplingError",
+    "SchemaError",
+    "SessionError",
+    "StorageError",
+    "WeightFunctionError",
+]

@@ -1,0 +1,148 @@
+"""Exhaustive (exponential) optimisers used as ground truth in tests.
+
+Problem 3 is NP-hard (Lemma 2), so these brute-force solvers only run
+on deliberately tiny tables.  They provide:
+
+* :func:`enumerate_supported_rules` — every rule with positive support,
+  i.e. every projection of every distinct tuple (the search space of
+  Problem 3 restricted to rules that can have positive ``MCount``);
+* :func:`best_marginal_rule_brute` — the exact best marginal rule, used
+  to validate Algorithm 2;
+* :func:`optimal_rule_set` — the exact optimal size-≤k rule set, used
+  to validate the greedy ``1 − 1/e`` bound empirically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import RuleError
+from repro.core.rule import Rule, STAR, cover_mask
+from repro.core.scoring import score_set, sort_rules_by_weight
+from repro.core.weights import WeightFunction
+from repro.table.table import Table
+
+__all__ = [
+    "enumerate_supported_rules",
+    "best_marginal_rule_brute",
+    "OptimalSet",
+    "optimal_rule_set",
+]
+
+#: Safety valve: refuse brute-force enumeration beyond this many rules.
+MAX_ENUMERATED_RULES = 200_000
+
+
+def enumerate_supported_rules(
+    table: Table,
+    *,
+    max_size: int | None = None,
+    include_trivial: bool = False,
+) -> list[Rule]:
+    """All rules with positive support over the categorical columns.
+
+    A rule has positive support iff it is a projection of some tuple,
+    so the enumeration walks distinct tuples and emits every subset of
+    their categorical column values, deduplicated.
+    """
+    cat_idx = table.schema.categorical_indexes
+    limit = len(cat_idx) if max_size is None else min(max_size, len(cat_idx))
+    seen: set[Rule] = set()
+    out: list[Rule] = []
+    if include_trivial:
+        trivial = Rule.trivial(table.n_columns)
+        seen.add(trivial)
+        out.append(trivial)
+    for row in {tuple(table.row(i)) for i in range(table.n_rows)}:
+        for size in range(1, limit + 1):
+            for cols in itertools.combinations(cat_idx, size):
+                rule = Rule.from_items(table.n_columns, {c: row[c] for c in cols})
+                if rule not in seen:
+                    seen.add(rule)
+                    out.append(rule)
+                    if len(out) > MAX_ENUMERATED_RULES:
+                        raise RuleError(
+                            "rule enumeration exceeded MAX_ENUMERATED_RULES; "
+                            "use a smaller table for brute-force solvers"
+                        )
+    # Canonical deterministic order: by size, then by repr.
+    out.sort(key=lambda r: (r.size, repr(r)))
+    return out
+
+
+def best_marginal_rule_brute(
+    table: Table,
+    wf: WeightFunction,
+    top: np.ndarray,
+    mw: float,
+    *,
+    measures: np.ndarray | None = None,
+    max_size: int | None = None,
+) -> tuple[Rule, float] | None:
+    """Exact best marginal rule by scoring every supported rule.
+
+    Mirrors the contract of
+    :func:`repro.core.marginal.find_best_marginal_rule`, including the
+    weight ≤ ``mw`` restriction and the deterministic tie-break
+    (marginal desc, size asc, repr asc).  Returns ``(rule, marginal)``
+    or ``None`` when nothing has positive marginal value.
+    """
+    if measures is None:
+        measures = np.ones(table.n_rows, dtype=np.float64)
+    best: tuple[float, int, str, Rule] | None = None
+    for rule in enumerate_supported_rules(table, max_size=max_size):
+        weight = wf.weight(rule)
+        if weight > mw:
+            continue
+        mask = cover_mask(rule, table)
+        marginal = float((np.maximum(weight - top[mask], 0.0) * measures[mask]).sum())
+        if marginal <= 0:
+            continue
+        key = (-marginal, rule.size, repr(rule), rule)
+        if best is None or key[:3] < best[:3]:
+            best = key
+    if best is None:
+        return None
+    return best[3], -best[0]
+
+
+@dataclass(frozen=True)
+class OptimalSet:
+    """The exact optimum of Problem 3 on a small table."""
+
+    rules: tuple[Rule, ...]
+    score: float
+
+
+def optimal_rule_set(
+    table: Table,
+    wf: WeightFunction,
+    k: int,
+    *,
+    measures: np.ndarray | None = None,
+    max_size: int | None = None,
+    candidates: Sequence[Rule] | None = None,
+) -> OptimalSet:
+    """Exact optimal rule set of size ≤ ``k`` by exhaustive subset search.
+
+    Exponential in both the number of supported rules and ``k``; only
+    for validation on tiny inputs.  The optimum never needs a rule with
+    zero support, so the candidate pool defaults to
+    :func:`enumerate_supported_rules`.
+    """
+    pool = list(candidates) if candidates is not None else enumerate_supported_rules(
+        table, max_size=max_size
+    )
+    best_rules: tuple[Rule, ...] = ()
+    best_score = 0.0
+    for size in range(1, min(k, len(pool)) + 1):
+        for combo in itertools.combinations(pool, size):
+            s = score_set(combo, table, wf, measures)
+            if s > best_score:
+                best_score = s
+                best_rules = tuple(sort_rules_by_weight(combo, wf))
+    return OptimalSet(rules=best_rules, score=best_score)

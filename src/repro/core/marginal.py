@@ -1,0 +1,404 @@
+"""Find-best-marginal-rule — the paper's Algorithm 2 (Section 3.5).
+
+Given the current solution set ``S`` (summarised by a per-tuple array of
+``W(TOP(t, S))`` weights), the search finds the rule of weight ≤ ``mw``
+with the highest *marginal value*
+
+    MarginalValue(r) = Σ_{t ∈ r} m(t) · ( W(r) − min(W(r), W(TOP(t, S))) )
+
+where ``m(t)`` is the tuple measure (1 for Count, the measure column for
+Sum, Section 6.3).  The search enumerates candidates level-wise by rule
+size, a-priori style: size-``j`` candidates are generated only from
+surviving size-``j−1`` rules, extended on columns strictly after their
+last instantiated column (so each rule is generated exactly once), with
+values drawn from actual co-occurrence in the data.  A candidate's
+descendants are pruned with the paper's upper bound
+
+    MarginalVal(R') + Count(R') · (mw − W(R'))   for sub-rules R' of R,
+
+compared against the best marginal value ``H`` found so far.
+
+Implementation note: the per-level "pass over the table" is vectorised —
+for one surviving parent and one extension column, the counts and
+marginal values of *all* value extensions are two ``np.bincount`` calls
+over the parent's covered rows.  Pruning therefore pays off by skipping
+parents (the paper's ``Cn`` deletions), which is where the exponential
+blow-up lives; the returned rule is identical to the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import RuleError
+from repro.core.rule import Rule
+from repro.core.weights import (
+    ColumnSetWeight,
+    MergedWeight,
+    StarConstrainedWeight,
+    WeightFunction,
+)
+from repro.table.column import CategoricalColumn
+from repro.table.table import Table
+
+__all__ = ["MarginalResult", "SearchStats", "find_best_marginal_rule"]
+
+# Internal candidate key: ((cat_position, code), ...) sorted by position.
+_Key = tuple[tuple[int, int], ...]
+
+
+@dataclass
+class SearchStats:
+    """Work counters for one best-marginal-rule search.
+
+    ``rows_scanned`` counts tuple visits across all bincount passes and
+    is the vectorised analogue of the paper's "passes over the table";
+    ``parents_pruned`` counts surviving-rule extensions skipped by the
+    upper bound.
+    """
+
+    passes: int = 0
+    candidates_generated: int = 0
+    candidates_eligible: int = 0
+    parents_extended: int = 0
+    parents_pruned: int = 0
+    rows_scanned: int = 0
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another search's counters into this one."""
+        self.passes += other.passes
+        self.candidates_generated += other.candidates_generated
+        self.candidates_eligible += other.candidates_eligible
+        self.parents_extended += other.parents_extended
+        self.parents_pruned += other.parents_pruned
+        self.rows_scanned += other.rows_scanned
+
+
+@dataclass(frozen=True)
+class MarginalResult:
+    """The best marginal rule plus its statistics."""
+
+    rule: Rule
+    weight: float
+    count: float
+    marginal: float
+    stats: SearchStats
+
+
+@dataclass
+class _Entry:
+    """Counted candidate bookkeeping: the ``C`` map of Algorithm 2."""
+
+    weight: float
+    count: float
+    marginal: float
+    extendable: bool  # False once pruned (or weight > mw): never extended
+
+
+def _column_set_weight(
+    wf: WeightFunction,
+) -> Callable[[tuple[int, ...]], float] | None:
+    """Fast path: a ``column-index-set -> weight`` callable, when valid.
+
+    All built-in weight functions depend only on the instantiated
+    column set; star-constrained wrappers around such functions do too.
+    Returns ``None`` for value-dependent callables (slow path).
+    """
+    if isinstance(wf, ColumnSetWeight):
+        return wf.weight_of_columns
+    if isinstance(wf, StarConstrainedWeight):
+        inner = _column_set_weight(wf.base)
+        if inner is None:
+            return None
+        star_col = wf.column
+
+        def constrained(columns: tuple[int, ...]) -> float:
+            if star_col not in columns:
+                return 0.0
+            return inner(columns)
+
+        return constrained
+    if isinstance(wf, MergedWeight):
+        inner = _column_set_weight(wf.base)
+        if inner is None:
+            return None
+        parent_columns = frozenset(wf.parent.instantiated_indexes)
+
+        def merged(columns: tuple[int, ...]) -> float:
+            return inner(tuple(sorted(parent_columns.union(columns))))
+
+        return merged
+    return None
+
+
+class _Searcher:
+    """State for one invocation of Algorithm 2 over a table."""
+
+    def __init__(
+        self,
+        table: Table,
+        wf: WeightFunction,
+        top: np.ndarray,
+        mw: float,
+        measures: np.ndarray | None,
+        max_rule_size: int | None,
+        prune: bool,
+    ):
+        self.table = table
+        self.wf = wf
+        self.mw = float(mw)
+        self.prune = prune
+        n = table.n_rows
+        if top.shape != (n,):
+            raise RuleError("top-weight array length must equal table rows")
+        self.top = top
+        self.measures = (
+            np.ones(n, dtype=np.float64) if measures is None else measures.astype(np.float64)
+        )
+        self.cat_positions = table.schema.categorical_indexes
+        self.codes: list[np.ndarray] = []
+        self.distinct: list[int] = []
+        for idx in self.cat_positions:
+            col = table.column(idx)
+            assert isinstance(col, CategoricalColumn)
+            self.codes.append(col.codes)
+            self.distinct.append(col.distinct_count)
+        limit = len(self.cat_positions)
+        self.max_rule_size = limit if max_rule_size is None else min(max_rule_size, limit)
+        self.fast_weight = _column_set_weight(wf)
+        self.stats = SearchStats()
+        # C of Algorithm 2: every counted candidate, keyed canonically.
+        self.counted: dict[_Key, _Entry] = {}
+        self.best_key: _Key | None = None
+        self.best_entry: _Entry | None = None
+        self.threshold = 0.0  # H of Algorithm 2
+
+    # -- weights ---------------------------------------------------------------
+
+    def _table_columns(self, key: _Key) -> tuple[int, ...]:
+        return tuple(self.cat_positions[pos] for pos, _ in key)
+
+    def _rule_of(self, key: _Key) -> Rule:
+        items: dict[int, Any] = {}
+        for pos, code in key:
+            table_idx = self.cat_positions[pos]
+            col = self.table.column(table_idx)
+            assert isinstance(col, CategoricalColumn)
+            items[table_idx] = col.decode(code)
+        return Rule.from_items(self.table.n_columns, items)
+
+    def _weight_of(self, key: _Key) -> float:
+        if self.fast_weight is not None:
+            return self.fast_weight(self._table_columns(key))
+        return self.wf.weight(self._rule_of(key))
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _offer(self, key: _Key, entry: _Entry) -> None:
+        """Record a counted candidate and update the running best (H).
+
+        Candidates with weight above ``mw`` are ineligible, and — by
+        monotonicity — so is every super-rule, so they are never
+        extended either.
+        """
+        self.counted[key] = entry
+        self.stats.candidates_generated += 1
+        if entry.count <= 0:
+            entry.extendable = False
+            return
+        if entry.weight > self.mw:
+            entry.extendable = False
+            return
+        self.stats.candidates_eligible += 1
+        if self._better(entry, key):
+            self.best_entry = entry
+            self.best_key = key
+            self.threshold = max(self.threshold, entry.marginal)
+
+    def _better(self, entry: _Entry, key: _Key) -> bool:
+        """Deterministic comparison: marginal, then size, then key order."""
+        if self.best_entry is None:
+            return entry.marginal > 0
+        if entry.marginal != self.best_entry.marginal:
+            return entry.marginal > self.best_entry.marginal
+        assert self.best_key is not None
+        if len(key) != len(self.best_key):
+            return len(key) < len(self.best_key)
+        return key < self.best_key
+
+    def _upper_bound(self, key: _Key) -> float:
+        """min over counted immediate sub-rules of the paper's bound.
+
+        A missing sub-rule means an ancestor was pruned, which already
+        proves every super-rule suboptimal, so the bound is −inf.
+        """
+        bound = np.inf
+        for drop in range(len(key)):
+            sub = key[:drop] + key[drop + 1 :]
+            if not sub:
+                continue
+            entry = self.counted.get(sub)
+            if entry is None:
+                return -np.inf
+            slack = entry.marginal + entry.count * max(self.mw - entry.weight, 0.0)
+            bound = min(bound, slack)
+        return bound
+
+    # -- passes -----------------------------------------------------------------
+
+    def _mask_of(self, key: _Key) -> np.ndarray:
+        mask = np.ones(self.table.n_rows, dtype=bool)
+        for pos, code in key:
+            mask &= self.codes[pos] == code
+        return mask
+
+    def _count_extensions(
+        self, parent_key: _Key, parent_rows: np.ndarray, pos: int
+    ) -> list[tuple[_Key, _Entry]]:
+        """Count all value extensions of ``parent_key`` on column ``pos``.
+
+        Two weighted bincounts over the parent's covered rows yield the
+        Count and MarginalValue of every candidate ``parent ∧ (pos=v)``.
+        """
+        codes = self.codes[pos][parent_rows]
+        measures = self.measures[parent_rows]
+        top = self.top[parent_rows]
+        n_values = self.distinct[pos]
+        counts = np.bincount(codes, weights=measures, minlength=n_values)
+        self.stats.rows_scanned += parent_rows.size
+        out: list[tuple[_Key, _Entry]] = []
+        if self.fast_weight is not None:
+            columns = self._table_columns(parent_key) + (self.cat_positions[pos],)
+            weight = self.fast_weight(tuple(sorted(columns)))
+            gains = np.maximum(weight - top, 0.0) * measures
+            marginals = np.bincount(codes, weights=gains, minlength=n_values)
+            for code in np.nonzero(counts > 0)[0]:
+                key = parent_key + ((pos, int(code)),)
+                out.append(
+                    (key, _Entry(weight, float(counts[code]), float(marginals[code]), True))
+                )
+        else:
+            for code in np.nonzero(counts > 0)[0]:
+                key = parent_key + ((pos, int(code)),)
+                weight = self._weight_of(key)
+                covered = codes == code
+                marginal = float(
+                    (np.maximum(weight - top[covered], 0.0) * measures[covered]).sum()
+                )
+                out.append((key, _Entry(weight, float(counts[code]), marginal, True)))
+        return out
+
+    def _first_pass(self) -> list[_Key]:
+        """Count every size-1 rule (``Cn = all rules of size 1``)."""
+        self.stats.passes += 1
+        survivors: list[_Key] = []
+        empty: _Key = ()
+        all_rows = np.arange(self.table.n_rows, dtype=np.int64)
+        for pos in range(len(self.cat_positions)):
+            for key, entry in self._count_extensions(empty, all_rows, pos):
+                self._offer(key, entry)
+                survivors.append(key)
+        return survivors
+
+    def _next_pass(self, frontier: list[_Key], size: int) -> list[_Key]:
+        """Generate, count, and prune size-``size`` candidates.
+
+        A parent whose bound ``MarginalVal + Count·(mw − W)`` falls
+        below the threshold ``H`` has its whole extension subtree cut
+        (the paper's ``Cn`` deletion).  Surviving parents have every
+        value extension counted exactly; a fresh candidate is offered
+        as a potential best rule first (tightening ``H``) and then
+        bound-checked to decide whether *it* will be extended.
+        """
+        self.stats.passes += 1
+        survivors: list[_Key] = []
+        n_cat = len(self.cat_positions)
+        for parent_key in frontier:
+            entry = self.counted[parent_key]
+            if not entry.extendable:
+                continue
+            if self.prune:
+                parent_bound = entry.marginal + entry.count * max(self.mw - entry.weight, 0.0)
+                if parent_bound < self.threshold:
+                    entry.extendable = False
+                    self.stats.parents_pruned += 1
+                    continue
+            last_pos = parent_key[-1][0]
+            if last_pos + 1 >= n_cat:
+                continue
+            parent_rows = np.nonzero(self._mask_of(parent_key))[0]
+            self.stats.parents_extended += 1
+            for pos in range(last_pos + 1, n_cat):
+                for key, child in self._count_extensions(parent_key, parent_rows, pos):
+                    self._offer(key, child)
+                    if child.extendable and self.prune:
+                        if self._upper_bound(key) < self.threshold:
+                            child.extendable = False
+                            self.stats.parents_pruned += 1
+                    if child.extendable:
+                        survivors.append(key)
+        return survivors
+
+    def run(self) -> MarginalResult | None:
+        frontier = self._first_pass()
+        size = 1
+        while frontier and size < self.max_rule_size:
+            size += 1
+            frontier = self._next_pass(frontier, size)
+        if self.best_key is None or self.best_entry is None:
+            return None
+        if self.best_entry.marginal <= 0:
+            return None
+        return MarginalResult(
+            rule=self._rule_of(self.best_key),
+            weight=self.best_entry.weight,
+            count=self.best_entry.count,
+            marginal=self.best_entry.marginal,
+            stats=self.stats,
+        )
+
+
+def find_best_marginal_rule(
+    table: Table,
+    wf: WeightFunction,
+    top: np.ndarray,
+    mw: float,
+    *,
+    measures: np.ndarray | None = None,
+    max_rule_size: int | None = None,
+    prune: bool = True,
+) -> MarginalResult | None:
+    """Return the rule of weight ≤ ``mw`` with highest marginal value.
+
+    Parameters
+    ----------
+    table:
+        The (possibly filtered or sampled) table to mine.
+    wf:
+        Monotonic non-negative weight function.
+    top:
+        Per-tuple ``W(TOP(t, S))`` of the already-selected set ``S``
+        (zeros for the first iteration); see
+        :func:`repro.core.scoring.top_weights`.
+    mw:
+        Max-weight parameter: the search only considers rules with
+        ``W(r) <= mw`` and uses ``mw`` in its pruning bound.  Smaller
+        values run faster; values below the optimal rule's weight may
+        return a sub-optimal rule (Section 3.5's approximation-ratio
+        analysis).
+    measures:
+        Optional per-tuple measure array (Sum aggregation); defaults to
+        all-ones (Count).
+    max_rule_size:
+        Optional cap on rule size (number of passes).
+    prune:
+        Disable to measure the value of the a-priori bound (ablation);
+        the result is unchanged, only more candidates are explored.
+
+    Returns ``None`` when no rule adds positive marginal value.
+    """
+    searcher = _Searcher(table, wf, top, mw, measures, max_rule_size, prune)
+    return searcher.run()

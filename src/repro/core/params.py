@@ -1,0 +1,197 @@
+"""Parameter guidance (paper Sections 4.2 and 6.1).
+
+The system exposes three tunables — ``k``, ``mw``, ``minSS`` — and the
+paper sketches how to set each one:
+
+* ``mw`` — run BRS on a small random sample; the maximum weight ``x``
+  of the rules it returns is likely the maximum weight of the true
+  output, and ``2x`` absorbs sampling error (:func:`estimate_mw`).
+* ``minSS`` — a rule covering an ``x`` fraction of tuples needs
+  ``minSS ≫ ρ(1−x)/x`` for a stable count estimate; bounding ``x`` from
+  below by ``1/(|C|·|c_min|)`` (the best rule's count is at least
+  ``|T|/(|C|·|c_min|)``) gives the Section 4.2 recommendation
+  (:func:`recommend_min_sample_size`).
+* the weight family ``W(r) = (Σ_c o_{r,c} w_c)^k`` — the KKT analysis
+  of Section 6.1 predicts which columns the max-score rule
+  instantiates, what fraction of columns a given exponent ``k``
+  instantiates, and which ``k`` to choose for a target fraction
+  (:func:`kkt_analysis`, :func:`exponent_for_target_fraction`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.weights import WeightFunction
+from repro.table.stats import TableStats, compute_stats
+from repro.table.table import Table
+
+__all__ = [
+    "estimate_mw",
+    "recommend_min_sample_size",
+    "KKTAnalysis",
+    "kkt_analysis",
+    "exponent_for_target_fraction",
+    "estimate_parametric_mw",
+]
+
+
+def estimate_mw(
+    table: Table,
+    wf: WeightFunction,
+    k: int,
+    *,
+    sample_size: int = 1000,
+    safety_factor: float = 2.0,
+    rng: np.random.Generator | None = None,
+    pilot_mw: float | None = None,
+) -> float:
+    """Estimate ``mw`` by running BRS on a small random sample (§6.1).
+
+    Runs the greedy on ``sample_size`` uniformly sampled tuples with a
+    generous pilot ``mw`` and returns ``safety_factor`` times the
+    maximum weight observed in the output ("we can set mw to 2x, which
+    works well in practice").
+    """
+    from repro.core.brs import brs  # local import to avoid a cycle
+
+    rng = rng or np.random.default_rng(0)
+    n = table.n_rows
+    if n == 0:
+        return 1.0
+    if sample_size < n:
+        idx = rng.choice(n, size=sample_size, replace=False)
+        sample = table.take(np.sort(idx))
+    else:
+        sample = table
+    if pilot_mw is None:
+        bound = wf.max_weight(table.n_columns)
+        pilot_mw = bound if bound is not None else float(table.n_columns)
+    result = brs(sample, wf, k, pilot_mw)
+    if not result.rules:
+        return max(1.0, float(pilot_mw))
+    observed = max(wf.weight(r) for r in result.rules)
+    return max(1.0, safety_factor * observed)
+
+
+def recommend_min_sample_size(
+    table_or_stats: Table | TableStats,
+    *,
+    rho: float = 10.0,
+) -> float:
+    """Section 4.2's ``minSS`` recommendation: ``ρ · |C| · |c_min|``.
+
+    The top rule under Size weighting covers at least a
+    ``1/(|C|·|c_min|)`` fraction of tuples (the most frequent value of
+    the smallest-domain column ``c_min`` occurs ≥ |T|/|c_min| times and
+    the best rule's weight is at most |C|), so ``minSS`` of
+    ``ρ·|C|·|c_min|`` with ``ρ ≫ 1`` makes displayed counts stable.
+    """
+    stats = (
+        table_or_stats if isinstance(table_or_stats, TableStats) else compute_stats(table_or_stats)
+    )
+    n_columns = len(stats.columns)
+    min_distinct = stats.min_distinct
+    if n_columns == 0 or min_distinct == 0:
+        return rho
+    return rho * n_columns * min_distinct
+
+
+@dataclass(frozen=True)
+class KKTAnalysis:
+    """Closed-form predictions from the Section 6.1 KKT analysis.
+
+    For the parametric family ``W(r) = (Σ_c o_{r,c} w_c)^k`` under a
+    value-independence assumption with per-column top frequencies
+    ``f_c``:
+
+    * ``ratios[c] = ln(f_c) / w_c`` — the max-score rule instantiates
+      the columns with the largest (least negative) ratios;
+    * ``instantiated_fraction`` — predicted weighted fraction of
+      instantiated columns, ``−k / Σ_c ln f_c``;
+    * ``predicted_columns`` — column indexes sorted by preference;
+    * ``predicted_mw`` — weight of the predicted max-score rule, a
+      guide for ``mw`` (the paper notes real data's correlations make
+      this an under-estimate).
+    """
+
+    ratios: tuple[float, ...]
+    instantiated_fraction: float
+    predicted_columns: tuple[int, ...]
+    predicted_mw: float
+
+
+def kkt_analysis(
+    top_fractions: Sequence[float],
+    column_weights: Sequence[float],
+    exponent: float,
+) -> KKTAnalysis:
+    """Analyse the parametric weight family on given column statistics.
+
+    Parameters
+    ----------
+    top_fractions:
+        ``f_c`` — frequency of the most common value per column, in
+        ``(0, 1]``.
+    column_weights:
+        ``w_c ≥ 0`` of the parametric family.
+    exponent:
+        ``k`` of the parametric family.
+    """
+    fs = [min(max(float(f), 1e-12), 1.0) for f in top_fractions]
+    ws = [float(w) for w in column_weights]
+    if len(fs) != len(ws):
+        raise ValueError("top_fractions and column_weights must align")
+    ratios = tuple(
+        (math.log(f) / w) if w > 0 else -math.inf for f, w in zip(fs, ws)
+    )
+    total_log = sum(math.log(f) for f in fs)
+    fraction = 0.0 if total_log == 0 else min(1.0, -exponent / total_log)
+    order = tuple(
+        int(i) for i in sorted(range(len(fs)), key=lambda i: (-ratios[i], i)) if ws[i] > 0
+    )
+    # Predicted rule: instantiate the best columns until the weighted
+    # fraction target is met.
+    total_w = sum(ws)
+    target = fraction * total_w
+    chosen: list[int] = []
+    acc = 0.0
+    for i in order:
+        if acc >= target and chosen:
+            break
+        chosen.append(i)
+        acc += ws[i]
+    base = sum(ws[i] for i in chosen)
+    predicted_mw = float(base**exponent) if base > 0 else 0.0
+    return KKTAnalysis(
+        ratios=ratios,
+        instantiated_fraction=fraction,
+        predicted_columns=tuple(chosen),
+        predicted_mw=predicted_mw,
+    )
+
+
+def exponent_for_target_fraction(
+    top_fractions: Sequence[float], target_fraction: float
+) -> float:
+    """Pick ``k`` so the max-score rule instantiates ``s`` of the columns.
+
+    Section 6.1: ``k = −s · Σ_c ln f_c``.
+    """
+    if not 0.0 <= target_fraction <= 1.0:
+        raise ValueError("target_fraction must be in [0, 1]")
+    total_log = sum(math.log(min(max(float(f), 1e-12), 1.0)) for f in top_fractions)
+    return -target_fraction * total_log
+
+
+def estimate_parametric_mw(table: Table, column_weights: Sequence[float], exponent: float) -> float:
+    """Predicted ``mw`` for the parametric family on a concrete table."""
+    stats = compute_stats(table)
+    fs = [c.top_fraction if c.top_fraction > 0 else 1.0 for c in stats.columns]
+    cat_idx = table.schema.categorical_indexes
+    ws = [column_weights[i] for i in cat_idx]
+    return kkt_analysis(fs, ws, exponent).predicted_mw

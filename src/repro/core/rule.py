@@ -1,0 +1,265 @@
+"""Rules: wildcard tuple patterns over a table (paper Section 2.1).
+
+A *rule* assigns each column either a concrete value or the wildcard
+``?`` (:data:`STAR`).  A rule **covers** a tuple when every non-star
+value matches; ``r1`` is a **sub-rule** of ``r2`` when ``r1`` stars at
+least the columns ``r2`` stars and they agree wherever both are
+instantiated, which implies every tuple covered by ``r2`` is covered by
+``r1``.  The *size* of a rule is its number of non-star values.
+
+Values may be any hashable objects; for bucketized numeric columns they
+are :class:`~repro.table.bucketize.Interval` instances, and a raw
+numeric column may be matched by an ``Interval`` value directly (range
+rules, Section 2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import RuleError
+from repro.table.bucketize import Interval
+from repro.table.column import CategoricalColumn, NumericColumn
+from repro.table.table import Table
+
+__all__ = ["STAR", "Wildcard", "Rule", "cover_mask"]
+
+
+class Wildcard:
+    """Singleton wildcard marker, rendered as ``?``.
+
+    A distinct sentinel class (not ``None``) so ``None`` can be a
+    legitimate categorical value in user data.
+    """
+
+    _instance: "Wildcard | None" = None
+
+    def __new__(cls) -> "Wildcard":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "?"
+
+    def __reduce__(self):
+        return (Wildcard, ())
+
+
+STAR = Wildcard()
+
+
+class Rule:
+    """An immutable, hashable rule over ``n`` columns.
+
+    Construct with one entry per column, using :data:`STAR` for
+    wildcards::
+
+        Rule(["Walmart", STAR, STAR])
+
+    or positionally via :meth:`from_items`.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Iterable[Any]):
+        vals = tuple(values)
+        for v in vals:
+            if not isinstance(v, Wildcard):
+                try:
+                    hash(v)
+                except TypeError:
+                    raise RuleError(f"rule values must be hashable, got {v!r}") from None
+        self._values = vals
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def trivial(cls, n_columns: int) -> "Rule":
+        """The all-star rule (the root of every drill-down tree)."""
+        return cls([STAR] * n_columns)
+
+    @classmethod
+    def from_items(cls, n_columns: int, items: Mapping[int, Any]) -> "Rule":
+        """Build a rule from ``{column index: value}``; others are stars."""
+        values: list[Any] = [STAR] * n_columns
+        for idx, value in items.items():
+            if not 0 <= idx < n_columns:
+                raise RuleError(f"column index {idx} out of range for {n_columns} columns")
+            values[idx] = value
+        return cls(values)
+
+    @classmethod
+    def from_named(cls, table: Table, **named: Any) -> "Rule":
+        """Build a rule using ``column_name=value`` keywords against ``table``."""
+        items = {table.schema.index_of(name): value for name, value in named.items()}
+        return cls.from_items(table.n_columns, items)
+
+    # -- basic protocol ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __getitem__(self, i: int) -> Any:
+        return self._values[i]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rule):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join("?" if isinstance(v, Wildcard) else repr(v) for v in self._values)
+        return f"Rule({inner})"
+
+    def __str__(self) -> str:
+        inner = ", ".join("?" if isinstance(v, Wildcard) else str(v) for v in self._values)
+        return f"({inner})"
+
+    # -- structure ----------------------------------------------------------------
+
+    @property
+    def values(self) -> tuple[Any, ...]:
+        return self._values
+
+    @property
+    def size(self) -> int:
+        """Number of non-star values (the paper's rule *size*)."""
+        return sum(1 for v in self._values if not isinstance(v, Wildcard))
+
+    @property
+    def is_trivial(self) -> bool:
+        return self.size == 0
+
+    def is_star(self, i: int) -> bool:
+        """True when column ``i`` is a wildcard."""
+        return isinstance(self._values[i], Wildcard)
+
+    @property
+    def instantiated_indexes(self) -> tuple[int, ...]:
+        """Indexes of non-star columns, ascending."""
+        return tuple(i for i, v in enumerate(self._values) if not isinstance(v, Wildcard))
+
+    @property
+    def star_indexes(self) -> tuple[int, ...]:
+        """Indexes of star columns, ascending."""
+        return tuple(i for i, v in enumerate(self._values) if isinstance(v, Wildcard))
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        """Iterate ``(column index, value)`` over non-star columns."""
+        for i, v in enumerate(self._values):
+            if not isinstance(v, Wildcard):
+                yield i, v
+
+    # -- derivation -----------------------------------------------------------------
+
+    def with_value(self, i: int, value: Any) -> "Rule":
+        """Return a super-rule with column ``i`` set to ``value``."""
+        if not 0 <= i < len(self._values):
+            raise RuleError(f"column index {i} out of range")
+        vals = list(self._values)
+        vals[i] = value
+        return Rule(vals)
+
+    def with_star(self, i: int) -> "Rule":
+        """Return a sub-rule with column ``i`` reset to the wildcard."""
+        return self.with_value(i, STAR)
+
+    # -- lattice relations -----------------------------------------------------------
+
+    def is_subrule_of(self, other: "Rule") -> bool:
+        """True when ``self`` is a sub-rule of ``other`` (paper Section 2.1).
+
+        ``self`` has no more instantiated columns than ``other`` and
+        they agree on every column where both are instantiated; every
+        tuple covered by ``other`` is then covered by ``self``.
+        """
+        if len(self._values) != len(other._values):
+            raise RuleError("rules must have the same arity to compare")
+        for mine, theirs in zip(self._values, other._values):
+            if isinstance(mine, Wildcard):
+                continue
+            if isinstance(theirs, Wildcard) or mine != theirs:
+                return False
+        return True
+
+    def is_superrule_of(self, other: "Rule") -> bool:
+        """True when ``other`` is a sub-rule of ``self``."""
+        return other.is_subrule_of(self)
+
+    def is_strict_subrule_of(self, other: "Rule") -> bool:
+        """Sub-rule relation excluding equality."""
+        return self != other and self.is_subrule_of(other)
+
+    def merge(self, other: "Rule") -> "Rule | None":
+        """Least upper bound of two rules, or ``None`` if they conflict.
+
+        The merge instantiates every column instantiated in either
+        rule; it exists only when the rules agree on shared columns.
+        """
+        if len(self._values) != len(other._values):
+            raise RuleError("rules must have the same arity to merge")
+        merged: list[Any] = []
+        for mine, theirs in zip(self._values, other._values):
+            if isinstance(mine, Wildcard):
+                merged.append(theirs)
+            elif isinstance(theirs, Wildcard) or mine == theirs:
+                merged.append(mine)
+            else:
+                return None
+        return Rule(merged)
+
+    # -- row-level coverage ---------------------------------------------------------
+
+    def covers_row(self, row: Sequence[Any]) -> bool:
+        """True when this rule covers the decoded ``row`` (``t ∈ r``)."""
+        if len(row) != len(self._values):
+            raise RuleError("row arity does not match rule arity")
+        for value, cell in zip(self._values, row):
+            if isinstance(value, Wildcard):
+                continue
+            if isinstance(value, Interval):
+                if isinstance(cell, Interval):
+                    if cell != value:
+                        return False
+                elif cell not in value:
+                    return False
+            elif value != cell:
+                return False
+        return True
+
+
+def cover_mask(rule: Rule, table: Table) -> np.ndarray:
+    """Vectorised coverage: boolean mask of table rows covered by ``rule``.
+
+    Categorical columns match by dictionary code (a value absent from
+    the dictionary covers nothing); numeric columns match an
+    :class:`Interval` value by range and a scalar by equality.
+    """
+    if len(rule) != table.n_columns:
+        raise RuleError(
+            f"rule arity {len(rule)} does not match table with {table.n_columns} columns"
+        )
+    mask = np.ones(table.n_rows, dtype=bool)
+    for idx, value in rule.items():
+        col = table.column(idx)
+        if isinstance(col, CategoricalColumn):
+            code = col.try_encode(value)
+            if code is None:
+                return np.zeros(table.n_rows, dtype=bool)
+            mask &= col.mask_eq(code)
+        else:
+            assert isinstance(col, NumericColumn)
+            if isinstance(value, Interval):
+                mask &= col.mask_range(value.lo, value.hi, closed_right=value.closed_right)
+            else:
+                mask &= col.mask_eq(float(value))
+    return mask

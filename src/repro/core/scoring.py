@@ -1,0 +1,235 @@
+"""Scoring machinery: ``Count``, ``MCount``, ``Score`` (paper Sections 2.1, 3.1).
+
+Definitions implemented here, for a table ``T``, weight function ``W``
+and rule-list ``R``:
+
+* ``Count(r)`` — number of tuples covered by ``r`` (or the ``Sum`` of a
+  measure column over covered tuples, Section 6.3);
+* ``MCount(r, R)`` — tuples covered by ``r`` and by no earlier rule in
+  the list;
+* ``Score(R) = Σ_r W(r) · MCount(r, R)``, equivalently
+  ``Σ_t W(TOP(t, R))`` where ``TOP`` is the first covering rule;
+* Lemma 1: sorting a list in descending weight never decreases its
+  score, so :func:`score_set` defines the score of a *set* of rules via
+  its weight-sorted ordering (Definition 2).
+
+Everything is vectorised: coverage is a boolean mask per rule and the
+``TOP`` weights live in a per-tuple ``float64`` array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import RuleError
+from repro.core.rule import Rule, cover_mask
+from repro.core.weights import WeightFunction
+from repro.table.table import Table
+
+__all__ = [
+    "tuple_measures",
+    "count",
+    "aggregate",
+    "sort_rules_by_weight",
+    "marginal_counts",
+    "score_list",
+    "score_set",
+    "top_weights",
+    "ScoredRule",
+    "RuleList",
+]
+
+
+def tuple_measures(table: Table, measure: str | None = None) -> np.ndarray:
+    """Per-tuple contribution array: all-ones for Count, or a measure column.
+
+    With ``measure`` set to a numeric column name, scores and marginal
+    values aggregate the ``Sum`` of that column instead of tuple counts
+    (Section 6.3).  Negative measure values are rejected: they would
+    break the submodularity of ``Score`` and with it the greedy
+    guarantee.
+    """
+    if measure is None:
+        return np.ones(table.n_rows, dtype=np.float64)
+    data = table.numeric(measure).data
+    if np.any(data < 0):
+        raise RuleError(f"measure column {measure!r} contains negative values")
+    return data.astype(np.float64)
+
+
+def count(rule: Rule, table: Table) -> int:
+    """``Count(r)``: the number of table tuples covered by ``rule``."""
+    return int(cover_mask(rule, table).sum())
+
+
+def aggregate(rule: Rule, table: Table, measures: np.ndarray | None = None) -> float:
+    """Aggregate of ``measures`` over the tuples covered by ``rule``.
+
+    Equals :func:`count` when ``measures`` is None/all-ones and
+    ``Sum(r)`` when it is a measure column.
+    """
+    mask = cover_mask(rule, table)
+    if measures is None:
+        return float(mask.sum())
+    return float(measures[mask].sum())
+
+
+def sort_rules_by_weight(
+    rules: Iterable[Rule], wf: WeightFunction
+) -> list[Rule]:
+    """Sort rules in descending weight (Lemma 1 ordering), stably.
+
+    Ties keep their input order, making the result deterministic for
+    deterministic inputs.
+    """
+    ordered = list(rules)
+    return sorted(ordered, key=lambda r: -wf.weight(r))
+
+
+def marginal_counts(
+    rules: Sequence[Rule],
+    table: Table,
+    measures: np.ndarray | None = None,
+) -> list[float]:
+    """``MCount(r, R)`` for every rule of the list, in list order.
+
+    The i-th entry aggregates the tuples covered by ``rules[i]`` but by
+    none of ``rules[:i]``.
+    """
+    if measures is None:
+        measures = np.ones(table.n_rows, dtype=np.float64)
+    covered = np.zeros(table.n_rows, dtype=bool)
+    result: list[float] = []
+    for rule in rules:
+        mask = cover_mask(rule, table)
+        fresh = mask & ~covered
+        result.append(float(measures[fresh].sum()))
+        covered |= mask
+    return result
+
+
+def score_list(
+    rules: Sequence[Rule],
+    table: Table,
+    wf: WeightFunction,
+    measures: np.ndarray | None = None,
+) -> float:
+    """``Score`` of a rule *list* in its given order (Problem 2).
+
+    ``Σ_r W(r) · MCount(r, R)`` — no re-sorting is applied, so this can
+    evaluate deliberately mis-ordered lists (used to test Lemma 1).
+    """
+    mcounts = marginal_counts(rules, table, measures)
+    return float(sum(wf.weight(r) * m for r, m in zip(rules, mcounts)))
+
+
+def score_set(
+    rules: Iterable[Rule],
+    table: Table,
+    wf: WeightFunction,
+    measures: np.ndarray | None = None,
+) -> float:
+    """``Score`` of a rule *set* (Definition 2): weight-sorted list score."""
+    return score_list(sort_rules_by_weight(rules, wf), table, wf, measures)
+
+
+def top_weights(
+    rules: Iterable[Rule],
+    table: Table,
+    wf: WeightFunction,
+) -> np.ndarray:
+    """Per-tuple ``W(TOP(t, S))``: the weight of the best covering rule.
+
+    Tuples covered by no rule get 0.  This array is the state the
+    greedy algorithm carries between iterations: the marginal value of
+    a candidate ``r`` is ``Σ_{t ∈ r} max(0, W(r) − top[t])`` (times the
+    tuple measure).
+    """
+    top = np.zeros(table.n_rows, dtype=np.float64)
+    for rule in rules:
+        w = wf.weight(rule)
+        mask = cover_mask(rule, table)
+        np.maximum(top, np.where(mask, w, 0.0), out=top)
+    return top
+
+
+@dataclass(frozen=True)
+class ScoredRule:
+    """A rule annotated with the statistics the paper displays.
+
+    ``count`` is the rule's (estimated) aggregate over the whole table
+    — the paper displays Count rather than MCount because it is easier
+    to interpret; ``mcount`` is the marginal aggregate within the list;
+    ``weight`` is ``W(r)``.
+    """
+
+    rule: Rule
+    weight: float
+    count: float
+    mcount: float
+
+    @property
+    def size(self) -> int:
+        return self.rule.size
+
+    def scaled(self, factor: float) -> "ScoredRule":
+        """Scale count statistics by a sampling factor ``N_s``."""
+        return ScoredRule(self.rule, self.weight, self.count * factor, self.mcount * factor)
+
+
+class RuleList:
+    """An immutable weight-sorted rule list with its score breakdown.
+
+    Maintains the Lemma 1 invariant (descending weight) and precomputes
+    ``Count``/``MCount`` per rule plus the total score, which is what a
+    drill-down returns for display.
+    """
+
+    __slots__ = ("_entries", "_score")
+
+    def __init__(
+        self,
+        rules: Iterable[Rule],
+        table: Table,
+        wf: WeightFunction,
+        measures: np.ndarray | None = None,
+    ):
+        ordered = sort_rules_by_weight(rules, wf)
+        mcounts = marginal_counts(ordered, table, measures)
+        entries: list[ScoredRule] = []
+        total = 0.0
+        for rule, mcount in zip(ordered, mcounts):
+            w = wf.weight(rule)
+            c = aggregate(rule, table, measures)
+            entries.append(ScoredRule(rule, w, c, mcount))
+            total += w * mcount
+        self._entries = tuple(entries)
+        self._score = total
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __getitem__(self, i: int) -> ScoredRule:
+        return self._entries[i]
+
+    @property
+    def rules(self) -> tuple[Rule, ...]:
+        return tuple(e.rule for e in self._entries)
+
+    @property
+    def entries(self) -> tuple[ScoredRule, ...]:
+        return self._entries
+
+    @property
+    def score(self) -> float:
+        """``Score(R)`` under the Definition 2 (weight-sorted) ordering."""
+        return self._score
+
+    def __repr__(self) -> str:
+        return f"RuleList(k={len(self)}, score={self._score:g})"

@@ -1,0 +1,30 @@
+"""Dataset substrates: synthetic stand-ins for the paper's datasets."""
+
+from repro.datasets.census import (
+    CENSUS_COLUMNS,
+    CENSUS_DOMAIN_SIZES,
+    DEFAULT_CENSUS_ROWS,
+    generate_census,
+)
+from repro.datasets.marketing import (
+    MARKETING_COLUMNS,
+    MARKETING_DOMAINS,
+    generate_marketing,
+)
+from repro.datasets.retail import RETAIL_SCHEMA, generate_retail
+from repro.datasets.zipf import ClusterSpec, generate_zipf_table, zipf_probabilities
+
+__all__ = [
+    "CENSUS_COLUMNS",
+    "CENSUS_DOMAIN_SIZES",
+    "ClusterSpec",
+    "DEFAULT_CENSUS_ROWS",
+    "MARKETING_COLUMNS",
+    "MARKETING_DOMAINS",
+    "RETAIL_SCHEMA",
+    "generate_census",
+    "generate_marketing",
+    "generate_retail",
+    "generate_zipf_table",
+    "zipf_probabilities",
+]

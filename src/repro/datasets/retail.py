@@ -1,0 +1,104 @@
+"""The department-store example table (paper Example 1, Tables 1–3).
+
+Engineered so the paper's interaction transcript reproduces exactly:
+
+* 6000 rows with columns Store, Product, Region and a numeric Sales
+  measure;
+* smart drill-down on the trivial rule (k=3, Size weighting) yields
+  (Target, bicycles, ?) ≈ 200, (?, comforters, MA-3) = 600 and
+  (Walmart, ?, ?) = 1000 — Table 2;
+* drilling into the Walmart rule yields (Walmart, cookies, ?) = 200,
+  (Walmart, ?, CA-1) = 150 and (Walmart, ?, WA-5) = 130 — Table 3.
+
+The remaining rows are deliberately diffuse background noise: spread
+thinly across ten other stores, eight products and seventeen regions so
+no unintended rule outranks the engineered ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.table.schema import ColumnKind, ColumnSchema, Schema
+from repro.table.table import Table
+
+__all__ = ["RETAIL_SCHEMA", "generate_retail"]
+
+RETAIL_SCHEMA = Schema(
+    [
+        ColumnSchema("Store", ColumnKind.CATEGORICAL),
+        ColumnSchema("Product", ColumnKind.CATEGORICAL),
+        ColumnSchema("Region", ColumnKind.CATEGORICAL),
+        ColumnSchema("Sales", ColumnKind.NUMERIC),
+    ]
+)
+
+# Fourteen diffuse background stores (Target and Walmart excluded so the
+# engineered rules dominate: 4200/14 = 300 rows per store < the 2·200
+# marginal of the Target-bicycles rule).
+_BACKGROUND_STORES = [
+    "Costco", "Sears", "Kmart", "Macys", "BestBuy", "HomeDepot", "Safeway",
+    "Kroger", "CVS", "Walgreens", "Lowes", "Staples", "PetSmart", "GameStop",
+]
+# Fourteen diffuse background products (bicycles and comforters excluded,
+# same argument).
+_BACKGROUND_PRODUCTS = [
+    "tv", "laptops", "toys", "shoes", "games", "cookies", "phones", "books",
+    "garden", "tools", "jewelry", "sports", "grocery", "furniture",
+]
+_REGIONS = [f"{state}-{i}" for state in ("CA", "WA", "MA", "NY", "TX") for i in range(1, 5)]
+_OTHER_REGIONS = [r for r in _REGIONS if r not in ("CA-1", "WA-5", "MA-3")]
+# WA-5 is not in the _REGIONS grid (WA has 1-4); add the two special ones.
+_WALMART_REGIONS = ["CA-1", "WA-5"]
+
+
+def generate_retail(seed: int = 7, scale: int = 1) -> Table:
+    """Generate the 6000-row (times ``scale``) department-store table.
+
+    ``scale`` multiplies every engineered block, preserving all count
+    *ratios* (so the drill-down transcript is scale-invariant); sales
+    figures are drawn from a seeded gamma distribution.
+    """
+    if scale < 1:
+        raise DatasetError("scale must be >= 1")
+    rng = np.random.default_rng(seed)
+    rows: list[tuple[str, str, str]] = []
+
+    def pick(options: list[str]) -> str:
+        return options[int(rng.integers(len(options)))]
+
+    # Block 1 — Target sells a lot of bicycles (200 rows, Table 2 row 1).
+    for _ in range(200 * scale):
+        rows.append(("Target", "bicycles", pick(_OTHER_REGIONS)))
+
+    # Block 2 — comforters sell well in MA-3 across stores (600 rows).
+    for _ in range(600 * scale):
+        rows.append((pick(_BACKGROUND_STORES), "comforters", "MA-3"))
+
+    # Block 3 — Walmart does well overall (1000 rows, Table 2 row 3),
+    # decomposing into the Table 3 sub-rules.
+    for _ in range(200 * scale):  # Walmart sells a lot of cookies
+        rows.append(("Walmart", "cookies", pick(_OTHER_REGIONS)))
+    non_cookie = [p for p in _BACKGROUND_PRODUCTS if p != "cookies"]
+    for _ in range(150 * scale):  # Walmart does well in CA-1
+        rows.append(("Walmart", pick(non_cookie), "CA-1"))
+    for _ in range(130 * scale):  # Walmart does well in WA-5
+        rows.append(("Walmart", pick(non_cookie), "WA-5"))
+    for _ in range(520 * scale):  # the rest of Walmart, diffuse
+        rows.append(("Walmart", pick(non_cookie), pick(_OTHER_REGIONS)))
+
+    # Background — 4200 diffuse rows over ten stores, eight products,
+    # seventeen regions: every (store, product) pair lands ≈ 52 rows,
+    # far below the engineered blocks.
+    for _ in range(4200 * scale):
+        rows.append((pick(_BACKGROUND_STORES), pick(_BACKGROUND_PRODUCTS), pick(_OTHER_REGIONS)))
+
+    sales = rng.gamma(shape=2.0, scale=500.0, size=len(rows)).round(2)
+    data = {
+        "Store": [r[0] for r in rows],
+        "Product": [r[1] for r in rows],
+        "Region": [r[2] for r in rows],
+        "Sales": sales,
+    }
+    return Table.from_dict(data, RETAIL_SCHEMA)

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch one base class at an API
+boundary.  Sub-classes are fine-grained enough that tests can assert on
+the *kind* of misuse detected.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SchemaError(ReproError):
+    """A table schema is malformed or used inconsistently.
+
+    Raised for duplicate column names, unknown columns, kind mismatches
+    (e.g. asking for categorical codes of a numeric column), and ragged
+    row input.
+    """
+
+
+class EncodingError(ReproError):
+    """A value could not be encoded against a column dictionary."""
+
+
+class RuleError(ReproError):
+    """A rule is malformed for the schema it is evaluated against."""
+
+
+class WeightFunctionError(ReproError):
+    """A user-supplied weighting function violates its contract.
+
+    The paper requires weighting functions to be non-negative and
+    monotonic (sub-rules weigh no more than super-rules); validation
+    helpers raise this error when a counter-example is found.
+    """
+
+
+class SamplingError(ReproError):
+    """Sampling machinery was misused (bad rates, empty reservoirs, ...)."""
+
+
+class AllocationError(ReproError):
+    """Sample-memory allocation inputs are infeasible or malformed."""
+
+
+class StorageError(ReproError):
+    """Simulated disk layer misuse (closed scans, bad page sizes, ...)."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator or loader received invalid parameters."""
+
+
+class SessionError(ReproError):
+    """An interactive-session operation is invalid in the current state.
+
+    Examples: expanding a rule that is not displayed, collapsing a rule
+    that has no children, drilling down on a non-star cell.
+    """

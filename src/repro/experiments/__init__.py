@@ -1,0 +1,79 @@
+"""Experiment runners shared by the benchmark harness (one per table/figure)."""
+
+from repro.experiments.ablations import (
+    AllocationAblation,
+    MarginalAblation,
+    PruningAblation,
+    SumAblation,
+    random_allocation_groups,
+    run_allocation_ablation,
+    run_marginal_objective_ablation,
+    run_pruning_ablation,
+    run_sum_aggregate_ablation,
+)
+from repro.experiments.common import Series, SeriesPoint, report_table, timed, trend_slope
+from repro.experiments.performance import (
+    MinSSPoint,
+    run_approximation_study,
+    run_minss_sweep,
+    run_mw_sweep,
+    run_scaling_sweep,
+    weighting_by_name,
+)
+from repro.experiments.qualitative import (
+    MARKETING_7_COLUMNS,
+    QualitativeResult,
+    marketing_first_seven,
+    run_fig1_empty_rule,
+    run_fig2_star_education,
+    run_fig3_rule_expansion,
+    run_fig4_traditional_age,
+    run_fig6_bits,
+    run_fig7_size_minus_one,
+    run_tables_1_2_3,
+)
+
+__all__ = [
+    "AllocationAblation",
+    "MARKETING_7_COLUMNS",
+    "MarginalAblation",
+    "MinSSPoint",
+    "PruningAblation",
+    "QualitativeResult",
+    "Series",
+    "SeriesPoint",
+    "SumAblation",
+    "marketing_first_seven",
+    "random_allocation_groups",
+    "report_table",
+    "run_allocation_ablation",
+    "run_approximation_study",
+    "run_fig1_empty_rule",
+    "run_fig2_star_education",
+    "run_fig3_rule_expansion",
+    "run_fig4_traditional_age",
+    "run_fig6_bits",
+    "run_fig7_size_minus_one",
+    "run_marginal_objective_ablation",
+    "run_minss_sweep",
+    "run_mw_sweep",
+    "run_pruning_ablation",
+    "run_scaling_sweep",
+    "run_sum_aggregate_ablation",
+    "run_tables_1_2_3",
+    "timed",
+    "trend_slope",
+    "weighting_by_name",
+]
+
+from repro.experiments.interaction import (
+    TraceResult,
+    run_memory_budget_sweep,
+    simulate_exploration,
+)
+
+__all__ += [
+    "TraceResult",
+    "run_memory_budget_sweep",
+    "simulate_exploration",
+]

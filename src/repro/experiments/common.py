@@ -1,0 +1,84 @@
+"""Shared experiment plumbing: timing, series, and report tables.
+
+Every benchmark regenerates one paper table/figure through a runner in
+this package; the runners return plain dataclasses so benchmarks can
+both assert on shapes (who wins, how curves trend) and print
+paper-vs-measured summaries for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["timed", "SeriesPoint", "Series", "report_table", "trend_slope"]
+
+
+def timed(fn: Callable[[], object]) -> tuple[float, object]:
+    """Run ``fn`` once, returning ``(wall seconds, result)``."""
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One (x, y) measurement with optional auxiliary metrics."""
+
+    x: float
+    y: float
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Series:
+    """A named measurement series (one line of a paper figure)."""
+
+    name: str
+    points: tuple[SeriesPoint, ...]
+
+    @property
+    def xs(self) -> list[float]:
+        return [p.x for p in self.points]
+
+    @property
+    def ys(self) -> list[float]:
+        return [p.y for p in self.points]
+
+    def extra(self, key: str) -> list[float]:
+        return [p.extra[key] for p in self.points]
+
+
+def trend_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope — the benchmarks' "does it grow/shrink" check."""
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.size < 2:
+        return 0.0
+    x_c = x - x.mean()
+    denom = float((x_c**2).sum())
+    if denom == 0:
+        return 0.0
+    return float((x_c * (y - y.mean())).sum() / denom)
+
+
+def report_table(
+    title: str,
+    header: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """Format an aligned text table with a title (experiment transcripts)."""
+    body = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, ""]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

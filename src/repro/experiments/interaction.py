@@ -1,0 +1,133 @@
+"""Simulated interaction traces over sampled sessions (§4 motivation).
+
+The paper's sampling design exists to keep *interaction sequences*
+responsive: every drill-down the user clicks should be served from
+memory (Find/Combine) rather than paying a disk pass (Create).  This
+module simulates a user who repeatedly drills into displayed leaves —
+choosing proportionally to displayed counts, the assumption behind the
+allocation objective — and measures, per memory budget ``M``, how many
+clicks were served from memory and how much simulated I/O the session
+cost.  It powers the memory-budget benchmark (an extension experiment:
+the paper fixes M = 50000 and does not sweep it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SessionError
+from repro.session.session import DrillDownSession
+from repro.storage.disk import DiskTable
+from repro.table.table import Table
+
+__all__ = ["TraceResult", "simulate_exploration", "run_memory_budget_sweep"]
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    """Outcome of one simulated exploration."""
+
+    clicks: int
+    served_from_memory: int
+    created: int
+    simulated_io_seconds: float
+    wall_seconds: float
+
+    @property
+    def memory_hit_rate(self) -> float:
+        """Fraction of drill-downs served without a disk pass."""
+        return self.served_from_memory / self.clicks if self.clicks else 0.0
+
+
+def simulate_exploration(
+    table: Table,
+    *,
+    clicks: int = 6,
+    k: int = 3,
+    mw: float = 5.0,
+    memory_capacity: int = 50_000,
+    min_sample_size: int = 5_000,
+    prefetch: bool = True,
+    seed: int = 0,
+) -> TraceResult:
+    """Drive a sampled session through a random drill-down trace.
+
+    The first click expands the root; every later click picks a
+    displayed, unexpanded, expandable leaf with probability
+    proportional to its displayed count (the §4.1 leaf-probability
+    model) and drills into it.
+    """
+    rng = np.random.default_rng(seed)
+    disk = DiskTable(table)
+    session = DrillDownSession(
+        disk,
+        k=k,
+        mw=mw,
+        memory_capacity=memory_capacity,
+        min_sample_size=min_sample_size,
+        rng=rng,
+        prefetch=prefetch,
+    )
+    session.expand(session.root.rule)
+    for _ in range(clicks - 1):
+        leaves = [
+            n
+            for n in session.leaves()
+            if not n.rule.is_trivial and n.count >= min_sample_size
+        ]
+        if not leaves:
+            break
+        weights = np.array([n.count for n in leaves], dtype=np.float64)
+        probs = weights / weights.sum()
+        target = leaves[int(rng.choice(len(leaves), p=probs))]
+        try:
+            session.expand(target.rule)
+        except SessionError:  # pragma: no cover - defensive
+            break
+    served = sum(1 for r in session.history if r.sample_method in ("find", "combine"))
+    created = sum(1 for r in session.history if r.sample_method == "create")
+    return TraceResult(
+        clicks=len(session.history),
+        served_from_memory=served,
+        created=created,
+        simulated_io_seconds=disk.io_stats.simulated_seconds,
+        wall_seconds=sum(r.wall_seconds for r in session.history),
+    )
+
+
+def run_memory_budget_sweep(
+    table: Table,
+    budgets: list[int],
+    *,
+    clicks: int = 6,
+    min_sample_size: int = 5_000,
+    seeds: tuple[int, ...] = (0, 1, 2),
+) -> dict[int, TraceResult]:
+    """Average exploration traces per memory budget ``M``.
+
+    Expected shape: larger budgets raise the memory-hit rate and lower
+    simulated I/O, saturating once every plausible next drill-down
+    fits (the reason the paper can fix M at 10× minSS).
+    """
+    out: dict[int, TraceResult] = {}
+    for budget in budgets:
+        results = [
+            simulate_exploration(
+                table,
+                clicks=clicks,
+                memory_capacity=budget,
+                min_sample_size=min_sample_size,
+                seed=seed,
+            )
+            for seed in seeds
+        ]
+        out[budget] = TraceResult(
+            clicks=int(np.mean([r.clicks for r in results])),
+            served_from_memory=int(np.mean([r.served_from_memory for r in results])),
+            created=int(np.mean([r.created for r in results])),
+            simulated_io_seconds=float(np.mean([r.simulated_io_seconds for r in results])),
+            wall_seconds=float(np.mean([r.wall_seconds for r in results])),
+        )
+    return out

@@ -1,0 +1,141 @@
+"""Qualitative study runners — paper Section 5.1 (Tables 1–3, Figures 1–4, 6, 7).
+
+Each function reproduces one interaction transcript on the synthetic
+datasets and returns both the structured result and a rendered text
+table, so benchmarks can assert on the rules and EXPERIMENTS.md can
+quote the output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.brs import brs
+from repro.core.drilldown import rule_drilldown, star_drilldown, traditional_drilldown
+from repro.core.rule import Rule
+from repro.core.scoring import RuleList
+from repro.core.weights import BitsWeight, SizeMinusOneWeight, SizeWeight, WeightFunction
+from repro.datasets.marketing import generate_marketing
+from repro.datasets.retail import generate_retail
+from repro.table.table import Table
+from repro.ui.render import render_rule_list
+
+__all__ = [
+    "MARKETING_7_COLUMNS",
+    "QualitativeResult",
+    "marketing_first_seven",
+    "run_tables_1_2_3",
+    "run_fig1_empty_rule",
+    "run_fig2_star_education",
+    "run_fig3_rule_expansion",
+    "run_fig4_traditional_age",
+    "run_fig6_bits",
+    "run_fig7_size_minus_one",
+]
+
+#: Section 5's display restriction: "we restrict the tables to the
+#: first 7 columns in order to make the result tables fit in the page".
+MARKETING_7_COLUMNS = (
+    "Income",
+    "Sex",
+    "MaritalStatus",
+    "Age",
+    "Education",
+    "Occupation",
+    "TimeInBayArea",
+)
+
+
+@dataclass(frozen=True)
+class QualitativeResult:
+    """A reproduced transcript: the rule list plus its rendering."""
+
+    name: str
+    rule_list: RuleList
+    text: str
+
+    @property
+    def rules(self) -> tuple[Rule, ...]:
+        return self.rule_list.rules
+
+
+def marketing_first_seven(seed: int = 42) -> Table:
+    """The Marketing table restricted to the paper's 7 display columns."""
+    return generate_marketing(seed).select(list(MARKETING_7_COLUMNS))
+
+
+def _result(name: str, table: Table, rule_list: RuleList) -> QualitativeResult:
+    return QualitativeResult(
+        name=name,
+        rule_list=rule_list,
+        text=render_rule_list(table.column_names, rule_list),
+    )
+
+
+def run_tables_1_2_3(seed: int = 7) -> tuple[QualitativeResult, QualitativeResult]:
+    """Tables 2 and 3: the retail transcript (Table 1 is the trivial row).
+
+    Returns (first smart drill-down, Walmart expansion).
+    """
+    retail = generate_retail(seed)
+    wf = SizeWeight()
+    first = brs(retail, wf, 3, 3.0).rule_list
+    walmart = Rule.from_named(retail, Store="Walmart")
+    second = rule_drilldown(retail, walmart, wf, 3, 3.0).rule_list
+    return (
+        _result("Table 2 (first smart drill-down)", retail, first),
+        _result("Table 3 (expansion of the Walmart rule)", retail, second),
+    )
+
+
+def run_fig1_empty_rule(seed: int = 42, *, k: int = 4, mw: float = 5.0) -> QualitativeResult:
+    """Figure 1: summary after expanding the empty rule (Size weighting)."""
+    table = marketing_first_seven(seed)
+    result = brs(table, SizeWeight(), k, mw)
+    return _result("Figure 1 (empty-rule expansion, Size weighting)", table, result.rule_list)
+
+
+def run_fig2_star_education(seed: int = 42, *, k: int = 4, mw: float = 5.0) -> QualitativeResult:
+    """Figure 2: star drill-down on Education of the Female rule.
+
+    The paper expands the ``?`` in the Education column of the
+    ``(?, Female, …)`` rule, listing the most frequent education levels
+    among females.
+    """
+    table = marketing_first_seven(seed)
+    female = Rule.from_named(table, Sex="Female")
+    result = star_drilldown(table, female, "Education", SizeWeight(), k, mw)
+    return _result("Figure 2 (star expansion on Education)", table, result.rule_list)
+
+
+def run_fig3_rule_expansion(seed: int = 42, *, k: int = 4, mw: float = 5.0) -> QualitativeResult:
+    """Figure 3: expanding a Figure 1 rule (the Female/>10-years rule)."""
+    table = marketing_first_seven(seed)
+    rule = Rule.from_named(table, Sex="Female", TimeInBayArea=">10 years")
+    result = rule_drilldown(table, rule, SizeWeight(), k, mw)
+    return _result("Figure 3 (rule expansion)", table, result.rule_list)
+
+
+def run_fig4_traditional_age(seed: int = 42) -> QualitativeResult:
+    """Figure 4: a regular drill-down on the Age column.
+
+    Every distinct Age value becomes a rule — the weighting-function
+    special case of Section 5.1.
+    """
+    table = marketing_first_seven(seed)
+    result = traditional_drilldown(table, Rule.trivial(table.n_columns), "Age")
+    return _result("Figure 4 (regular drill-down on Age)", table, result.rule_list)
+
+
+def run_fig6_bits(seed: int = 42, *, k: int = 4, mw: float = 20.0) -> QualitativeResult:
+    """Figure 6: Bits weighting avoids low-information binary columns."""
+    table = marketing_first_seven(seed)
+    result = brs(table, BitsWeight.for_table(table), k, mw)
+    return _result("Figure 6 (Bits weighting)", table, result.rule_list)
+
+
+def run_fig7_size_minus_one(seed: int = 42, *, k: int = 4, mw: float = 5.0) -> QualitativeResult:
+    """Figure 7: max(0, Size−1) weighting forces ≥ 2 instantiated columns."""
+    table = marketing_first_seven(seed)
+    result = brs(table, SizeMinusOneWeight(), k, mw)
+    return _result("Figure 7 (Size-minus-one weighting)", table, result.rule_list)

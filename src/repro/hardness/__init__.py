@@ -1,0 +1,31 @@
+"""Constructive NP-hardness reductions (paper Lemmas 2 and 4)."""
+
+from repro.hardness.knapsack import (
+    KnapsackInstance,
+    allocation_to_knapsack_choice,
+    knapsack_to_allocation,
+    solve_knapsack_dp,
+    solve_knapsack_exhaustive,
+)
+from repro.hardness.max_coverage import (
+    MCPInstance,
+    exact_mcp,
+    greedy_mcp,
+    mcp_to_table,
+    mcp_weight_function,
+    rules_to_subset_choice,
+)
+
+__all__ = [
+    "KnapsackInstance",
+    "MCPInstance",
+    "allocation_to_knapsack_choice",
+    "exact_mcp",
+    "greedy_mcp",
+    "knapsack_to_allocation",
+    "mcp_to_table",
+    "mcp_weight_function",
+    "rules_to_subset_choice",
+    "solve_knapsack_dp",
+    "solve_knapsack_exhaustive",
+]

@@ -1,0 +1,154 @@
+"""0/1 Knapsack and the Lemma 4 reduction (paper Section 4.1).
+
+The paper proves the sample-allocation Problem 5 NP-hard by encoding a
+knapsack instance as a rule tree: one special internal node ``r_i`` per
+object, each with two leaf children — ``r_{i,1}`` (selectivity 1,
+"must-satisfy" probability weight) and ``r_{i,2}`` (selectivity
+``1 − w_i``, probability proportional to the object's value ``v_i``).
+Satisfying ``r_{i,2}`` on top of ``r_{i,1}`` costs exactly ``w_i·minSS``
+extra memory and earns value proportional to ``v_i`` — i.e., *is*
+picking object ``i``.
+
+This module implements knapsack itself (exact DP and greedy) plus the
+constructive reduction to :class:`~repro.sampling.allocation.GroupSpec`
+instances, which tests solve with the allocation DP and compare against
+the knapsack DP.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.sampling.allocation import GroupSpec, LeafSpec
+
+__all__ = [
+    "KnapsackInstance",
+    "solve_knapsack_dp",
+    "solve_knapsack_exhaustive",
+    "knapsack_to_allocation",
+    "allocation_to_knapsack_choice",
+]
+
+
+@dataclass(frozen=True)
+class KnapsackInstance:
+    """0/1 knapsack: integer weights, non-negative values, capacity."""
+
+    weights: tuple[int, ...]
+    values: tuple[float, ...]
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if len(self.weights) != len(self.values):
+            raise ReproError("weights and values must align")
+        if any(w <= 0 for w in self.weights):
+            raise ReproError("weights must be positive integers")
+        if any(v < 0 for v in self.values):
+            raise ReproError("values must be non-negative")
+        if self.capacity < 0:
+            raise ReproError("capacity must be non-negative")
+
+    @property
+    def n(self) -> int:
+        return len(self.weights)
+
+    def total_value(self, chosen: Sequence[int]) -> float:
+        return float(sum(self.values[i] for i in chosen))
+
+    def total_weight(self, chosen: Sequence[int]) -> int:
+        return int(sum(self.weights[i] for i in chosen))
+
+
+def solve_knapsack_dp(instance: KnapsackInstance) -> tuple[list[int], float]:
+    """Exact knapsack via the standard ``O(n·W)`` value table."""
+    cap = instance.capacity
+    table = [[0.0] * (cap + 1) for _ in range(instance.n + 1)]
+    for i in range(1, instance.n + 1):
+        w, v = instance.weights[i - 1], instance.values[i - 1]
+        prev = table[i - 1]
+        cur = table[i]
+        for j in range(cap + 1):
+            cur[j] = prev[j]
+            if w <= j and prev[j - w] + v > cur[j]:
+                cur[j] = prev[j - w] + v
+    # Reconstruct.
+    chosen: list[int] = []
+    j = cap
+    for i in range(instance.n, 0, -1):
+        if table[i][j] != table[i - 1][j]:
+            chosen.append(i - 1)
+            j -= instance.weights[i - 1]
+    chosen.reverse()
+    return chosen, table[instance.n][cap]
+
+
+def solve_knapsack_exhaustive(instance: KnapsackInstance) -> tuple[tuple[int, ...], float]:
+    """Brute-force optimum (tiny instances; validates the DP)."""
+    best: tuple[tuple[int, ...], float] = ((), 0.0)
+    for size in range(1, instance.n + 1):
+        for combo in itertools.combinations(range(instance.n), size):
+            if instance.total_weight(combo) <= instance.capacity:
+                value = instance.total_value(combo)
+                if value > best[1]:
+                    best = (combo, value)
+    return best
+
+
+def knapsack_to_allocation(
+    instance: KnapsackInstance,
+    *,
+    min_sample_size: int = 1000,
+) -> tuple[list[GroupSpec], int]:
+    """Lemma 4's reduction: knapsack → allocation groups + memory budget.
+
+    Object weights are normalised into ``(0, 1)`` (the proof's scaling
+    step); the returned memory budget is ``(m + W̃)·minSS`` where ``W̃``
+    is the scaled capacity, so that after the ``m`` mandatory leaves
+    are satisfied, exactly ``W̃·minSS`` spare tuples remain for the
+    optional ones.
+    """
+    m = instance.n
+    scale = 2.0 * max(max(instance.weights), instance.capacity, 1)
+    scaled_weights = [w / scale for w in instance.weights]
+    scaled_capacity = instance.capacity / scale
+    total_value = sum(instance.values) or 1.0
+
+    groups: list[GroupSpec] = []
+    # Probabilities: each mandatory leaf gets mass 2/(2m+1) — any
+    # solution must satisfy all of them first — and optional leaf i
+    # splits the remaining 1/(2m+1) in proportion to v_i.
+    mandatory_p = 2.0 / (2 * m + 1)
+    optional_total = 1.0 / (2 * m + 1)
+    for i in range(m):
+        mandatory = LeafSpec(name=f"r{i}_must", probability=mandatory_p / 1.0, selectivity=1.0)
+        optional = LeafSpec(
+            name=f"r{i}_opt",
+            probability=optional_total * instance.values[i] / total_value,
+            selectivity=max(1.0 - scaled_weights[i], 1e-9),
+        )
+        groups.append(GroupSpec(parent=f"r{i}", leaves=(mandatory, optional)))
+    memory = int(round((m + scaled_capacity) * min_sample_size))
+    return groups, memory
+
+
+def allocation_to_knapsack_choice(
+    groups: Sequence[GroupSpec],
+    sizes: dict[str, int],
+    min_sample_size: int,
+) -> list[int]:
+    """Read the chosen objects back off an allocation's sizes.
+
+    Object ``i`` is picked iff its optional leaf ``r{i}_opt`` reaches
+    ``ess ≥ minSS`` under the parent-plus-own-sample model.
+    """
+    chosen: list[int] = []
+    for i, group in enumerate(groups):
+        parent_size = sizes.get(group.parent, 0)
+        optional = group.leaves[1]
+        ess = sizes.get(optional.name, 0) + parent_size * optional.selectivity
+        if ess >= min_sample_size - 1e-6:
+            chosen.append(i)
+    return chosen

@@ -1,0 +1,142 @@
+"""Maximum Coverage and the Lemma 2 reduction (paper Section 3.2).
+
+The paper proves Problem 3 NP-hard by encoding a Maximum Coverage
+instance as a table: one row per universe element, one binary column
+per subset, and the weight function "1 if the rule instantiates at
+least one ``1``, else 0".  Selecting ``k`` rules under ``Score`` then
+equals selecting ``k`` subsets maximising their union.
+
+This module implements the MCP itself (exact and greedy solvers) plus
+the reduction, so tests can verify the equivalence constructively —
+the strongest executable form of the hardness argument.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.rule import Rule, Wildcard
+from repro.core.weights import CallableWeight, WeightFunction
+from repro.errors import ReproError
+from repro.table.schema import Schema
+from repro.table.table import Table
+
+__all__ = [
+    "MCPInstance",
+    "greedy_mcp",
+    "exact_mcp",
+    "mcp_to_table",
+    "mcp_weight_function",
+    "rules_to_subset_choice",
+]
+
+
+@dataclass(frozen=True)
+class MCPInstance:
+    """A Maximum Coverage instance: universe ``{0..n-1}`` and subsets."""
+
+    universe_size: int
+    subsets: tuple[frozenset[int], ...]
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.universe_size < 0 or self.k < 0:
+            raise ReproError("universe_size and k must be non-negative")
+        for s in self.subsets:
+            if any(not 0 <= e < self.universe_size for e in s):
+                raise ReproError("subset element outside the universe")
+
+    @classmethod
+    def of(cls, universe_size: int, subsets: Iterable[Iterable[int]], k: int) -> "MCPInstance":
+        return cls(universe_size, tuple(frozenset(s) for s in subsets), k)
+
+    def coverage(self, chosen: Sequence[int]) -> int:
+        """``|∪_{i∈chosen} S_i|``."""
+        covered: set[int] = set()
+        for i in chosen:
+            covered |= self.subsets[i]
+        return len(covered)
+
+
+def greedy_mcp(instance: MCPInstance) -> tuple[list[int], int]:
+    """The classic greedy ``(1 − 1/e)``-approximation for MCP.
+
+    Ties break toward the lowest subset index (deterministic, matching
+    the reduced rule search's tie-break toward smaller rules).
+    """
+    covered: set[int] = set()
+    chosen: list[int] = []
+    for _ in range(min(instance.k, len(instance.subsets))):
+        best_i = -1
+        best_gain = 0
+        for i, subset in enumerate(instance.subsets):
+            if i in chosen:
+                continue
+            gain = len(subset - covered)
+            if gain > best_gain:
+                best_gain = gain
+                best_i = i
+        if best_i < 0:
+            break
+        chosen.append(best_i)
+        covered |= instance.subsets[best_i]
+    return chosen, len(covered)
+
+
+def exact_mcp(instance: MCPInstance) -> tuple[tuple[int, ...], int]:
+    """Exhaustive optimal MCP (exponential; tiny instances only)."""
+    best: tuple[tuple[int, ...], int] = ((), 0)
+    indexes = range(len(instance.subsets))
+    for size in range(1, min(instance.k, len(instance.subsets)) + 1):
+        for combo in itertools.combinations(indexes, size):
+            cov = instance.coverage(combo)
+            if cov > best[1]:
+                best = (combo, cov)
+    return best
+
+
+def mcp_to_table(instance: MCPInstance) -> Table:
+    """Lemma 2's table: row per element, binary column per subset.
+
+    Cell ``(i, j)`` is 1 iff element ``i`` belongs to subset ``S_j``.
+    """
+    names = [f"S{j}" for j in range(len(instance.subsets))]
+    rows = [
+        tuple(1 if i in s else 0 for s in instance.subsets)
+        for i in range(instance.universe_size)
+    ]
+    return Table.from_rows(Schema.categorical(names), rows)
+
+
+def mcp_weight_function() -> WeightFunction:
+    """Lemma 2's weight: 1 if the rule has at least one ``1``, else 0.
+
+    Deliberately *value-dependent* (it inspects rule values, not just
+    the instantiated column set), so the reduction also exercises the
+    marginal search's slow path.
+    """
+
+    def weight(rule: Rule) -> float:
+        return 1.0 if any(
+            not isinstance(v, Wildcard) and v == 1 for v in rule.values
+        ) else 0.0
+
+    return CallableWeight(weight, name="mcp-indicator")
+
+
+def rules_to_subset_choice(rules: Iterable[Rule]) -> list[int]:
+    """Map selected rules back to MCP subset indexes.
+
+    A rule contributes the subsets of the columns where it has a 1; in
+    an optimal/greedy solution each rule has exactly one 1 (a rule with
+    several is dominated by its single-1 sub-rule), but the mapping
+    tolerates more.
+    """
+    chosen: list[int] = []
+    for rule in rules:
+        for idx, value in rule.items():
+            if value == 1 and idx not in chosen:
+                chosen.append(idx)
+    return chosen

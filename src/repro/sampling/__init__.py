@@ -1,0 +1,66 @@
+"""Dynamic sampling subsystem (paper Section 4)."""
+
+from repro.sampling.allocation import (
+    AllocationResult,
+    GroupSpec,
+    LeafSpec,
+    LocalOption,
+    allocate_dp,
+    allocate_exhaustive,
+    allocate_uniform,
+    enumerate_local_options,
+)
+from repro.sampling.convex import (
+    ConvexProblem,
+    ConvexResult,
+    hinge_objective,
+    problem_from_groups,
+    project_capped_simplex,
+    solve_lp,
+    solve_subgradient,
+    step_objective,
+)
+from repro.sampling.estimate import (
+    CountEstimate,
+    coverage_fraction_bound,
+    estimate_count,
+    percent_error,
+    required_sample_size,
+)
+from repro.sampling.handler import AccessEvent, SampleHandler
+from repro.sampling.reservoir import (
+    MultiReservoir,
+    ReservoirSampler,
+    bernoulli_sample_indexes,
+)
+from repro.sampling.sample import Sample
+
+__all__ = [
+    "AccessEvent",
+    "AllocationResult",
+    "ConvexProblem",
+    "ConvexResult",
+    "CountEstimate",
+    "GroupSpec",
+    "LeafSpec",
+    "LocalOption",
+    "MultiReservoir",
+    "ReservoirSampler",
+    "Sample",
+    "SampleHandler",
+    "allocate_dp",
+    "allocate_exhaustive",
+    "allocate_uniform",
+    "bernoulli_sample_indexes",
+    "coverage_fraction_bound",
+    "enumerate_local_options",
+    "estimate_count",
+    "hinge_objective",
+    "percent_error",
+    "problem_from_groups",
+    "project_capped_simplex",
+    "required_sample_size",
+    "solve_lp",
+    "solve_subgradient",
+    "step_objective",
+]

@@ -1,0 +1,286 @@
+"""Sample-memory allocation — paper Problem 5 and its DP scheme (§4.1).
+
+Given the displayed rule tree ``U``, a probability ``p_ℓ`` that each
+leaf ``ℓ`` is drilled next, selectivities ``S(r, ℓ)`` (the fraction of
+``r``-covered tuples also covered by ``ℓ``) and a memory budget ``M``,
+choose per-rule sample sizes ``n_r`` maximising the probability that
+the next drill-down is served from memory, i.e. that
+``ess(ℓ) = n_ℓ + S(parent, ℓ)·n_parent ≥ minSS``.
+
+The problem is NP-hard (knapsack reduction, Lemma 4).  Following the
+paper we assume each leaf draws only from its own sample and its
+parent's, which decomposes ``U`` into independent *groups* (an internal
+node plus its leaf children).  Per group there are at most ``3^d``
+locally-optimal assignments — each child is
+
+1. satisfied through the parent sample alone (``n_ℓ = 0``),
+2. unsatisfied (``n_ℓ = 0``), or
+3. topped up exactly to ``minSS`` (``n_ℓ = minSS − n₀·S``),
+
+and for a fixed assignment the parent size ``n₀`` optimises a
+piecewise-linear cost whose minimum sits on a breakpoint.  A knapsack
+DP then combines one option per group under the budget.
+
+:func:`allocate_exhaustive` brute-forces tiny instances (used to
+validate the DP) and :func:`allocate_uniform` is the no-model baseline
+benchmarked in the allocation ablation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import AllocationError
+
+__all__ = [
+    "LeafSpec",
+    "GroupSpec",
+    "LocalOption",
+    "AllocationResult",
+    "enumerate_local_options",
+    "allocate_dp",
+    "allocate_uniform",
+    "allocate_exhaustive",
+]
+
+
+@dataclass(frozen=True)
+class LeafSpec:
+    """A leaf of the displayed rule tree, relative to its parent group.
+
+    ``selectivity`` is ``S(parent, leaf) ∈ (0, 1]``: one parent-sample
+    tuple contributes this expected fraction of a tuple to the leaf's
+    effective sample.
+    """
+
+    name: str
+    probability: float
+    selectivity: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise AllocationError(f"leaf {self.name!r}: probability must be in [0, 1]")
+        if not 0.0 < self.selectivity <= 1.0:
+            raise AllocationError(f"leaf {self.name!r}: selectivity must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """An internal node of ``U`` together with its leaf children."""
+
+    parent: str
+    leaves: tuple[LeafSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.leaves:
+            raise AllocationError(f"group {self.parent!r} has no leaves")
+        names = [leaf.name for leaf in self.leaves]
+        if len(set(names)) != len(names):
+            raise AllocationError(f"group {self.parent!r} has duplicate leaf names")
+
+
+@dataclass(frozen=True)
+class LocalOption:
+    """One locally-optimal assignment for a group.
+
+    ``sizes`` maps the parent and each topped-up leaf to its sample
+    size; ``value`` is the satisfied probability mass; ``cost`` the
+    total tuples consumed.
+    """
+
+    cost: int
+    value: float
+    sizes: dict[str, int]
+    satisfied: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """An allocation: per-rule sample sizes plus its quality."""
+
+    sizes: dict[str, int]
+    value: float
+    cost: int
+    satisfied: tuple[str, ...]
+
+
+def _assignment_option(
+    group: GroupSpec, cat1: tuple[int, ...], cat3: tuple[int, ...], min_sample_size: int
+) -> LocalOption:
+    """Cost-minimal realisation of one (cat1, cat3) category assignment."""
+    leaves = group.leaves
+    # Parent must satisfy every category-1 child on its own.
+    n0_floor = 0
+    for i in cat1:
+        n0_floor = max(n0_floor, math.ceil(min_sample_size / leaves[i].selectivity))
+    # Cost(n0) = n0 + Σ_{cat3} max(0, minSS − n0·S_i) is piecewise linear;
+    # its minimum over n0 ≥ n0_floor is attained at a breakpoint.
+    breakpoints = {n0_floor}
+    for i in cat3:
+        bp = math.ceil(min_sample_size / leaves[i].selectivity)
+        if bp >= n0_floor:
+            breakpoints.add(bp)
+    best_cost: int | None = None
+    best_sizes: dict[str, int] = {}
+    for n0 in sorted(breakpoints):
+        sizes: dict[str, int] = {}
+        cost = n0
+        for i in cat3:
+            top_up = max(0, min_sample_size - math.floor(n0 * leaves[i].selectivity))
+            if top_up:
+                sizes[leaves[i].name] = top_up
+                cost += top_up
+        if n0:
+            sizes[group.parent] = n0
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_sizes = sizes
+    satisfied = tuple(leaves[i].name for i in sorted(set(cat1) | set(cat3)))
+    value = sum(leaves[i].probability for i in set(cat1) | set(cat3))
+    assert best_cost is not None
+    return LocalOption(cost=best_cost, value=value, sizes=best_sizes, satisfied=satisfied)
+
+
+def enumerate_local_options(group: GroupSpec, min_sample_size: int) -> list[LocalOption]:
+    """All non-dominated locally-optimal options for one group.
+
+    Enumerates the ``3^d`` category assignments of the paper, realises
+    each at minimal cost, then discards options dominated in
+    (cost, value).  Always contains the zero option (nothing sampled).
+    """
+    if min_sample_size < 1:
+        raise AllocationError("min_sample_size must be >= 1")
+    d = len(group.leaves)
+    options: list[LocalOption] = []
+    for assignment in itertools.product((1, 2, 3), repeat=d):
+        cat1 = tuple(i for i, a in enumerate(assignment) if a == 1)
+        cat3 = tuple(i for i, a in enumerate(assignment) if a == 3)
+        options.append(_assignment_option(group, cat1, cat3, min_sample_size))
+    # Dominance filter: sort by (cost, -value); keep strictly improving value.
+    options.sort(key=lambda o: (o.cost, -o.value))
+    kept: list[LocalOption] = []
+    best_value = -1.0
+    for option in options:
+        if option.value > best_value:
+            kept.append(option)
+            best_value = option.value
+    return kept
+
+
+def allocate_dp(
+    groups: Sequence[GroupSpec],
+    memory: int,
+    min_sample_size: int,
+) -> AllocationResult:
+    """Knapsack DP over per-group locally-optimal options (§4.1).
+
+    ``A[i][j]`` = best satisfied probability using the first ``i``
+    groups and ``j`` tuples of memory; transitions take one option per
+    group.  Runs in ``O(Σ_g |options_g| · M)`` with vectorised shifts.
+    """
+    if memory < 0:
+        raise AllocationError("memory must be >= 0")
+    per_group = [enumerate_local_options(g, min_sample_size) for g in groups]
+    n_budget = memory + 1
+    value = np.zeros(n_budget, dtype=np.float64)
+    choice: list[np.ndarray] = []
+    for options in per_group:
+        best = np.full(n_budget, -np.inf)
+        pick = np.zeros(n_budget, dtype=np.int32)
+        for oi, option in enumerate(options):
+            if option.cost >= n_budget:
+                continue
+            cand = np.full(n_budget, -np.inf)
+            if option.cost == 0:
+                cand = value + option.value
+            else:
+                cand[option.cost :] = value[: n_budget - option.cost] + option.value
+            better = cand > best
+            best[better] = cand[better]
+            pick[better] = oi
+        value = best
+        choice.append(pick)
+    j = int(np.argmax(value))
+    total_value = float(value[j])
+    sizes: dict[str, int] = {}
+    satisfied: list[str] = []
+    for gi in range(len(groups) - 1, -1, -1):
+        oi = int(choice[gi][j])
+        option = per_group[gi][oi]
+        for name, size in option.sizes.items():
+            sizes[name] = sizes.get(name, 0) + size
+        satisfied.extend(option.satisfied)
+        j -= option.cost
+    cost = sum(sizes.values())
+    return AllocationResult(
+        sizes=sizes, value=total_value, cost=cost, satisfied=tuple(sorted(satisfied))
+    )
+
+
+def _evaluate(
+    groups: Sequence[GroupSpec], sizes: dict[str, int], min_sample_size: int
+) -> tuple[float, tuple[str, ...]]:
+    """Objective of Problem 5 for concrete sizes (under the tree model)."""
+    value = 0.0
+    satisfied: list[str] = []
+    for group in groups:
+        n0 = sizes.get(group.parent, 0)
+        for leaf in group.leaves:
+            ess = sizes.get(leaf.name, 0) + n0 * leaf.selectivity
+            if ess >= min_sample_size:
+                value += leaf.probability
+                satisfied.append(leaf.name)
+    return value, tuple(sorted(satisfied))
+
+
+def allocate_uniform(
+    groups: Sequence[GroupSpec],
+    memory: int,
+    min_sample_size: int,
+) -> AllocationResult:
+    """Baseline: split the budget evenly across all leaves (no model)."""
+    leaves = [leaf.name for group in groups for leaf in group.leaves]
+    if not leaves:
+        return AllocationResult({}, 0.0, 0, ())
+    share = memory // len(leaves)
+    sizes = {name: share for name in leaves if share > 0}
+    value, satisfied = _evaluate(groups, sizes, min_sample_size)
+    return AllocationResult(sizes, value, sum(sizes.values()), satisfied)
+
+
+def allocate_exhaustive(
+    groups: Sequence[GroupSpec],
+    memory: int,
+    min_sample_size: int,
+    *,
+    grid: int = 8,
+) -> AllocationResult:
+    """Brute-force allocator over a discretised grid (tiny instances only).
+
+    Each node size ranges over ``grid + 1`` evenly spaced values in
+    ``[0, memory]``; all combinations within budget are evaluated.
+    Exponential — used to validate :func:`allocate_dp` in tests.
+    """
+    names: list[str] = []
+    for group in groups:
+        names.append(group.parent)
+        names.extend(leaf.name for leaf in group.leaves)
+    names = sorted(set(names))
+    if len(names) > 6:
+        raise AllocationError("exhaustive allocator is limited to 6 nodes")
+    levels = sorted({int(round(memory * i / grid)) for i in range(grid + 1)})
+    best = AllocationResult({}, -1.0, 0, ())
+    for combo in itertools.product(levels, repeat=len(names)):
+        if sum(combo) > memory:
+            continue
+        sizes = {n: c for n, c in zip(names, combo) if c > 0}
+        value, satisfied = _evaluate(groups, sizes, min_sample_size)
+        cost = sum(sizes.values())
+        if value > best.value or (value == best.value and cost < best.cost):
+            best = AllocationResult(sizes, value, cost, satisfied)
+    return best

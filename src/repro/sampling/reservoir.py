@@ -1,0 +1,130 @@
+"""Reservoir sampling (paper Section 4.3; Vitter [35], McLeod [26]).
+
+The Create path draws a uniform random sample of fixed size in a single
+streaming pass.  :class:`ReservoirSampler` implements Algorithm R with
+block-vectorised offers (each offered element draws its replacement
+slot independently, which is exactly the per-element algorithm);
+:class:`MultiReservoir` maintains one reservoir per displayed rule so a
+single pass can refresh every sample — the paper's "in a Create phase,
+the SampleHandler … creates a sample of size n_r for each displayed r".
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.rule import Rule, cover_mask
+from repro.errors import SamplingError
+from repro.table.table import Table
+
+__all__ = ["ReservoirSampler", "MultiReservoir", "bernoulli_sample_indexes"]
+
+
+class ReservoirSampler:
+    """Uniform fixed-capacity sample of a stream of row ids (Algorithm R).
+
+    After offering ``n`` items, the reservoir holds ``min(n, capacity)``
+    of them, each with probability ``capacity / n`` — the classic
+    invariant, preserved by per-element replacement draws.
+    """
+
+    def __init__(self, capacity: int, rng: np.random.Generator):
+        if capacity < 0:
+            raise SamplingError("capacity must be >= 0")
+        self._capacity = capacity
+        self._rng = rng
+        self._items = np.empty(capacity, dtype=np.int64)
+        self._seen = 0
+        self._filled = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def seen(self) -> int:
+        """Total number of items offered so far."""
+        return self._seen
+
+    @property
+    def size(self) -> int:
+        """Current number of items held."""
+        return self._filled
+
+    def offer(self, items: np.ndarray | Sequence[int]) -> None:
+        """Offer a block of stream items (row ids) to the reservoir."""
+        items = np.asarray(items, dtype=np.int64)
+        if items.ndim != 1:
+            raise SamplingError("offered items must be a 1-d array")
+        if self._capacity == 0:
+            self._seen += items.size
+            return
+        pos = 0
+        n = items.size
+        # Fill phase: copy until the reservoir is full.
+        if self._filled < self._capacity:
+            take = min(self._capacity - self._filled, n)
+            self._items[self._filled : self._filled + take] = items[:take]
+            self._filled += take
+            self._seen += take
+            pos = take
+        if pos >= n:
+            return
+        # Replacement phase, vectorised: item at global position t
+        # (0-based count self._seen) draws j ~ U[0, t]; j < capacity
+        # replaces slot j.  Identical to per-element Algorithm R.
+        rest = items[pos:]
+        t = self._seen + np.arange(rest.size, dtype=np.int64)
+        draws = (self._rng.random(rest.size) * (t + 1)).astype(np.int64)
+        hits = np.nonzero(draws < self._capacity)[0]
+        for i in hits:  # sequential: later replacements overwrite earlier
+            self._items[draws[i]] = rest[i]
+        self._seen += rest.size
+
+    def result(self) -> np.ndarray:
+        """Return the sampled row ids (ascending, for locality)."""
+        return np.sort(self._items[: self._filled].copy())
+
+
+class MultiReservoir:
+    """One reservoir per rule, fed from table chunks in a single pass.
+
+    Each chunk is matched against every rule's filter; covered row ids
+    are offered to that rule's reservoir.  Also tallies the exact cover
+    count per rule, which becomes the sample's scale factor and lets
+    the Create pass refresh displayed counts exactly (Section 4.3's
+    "while we are making the pass … find the exact counts").
+    """
+
+    def __init__(self, capacities: Mapping[Rule, int], rng: np.random.Generator):
+        self._reservoirs: dict[Rule, ReservoirSampler] = {
+            rule: ReservoirSampler(cap, rng) for rule, cap in capacities.items()
+        }
+        self._counts: dict[Rule, int] = {rule: 0 for rule in capacities}
+
+    def offer_chunk(self, row_ids: np.ndarray, chunk: Table) -> None:
+        """Process one scanned chunk: route covered rows to reservoirs."""
+        for rule, reservoir in self._reservoirs.items():
+            mask = cover_mask(rule, chunk)
+            covered = row_ids[mask]
+            self._counts[rule] += int(covered.size)
+            reservoir.offer(covered)
+
+    def counts(self) -> dict[Rule, int]:
+        """Exact cover count per rule over everything offered."""
+        return dict(self._counts)
+
+    def results(self) -> dict[Rule, np.ndarray]:
+        """Sampled row ids per rule."""
+        return {rule: r.result() for rule, r in self._reservoirs.items()}
+
+
+def bernoulli_sample_indexes(
+    n_rows: int, rate: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Row indexes of an independent Bernoulli(``rate``) sample."""
+    if not 0.0 <= rate <= 1.0:
+        raise SamplingError(f"rate must be in [0, 1], got {rate}")
+    return np.nonzero(rng.random(n_rows) < rate)[0]

@@ -1,0 +1,107 @@
+"""The sample triple ``(f_s, N_s, T_s)`` of paper Section 4.3.
+
+A :class:`Sample` is a uniform random subset ``T_s`` of the tuples
+covered by a *filter rule* ``f_s``, together with the scale factor
+``N_s`` that converts sample counts into full-table estimates.  Row ids
+(global positions in the source table) travel with the sample so that
+combined samples can be de-duplicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.rule import Rule, cover_mask
+from repro.errors import SamplingError
+from repro.table.table import Table
+
+__all__ = ["Sample"]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """A uniform sample of the tuples covered by ``filter_rule``.
+
+    Attributes
+    ----------
+    filter_rule:
+        ``f_s`` — the rule every sampled tuple is covered by.
+    scale:
+        ``N_s`` — multiply a count over :attr:`table` by this to
+        estimate the count over the full table.  For a size-``m``
+        sample of a population of ``N`` covered tuples this is
+        ``N / m``.
+    table:
+        ``T_s`` — the sampled tuples (column dictionaries shared with
+        the source table).
+    row_ids:
+        Global source-table row positions of the sampled tuples
+        (ascending); used for de-duplication in Combine.
+    population:
+        Exact number of tuples the source table has covered by
+        ``filter_rule`` (``N``), when known.
+    """
+
+    filter_rule: Rule
+    scale: float
+    table: Table
+    row_ids: np.ndarray
+    population: int
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise SamplingError("scale factor must be positive")
+        if self.row_ids.shape != (self.table.n_rows,):
+            raise SamplingError("row_ids must align with the sample table")
+
+    @property
+    def size(self) -> int:
+        """``|T_s|`` — number of sampled tuples."""
+        return self.table.n_rows
+
+    @property
+    def rate(self) -> float:
+        """Effective inclusion probability ``1 / N_s``."""
+        return 1.0 / self.scale
+
+    def estimate_count(self, rule: Rule) -> float:
+        """Estimated full-table ``Count(rule)``: sample count × ``N_s``."""
+        return float(cover_mask(rule, self.table).sum()) * self.scale
+
+    def restrict(self, rule: Rule) -> tuple[np.ndarray, Table]:
+        """Rows of this sample covered by ``rule`` (ids and tuples).
+
+        Only meaningful when ``filter_rule`` is a sub-rule of ``rule``
+        (then the result is a uniform sample of ``rule``'s cover).
+        """
+        mask = cover_mask(rule, self.table)
+        idx = np.nonzero(mask)[0]
+        return self.row_ids[idx], self.table.take(idx)
+
+    def memory_tuples(self) -> int:
+        """Memory accounting unit: number of stored tuples.
+
+        The paper's budget ``M`` is expressed in tuples ("Memory
+        capacity M for the SampleHandler is set to 50000 tuples").
+        """
+        return self.size
+
+    def memory_cells(self) -> int:
+        """Compressed accounting: stored cells (§4.2 optimisations).
+
+        Columns fixed by the filter rule need not be stored — every
+        sampled tuple shares the filter's value there — so a sample
+        costs ``size × (columns − filter.size)`` cells.  The trivial
+        filter stores everything; a fully instantiated filter stores
+        nothing per tuple.
+        """
+        free_columns = len(self.filter_rule) - self.filter_rule.size
+        return self.size * free_columns
+
+    def __repr__(self) -> str:
+        return (
+            f"Sample(filter={self.filter_rule}, size={self.size}, "
+            f"scale={self.scale:.3g}, population={self.population})"
+        )

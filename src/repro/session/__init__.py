@@ -1,0 +1,5 @@
+"""Interactive session state (the prototype tool's rule tree ``U``)."""
+
+from repro.session.session import DrillDownSession, ExpansionRecord, SessionNode
+
+__all__ = ["DrillDownSession", "ExpansionRecord", "SessionNode"]

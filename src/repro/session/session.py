@@ -1,0 +1,331 @@
+"""Interactive drill-down sessions — the paper's prototype tool (§2.3, §4.3).
+
+A :class:`DrillDownSession` owns the displayed rule tree ``U``: it
+starts at the trivial rule with the table's total count (the paper's
+Table 1), expands rules into rule-lists on click, collapses them on a
+second click (the roll-up of Section 2.3), and — when the table lives
+on simulated disk — routes every expansion through the
+:class:`~repro.sampling.handler.SampleHandler`, scaling displayed
+counts by the sample's ``N_s`` and pre-fetching samples for the newly
+displayed leaves in the background.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.drilldown import rule_drilldown, star_drilldown, traditional_drilldown
+from repro.core.rule import Rule
+from repro.core.scoring import ScoredRule
+from repro.core.weights import SizeWeight, WeightFunction
+from repro.errors import SessionError
+from repro.sampling.handler import SampleHandler
+from repro.storage.disk import DiskTable
+from repro.table.table import Table
+
+__all__ = ["ExpansionRecord", "SessionNode", "DrillDownSession"]
+
+
+@dataclass
+class SessionNode:
+    """One displayed rule with its statistics and expansion state."""
+
+    rule: Rule
+    count: float
+    weight: float
+    depth: int
+    children: list["SessionNode"] = field(default_factory=list)
+    expanded_via: str | None = None  # "rule" | "star" | "traditional"
+
+    @property
+    def is_expanded(self) -> bool:
+        return bool(self.children)
+
+
+@dataclass(frozen=True)
+class ExpansionRecord:
+    """Telemetry for one expansion (drives the §5.2 experiments)."""
+
+    rule: Rule
+    kind: str
+    k: int
+    wall_seconds: float
+    simulated_io_seconds: float
+    sample_method: str  # "find" | "combine" | "create" | "direct"
+    sample_size: int
+    scale: float
+
+
+class DrillDownSession:
+    """A stateful smart drill-down exploration of one table.
+
+    Parameters
+    ----------
+    source:
+        An in-memory :class:`~repro.table.Table` (expansions run on the
+        full data) or a :class:`~repro.storage.DiskTable` (expansions
+        run on dynamically maintained samples, Section 4).
+    wf:
+        Weight function; defaults to Size weighting.
+    k:
+        Rules per expansion (the paper's default display is 3–4).
+    mw:
+        Max-weight parameter for the BRS search.
+    measure:
+        Optional numeric column for Sum aggregation.
+    memory_capacity, min_sample_size, allocator, rng:
+        SampleHandler settings (disk sources only).
+    prefetch:
+        Pre-fetch samples for new leaves after each expansion (§4.3).
+    """
+
+    def __init__(
+        self,
+        source: Table | DiskTable,
+        *,
+        wf: WeightFunction | None = None,
+        k: int = 3,
+        mw: float = 5.0,
+        measure: str | None = None,
+        memory_capacity: int = 50_000,
+        min_sample_size: int = 5_000,
+        allocator: str = "dp",
+        rng: np.random.Generator | None = None,
+        prefetch: bool = True,
+    ):
+        self.wf = wf or SizeWeight()
+        self.k = k
+        self.mw = mw
+        self.measure = measure
+        self.prefetch_enabled = prefetch
+        if isinstance(source, DiskTable):
+            self._disk: DiskTable | None = source
+            self._table: Table | None = None
+            self.handler: SampleHandler | None = SampleHandler(
+                source,
+                memory_capacity=memory_capacity,
+                min_sample_size=min_sample_size,
+                allocator=allocator,  # type: ignore[arg-type]
+                rng=rng,
+            )
+            n_columns = source.n_columns
+            total = float(source.n_rows)
+        else:
+            self._disk = None
+            self._table = source
+            self.handler = None
+            n_columns = source.n_columns
+            total = float(source.n_rows)
+        self._n_columns = n_columns
+        self.root = SessionNode(
+            rule=Rule.trivial(n_columns), count=total, weight=self.wf.weight(Rule.trivial(n_columns)), depth=0
+        )
+        self._nodes: dict[Rule, SessionNode] = {self.root.rule: self.root}
+        self.history: list[ExpansionRecord] = []
+
+    # -- lookup -----------------------------------------------------------------
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        if self._table is not None:
+            return self._table.column_names
+        assert self._disk is not None
+        return self._disk.schema.names
+
+    def node(self, rule: Rule) -> SessionNode:
+        """Return the displayed node for ``rule``."""
+        try:
+            return self._nodes[rule]
+        except KeyError:
+            raise SessionError(f"rule {rule} is not displayed") from None
+
+    def displayed(self) -> list[SessionNode]:
+        """Pre-order walk of the displayed tree (the rendered rows)."""
+        out: list[SessionNode] = []
+
+        def walk(node: SessionNode) -> None:
+            out.append(node)
+            for child in node.children:
+                walk(child)
+
+        walk(self.root)
+        return out
+
+    def leaves(self) -> list[SessionNode]:
+        """Displayed nodes with no children (drill-down candidates)."""
+        return [n for n in self.displayed() if not n.children]
+
+    # -- expansion machinery ------------------------------------------------------
+
+    def _acquire(self, rule: Rule) -> tuple[Table, float, str, int]:
+        """Table to mine for ``rule``: a sample (scaled) or the full data."""
+        if self.handler is None:
+            assert self._table is not None
+            return self._table, 1.0, "direct", self._table.n_rows
+        sample, method = self.handler.get_sample(rule)
+        return sample.table, sample.scale, method, sample.size
+
+    def _attach(
+        self,
+        parent: SessionNode,
+        entries: Sequence[ScoredRule],
+        scale: float,
+        kind: str,
+    ) -> list[SessionNode]:
+        if parent.children:
+            raise SessionError(f"rule {parent.rule} is already expanded; collapse it first")
+        children: list[SessionNode] = []
+        for entry in entries:
+            if entry.rule in self._nodes:
+                continue  # a rule is displayed at most once
+            child = SessionNode(
+                rule=entry.rule,
+                count=entry.count * scale,
+                weight=entry.weight,
+                depth=parent.depth + 1,
+            )
+            self._nodes[entry.rule] = child
+            children.append(child)
+        parent.children = children
+        parent.expanded_via = kind
+        return children
+
+    def _record(
+        self,
+        rule: Rule,
+        kind: str,
+        k: int,
+        wall: float,
+        method: str,
+        sample_size: int,
+        scale: float,
+        io_before: float,
+    ) -> None:
+        io_now = self._disk.io_stats.simulated_seconds if self._disk else 0.0
+        self.history.append(
+            ExpansionRecord(
+                rule=rule,
+                kind=kind,
+                k=k,
+                wall_seconds=wall,
+                simulated_io_seconds=io_now - io_before,
+                sample_method=method,
+                sample_size=sample_size,
+                scale=scale,
+            )
+        )
+
+    def _prefetch(self, parent: SessionNode) -> None:
+        if self.handler is None or not self.prefetch_enabled or not parent.children:
+            return
+        self.handler.prefetch(parent.rule, [c.rule for c in parent.children])
+
+    # -- the user-facing operations -------------------------------------------------
+
+    def expand(self, rule: Rule, *, k: int | None = None) -> list[SessionNode]:
+        """Smart drill-down on ``rule`` (click on a rule, §2.3)."""
+        node = self.node(rule)
+        k = k or self.k
+        io_before = self._disk.io_stats.simulated_seconds if self._disk else 0.0
+        start = time.perf_counter()
+        mined, scale, method, sample_size = self._acquire(rule)
+        result = rule_drilldown(mined, rule, self.wf, k, self.mw, measure=self.measure)
+        children = self._attach(node, result.rule_list.entries, scale, "rule")
+        wall = time.perf_counter() - start
+        self._record(rule, "rule", k, wall, method, sample_size, scale, io_before)
+        self._prefetch(node)
+        return children
+
+    def expand_star(
+        self, rule: Rule, column: int | str, *, k: int | None = None
+    ) -> list[SessionNode]:
+        """Smart drill-down on a ``?`` cell of ``rule`` (§2.3)."""
+        node = self.node(rule)
+        k = k or self.k
+        io_before = self._disk.io_stats.simulated_seconds if self._disk else 0.0
+        start = time.perf_counter()
+        mined, scale, method, sample_size = self._acquire(rule)
+        result = star_drilldown(mined, rule, column, self.wf, k, self.mw, measure=self.measure)
+        children = self._attach(node, result.rule_list.entries, scale, "star")
+        wall = time.perf_counter() - start
+        self._record(rule, "star", k, wall, method, sample_size, scale, io_before)
+        self._prefetch(node)
+        return children
+
+    def expand_traditional(
+        self, rule: Rule, column: int | str, *, k: int | None = None
+    ) -> list[SessionNode]:
+        """Classic OLAP drill-down on one column (Figure 4)."""
+        node = self.node(rule)
+        io_before = self._disk.io_stats.simulated_seconds if self._disk else 0.0
+        start = time.perf_counter()
+        mined, scale, method, sample_size = self._acquire(rule)
+        result = traditional_drilldown(mined, rule, column, measure=self.measure, k=k)
+        children = self._attach(node, result.rule_list.entries, scale, "traditional")
+        wall = time.perf_counter() - start
+        self._record(
+            rule, "traditional", k or len(children), wall, method, sample_size, scale, io_before
+        )
+        self._prefetch(node)
+        return children
+
+    def collapse(self, rule: Rule) -> None:
+        """Undo an expansion — the paper's roll-up equivalent (§2.3)."""
+        node = self.node(rule)
+        if not node.children:
+            raise SessionError(f"rule {rule} is not expanded")
+
+        def forget(n: SessionNode) -> None:
+            for child in n.children:
+                forget(child)
+                self._nodes.pop(child.rule, None)
+            n.children = []
+
+        forget(node)
+        node.expanded_via = None
+
+    def refresh_exact_counts(self) -> dict[Rule, float]:
+        """Replace displayed estimated counts with exact counts (§4.3).
+
+        For sampled sessions this pays one metered pass (the paper runs
+        it inside the background pre-fetch pass); for in-memory sessions
+        counts are recomputed directly.  Returns the per-rule deltas
+        applied, so callers can surface "count corrected" feedback.
+        """
+        nodes = [n for n in self.displayed() if not n.rule.is_trivial]
+        deltas: dict[Rule, float] = {}
+        if self.handler is not None:
+            exact = self.handler.exact_counts([n.rule for n in nodes])
+            for node in nodes:
+                new = float(exact[node.rule])
+                if new != node.count:
+                    deltas[node.rule] = new - node.count
+                    node.count = new
+        else:
+            assert self._table is not None
+            from repro.core.rule import cover_mask
+
+            measures = None
+            if self.measure is not None:
+                from repro.core.scoring import tuple_measures
+
+                measures = tuple_measures(self._table, self.measure)
+            for node in nodes:
+                mask = cover_mask(node.rule, self._table)
+                new = float(mask.sum()) if measures is None else float(measures[mask].sum())
+                if new != node.count:
+                    deltas[node.rule] = new - node.count
+                    node.count = new
+        return deltas
+
+    # -- rendering --------------------------------------------------------------------
+
+    def to_text(self, *, sort_display_by_count: bool = False) -> str:
+        """Render the displayed tree as the paper's dotted table."""
+        from repro.ui.render import render_session
+
+        return render_session(self, sort_display_by_count=sort_display_by_count)

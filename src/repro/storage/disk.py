@@ -1,0 +1,189 @@
+"""Simulated disk-resident tables (substrate for paper Section 4).
+
+The paper's sampling machinery exists because "making a pass through
+the entire table" on disk is the bottleneck; its runtime model is
+``a·|T| + b·minSS`` where ``a`` is the per-tuple disk-scan cost.  This
+module provides that substrate: a :class:`DiskTable` wraps an in-memory
+:class:`~repro.table.Table` but only exposes it through **streaming
+page scans**, each of which is metered (pages, tuples, simulated
+seconds).  The SampleHandler's Create path consumes these scans; its
+Find/Combine paths never touch them — exactly the cost asymmetry the
+paper's Figures 5 and 8(a) measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.table.schema import Schema
+from repro.table.table import Table
+
+__all__ = ["IOStats", "DiskTable", "ScanContext"]
+
+#: Default simulated cost of reading one page from disk, in seconds.
+#: Chosen so a full scan of the 2.5M-row Census table at 4096 rows/page
+#: costs ≈ 3 simulated seconds, matching the paper's reported "a few
+#: seconds" for scan-dominated drill-downs (Section 5.2.3).
+DEFAULT_PAGE_READ_SECONDS = 5e-3
+
+
+@dataclass
+class IOStats:
+    """Cumulative metered I/O of a :class:`DiskTable`."""
+
+    scans_started: int = 0
+    scans_completed: int = 0
+    pages_read: int = 0
+    tuples_read: int = 0
+    simulated_seconds: float = 0.0
+
+    def snapshot(self) -> "IOStats":
+        """Return a copy (for before/after deltas in experiments)."""
+        return IOStats(
+            self.scans_started,
+            self.scans_completed,
+            self.pages_read,
+            self.tuples_read,
+            self.simulated_seconds,
+        )
+
+    def delta(self, before: "IOStats") -> "IOStats":
+        """Return the I/O performed since ``before``."""
+        return IOStats(
+            self.scans_started - before.scans_started,
+            self.scans_completed - before.scans_completed,
+            self.pages_read - before.pages_read,
+            self.tuples_read - before.tuples_read,
+            self.simulated_seconds - before.simulated_seconds,
+        )
+
+
+class ScanContext:
+    """Handle for one streaming scan; iterate to receive page chunks.
+
+    Each yielded chunk is a :class:`Table` slice of up to ``page_rows``
+    rows together with the global row indexes it came from (row
+    identity is what lets samples be deduplicated when combined).
+    """
+
+    def __init__(self, disk: "DiskTable"):
+        self._disk = disk
+        self._next_row = 0
+        self._finished = False
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, Table]]:
+        disk = self._disk
+        n = disk.n_rows
+        while self._next_row < n:
+            start = self._next_row
+            stop = min(start + disk.page_rows, n)
+            indexes = np.arange(start, stop, dtype=np.int64)
+            chunk = disk._table.take(indexes)
+            disk.io_stats.pages_read += 1
+            disk.io_stats.tuples_read += stop - start
+            disk.io_stats.simulated_seconds += disk.page_read_seconds
+            self._next_row = stop
+            yield indexes, chunk
+        if not self._finished:
+            self._finished = True
+            disk.io_stats.scans_completed += 1
+
+
+class DiskTable:
+    """A table reachable only through metered streaming scans.
+
+    Parameters
+    ----------
+    table:
+        The backing data.
+    page_rows:
+        Tuples per simulated disk page.
+    page_read_seconds:
+        Simulated latency per page read; accumulated in
+        :attr:`io_stats` (wall-clock is never slept).
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        *,
+        page_rows: int = 4096,
+        page_read_seconds: float = DEFAULT_PAGE_READ_SECONDS,
+    ):
+        if page_rows < 1:
+            raise StorageError("page_rows must be >= 1")
+        if page_read_seconds < 0:
+            raise StorageError("page_read_seconds must be >= 0")
+        self._table = table
+        self.page_rows = page_rows
+        self.page_read_seconds = page_read_seconds
+        self.io_stats = IOStats()
+
+    # -- metadata access (free: catalog information, not data pages) -------
+
+    @property
+    def schema(self) -> Schema:
+        return self._table.schema
+
+    @property
+    def n_rows(self) -> int:
+        return self._table.n_rows
+
+    @property
+    def n_columns(self) -> int:
+        return self._table.n_columns
+
+    @property
+    def n_pages(self) -> int:
+        return -(-self._table.n_rows // self.page_rows)
+
+    # -- data access --------------------------------------------------------
+
+    def scan(self) -> ScanContext:
+        """Start a streaming scan over all pages (metered)."""
+        self.io_stats.scans_started += 1
+        return ScanContext(self)
+
+    def fetch_rows(self, indexes: np.ndarray) -> Table:
+        """Random-access fetch of specific rows, metered by touched pages.
+
+        Used by tests and by exact-count refresh; the SampleHandler's
+        hot paths never call it.
+        """
+        indexes = np.asarray(indexes, dtype=np.int64)
+        if indexes.size:
+            pages = np.unique(indexes // self.page_rows)
+            self.io_stats.pages_read += int(pages.size)
+            self.io_stats.tuples_read += int(indexes.size)
+            self.io_stats.simulated_seconds += self.page_read_seconds * pages.size
+        return self._table.take(indexes)
+
+    def fetch_buffered(self, indexes: np.ndarray) -> Table:
+        """Unmetered fetch of rows that a just-completed scan buffered.
+
+        A real single-pass reservoir keeps the (capacity-bounded) set of
+        currently sampled *tuples* in memory as it streams; since this
+        simulator's reservoirs track row ids, the handler re-extracts
+        those tuples here after the scan.  No additional I/O is charged
+        — the pass that produced the ids already read the pages.
+        """
+        return self._table.take(np.asarray(indexes, dtype=np.int64))
+
+    def materialize(self) -> Table:
+        """Read the whole table into memory (counts as one full scan)."""
+        self.io_stats.scans_started += 1
+        self.io_stats.scans_completed += 1
+        self.io_stats.pages_read += self.n_pages
+        self.io_stats.tuples_read += self.n_rows
+        self.io_stats.simulated_seconds += self.page_read_seconds * self.n_pages
+        return self._table
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskTable(rows={self.n_rows}, pages={self.n_pages}, "
+            f"page_rows={self.page_rows})"
+        )

@@ -1,0 +1,96 @@
+"""A small LRU page cache over a :class:`~repro.storage.disk.DiskTable`.
+
+Real systems keep recently scanned pages in a buffer pool; repeated
+scans (e.g. a Create pass shortly after the initial load) then hit
+memory.  The cache preserves the *logical* I/O accounting contract —
+hits are counted separately so experiments can report both logical and
+effective I/O.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.disk import DiskTable
+from repro.table.table import Table
+
+__all__ = ["CacheStats", "PageCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of a :class:`PageCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PageCache:
+    """LRU cache of decoded pages keyed by page index.
+
+    Parameters
+    ----------
+    disk:
+        The underlying metered disk table.
+    capacity_pages:
+        Maximum number of pages held.
+    """
+
+    def __init__(self, disk: DiskTable, capacity_pages: int):
+        if capacity_pages < 1:
+            raise StorageError("capacity_pages must be >= 1")
+        self._disk = disk
+        self._capacity = capacity_pages
+        self._pages: OrderedDict[int, tuple[np.ndarray, Table]] = OrderedDict()
+        self.stats = CacheStats()
+
+    @property
+    def disk(self) -> DiskTable:
+        return self._disk
+
+    @property
+    def capacity_pages(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def _load_page(self, page: int) -> tuple[np.ndarray, Table]:
+        start = page * self._disk.page_rows
+        stop = min(start + self._disk.page_rows, self._disk.n_rows)
+        indexes = np.arange(start, stop, dtype=np.int64)
+        chunk = self._disk.fetch_rows(indexes)
+        return indexes, chunk
+
+    def get_page(self, page: int) -> tuple[np.ndarray, Table]:
+        """Return ``(global row indexes, page chunk)``, caching LRU-style."""
+        if not 0 <= page < self._disk.n_pages:
+            raise StorageError(f"page {page} out of range")
+        cached = self._pages.get(page)
+        if cached is not None:
+            self._pages.move_to_end(page)
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        entry = self._load_page(page)
+        self._pages[page] = entry
+        if len(self._pages) > self._capacity:
+            self._pages.popitem(last=False)
+            self.stats.evictions += 1
+        return entry
+
+    def scan(self) -> Iterator[tuple[np.ndarray, Table]]:
+        """Full scan through the cache (hot pages skip simulated I/O)."""
+        for page in range(self._disk.n_pages):
+            yield self.get_page(page)

@@ -1,0 +1,34 @@
+"""Columnar table substrate (the paper's denormalised relation ``D``)."""
+
+from repro.table.bucketize import Interval, bucketize, bucketize_column
+from repro.table.column import CategoricalColumn, NumericColumn
+from repro.table.groupby import GroupedRow, group_by
+from repro.table.predicates import ColumnRef, Predicate, col
+from repro.table.csvio import read_csv, table_from_csv_text, table_to_csv_text, write_csv
+from repro.table.schema import ColumnKind, ColumnSchema, Schema
+from repro.table.stats import ColumnStats, TableStats, compute_stats
+from repro.table.table import Table
+
+__all__ = [
+    "CategoricalColumn",
+    "ColumnKind",
+    "ColumnSchema",
+    "ColumnRef",
+    "ColumnStats",
+    "GroupedRow",
+    "Interval",
+    "NumericColumn",
+    "Predicate",
+    "Schema",
+    "Table",
+    "TableStats",
+    "bucketize",
+    "bucketize_column",
+    "col",
+    "compute_stats",
+    "group_by",
+    "read_csv",
+    "table_from_csv_text",
+    "table_to_csv_text",
+    "write_csv",
+]

@@ -1,0 +1,146 @@
+"""Numeric bucketization (paper Section 6.2).
+
+Smart drill-down assumes categorical columns; numeric columns are
+bucketized beforehand ("age is divided into buckets 18-24, 25-34 and so
+on").  This module converts a :class:`NumericColumn` into a categorical
+column whose dictionary values are :class:`Interval` objects, using
+equi-width, equi-depth (quantile), or explicit edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DatasetError, SchemaError
+from repro.table.column import CategoricalColumn, NumericColumn
+from repro.table.schema import ColumnKind, ColumnSchema
+from repro.table.table import Table
+
+__all__ = ["Interval", "equal_width_edges", "equal_depth_edges", "bucketize_column", "bucketize"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open numeric interval ``[lo, hi)``.
+
+    The final bucket of a bucketization is closed on the right so the
+    column maximum is always covered.
+    """
+
+    lo: float
+    hi: float
+    closed_right: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.lo <= self.hi:
+            raise DatasetError(f"empty interval: [{self.lo}, {self.hi})")
+
+    def __contains__(self, value: object) -> bool:
+        if not isinstance(value, (int, float)):
+            return False
+        if self.closed_right:
+            return self.lo <= value <= self.hi
+        return self.lo <= value < self.hi
+
+    def __str__(self) -> str:
+        bracket = "]" if self.closed_right else ")"
+        return f"[{_fmt(self.lo)}, {_fmt(self.hi)}{bracket}"
+
+
+def _fmt(x: float) -> str:
+    return str(int(x)) if float(x).is_integer() else f"{x:g}"
+
+
+def equal_width_edges(data: np.ndarray, n_buckets: int) -> np.ndarray:
+    """Edges of ``n_buckets`` equal-width buckets spanning the data range."""
+    if n_buckets < 1:
+        raise DatasetError("n_buckets must be >= 1")
+    if data.size == 0:
+        raise DatasetError("cannot bucketize an empty column")
+    lo, hi = float(data.min()), float(data.max())
+    if lo == hi:
+        hi = lo + 1.0
+    return np.linspace(lo, hi, n_buckets + 1)
+
+
+def equal_depth_edges(data: np.ndarray, n_buckets: int) -> np.ndarray:
+    """Edges of ``n_buckets`` equi-depth (quantile) buckets.
+
+    Duplicate quantiles (heavy ties) are collapsed, so the result may
+    have fewer than ``n_buckets`` buckets.
+    """
+    if n_buckets < 1:
+        raise DatasetError("n_buckets must be >= 1")
+    if data.size == 0:
+        raise DatasetError("cannot bucketize an empty column")
+    qs = np.linspace(0.0, 1.0, n_buckets + 1)
+    edges = np.unique(np.quantile(data, qs))
+    if edges.size == 1:
+        edges = np.array([edges[0], edges[0] + 1.0])
+    return edges
+
+
+def bucketize_column(
+    column: NumericColumn,
+    *,
+    n_buckets: int = 10,
+    method: str = "width",
+    edges: Sequence[float] | None = None,
+) -> CategoricalColumn:
+    """Convert a numeric column to a categorical column of intervals.
+
+    Parameters
+    ----------
+    n_buckets:
+        Target bucket count (ignored when ``edges`` is given).
+    method:
+        ``"width"`` for equal-width, ``"depth"`` for equi-depth.
+    edges:
+        Explicit, strictly increasing bucket edges.
+    """
+    data = column.data
+    if edges is not None:
+        edge_arr = np.asarray(edges, dtype=np.float64)
+        if edge_arr.size < 2 or np.any(np.diff(edge_arr) <= 0):
+            raise DatasetError("edges must be strictly increasing with >= 2 entries")
+        if data.size and (data.min() < edge_arr[0] or data.max() > edge_arr[-1]):
+            raise DatasetError("explicit edges do not cover the data range")
+    elif method == "width":
+        edge_arr = equal_width_edges(data, n_buckets)
+    elif method == "depth":
+        edge_arr = equal_depth_edges(data, n_buckets)
+    else:
+        raise DatasetError(f"unknown bucketization method: {method!r}")
+
+    intervals = [
+        Interval(float(edge_arr[i]), float(edge_arr[i + 1]), closed_right=(i == edge_arr.size - 2))
+        for i in range(edge_arr.size - 1)
+    ]
+    # np.searchsorted with side='right' maps x == edge[i] (i>0) into bucket i,
+    # so shift by one and clamp the maximum into the final (closed) bucket.
+    codes = np.searchsorted(edge_arr, data, side="right") - 1
+    codes = np.clip(codes, 0, len(intervals) - 1)
+    return CategoricalColumn(codes.astype(np.int32), intervals)
+
+
+def bucketize(
+    table: Table,
+    name: str,
+    *,
+    n_buckets: int = 10,
+    method: str = "width",
+    edges: Sequence[float] | None = None,
+) -> Table:
+    """Return ``table`` with numeric column ``name`` bucketized in place.
+
+    The replacement column is categorical with :class:`Interval`
+    dictionary values and keeps the original column name.
+    """
+    column = table.column(name)
+    if not isinstance(column, NumericColumn):
+        raise SchemaError(f"column {name!r} is not numeric")
+    bucketed = bucketize_column(column, n_buckets=n_buckets, method=method, edges=edges)
+    return table.replace_column(name, ColumnSchema(name, ColumnKind.CATEGORICAL), bucketed)

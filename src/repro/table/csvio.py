@@ -1,0 +1,98 @@
+"""CSV import/export for :class:`~repro.table.Table`.
+
+The loaders perform light type inference (numeric columns become
+:class:`~repro.table.column.NumericColumn`) and can be forced with an
+explicit :class:`~repro.table.schema.Schema`.  They exist so the
+datasets in :mod:`repro.datasets` round-trip to disk and so users can
+point the library at their own exports.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Sequence, TextIO
+
+from repro.errors import DatasetError
+from repro.table.schema import ColumnKind, ColumnSchema, Schema
+from repro.table.table import Table
+
+__all__ = ["read_csv", "write_csv", "table_from_csv_text", "table_to_csv_text"]
+
+
+def _coerce(cell: str) -> Any:
+    """Best-effort conversion of a CSV cell to ``int``/``float``/``str``."""
+    try:
+        return int(cell)
+    except ValueError:
+        pass
+    try:
+        return float(cell)
+    except ValueError:
+        return cell
+
+
+def _infer_schema(names: Sequence[str], rows: list[list[Any]]) -> Schema:
+    entries = []
+    for j, name in enumerate(names):
+        numeric = bool(rows) and all(
+            isinstance(row[j], (int, float)) and not isinstance(row[j], bool) for row in rows
+        )
+        entries.append(ColumnSchema(name, ColumnKind.NUMERIC if numeric else ColumnKind.CATEGORICAL))
+    return Schema(entries)
+
+
+def _read(handle: TextIO, schema: Schema | None) -> Table:
+    reader = csv.reader(handle)
+    try:
+        names = next(reader)
+    except StopIteration:
+        raise DatasetError("CSV input has no header row") from None
+    rows = [[_coerce(c) for c in row] for row in reader if row]
+    for row in rows:
+        if len(row) != len(names):
+            raise DatasetError(
+                f"CSV row has {len(row)} fields, header has {len(names)}"
+            )
+    if schema is None:
+        schema = _infer_schema(names, rows)
+    elif schema.names != tuple(names):
+        raise DatasetError(
+            f"CSV header {tuple(names)} does not match schema {schema.names}"
+        )
+    # Categorical columns must hold their values as strings consistently:
+    # a column forced to categorical keeps the coerced values as-is.
+    return Table.from_rows(schema, rows)
+
+
+def read_csv(path: str | Path, schema: Schema | None = None) -> Table:
+    """Load a CSV file (with header) into a :class:`Table`.
+
+    With ``schema=None``, column kinds are inferred: a column whose
+    every cell parses as a number becomes numeric.
+    """
+    with open(path, newline="") as handle:
+        return _read(handle, schema)
+
+
+def table_from_csv_text(text: str, schema: Schema | None = None) -> Table:
+    """Parse CSV from an in-memory string (header required)."""
+    return _read(io.StringIO(text), schema)
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write a table (with header) to a CSV file."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        writer.writerows(table.rows())
+
+
+def table_to_csv_text(table: Table) -> str:
+    """Serialise a table to a CSV string (header included)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(table.column_names)
+    writer.writerows(table.rows())
+    return buf.getvalue()

@@ -1,0 +1,182 @@
+"""A small predicate DSL for filtering tables (the paper's entry query).
+
+Example 1 starts from "tuples where Sales were higher than some
+threshold"; this module provides the WHERE-clause substrate that
+produces the table smart drill-down then explores::
+
+    from repro.table.predicates import col
+
+    hot = table.filter((col("Sales") > 1000).mask(table))
+
+Predicates compose with ``&``, ``|`` and ``~`` and evaluate to boolean
+masks against any table with the referenced columns.  Comparisons on
+categorical columns use dictionary codes (only ``==``/``!=``/``isin``);
+numeric columns support the full ordering.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.errors import SchemaError
+from repro.table.column import CategoricalColumn, NumericColumn
+from repro.table.table import Table
+
+__all__ = ["Predicate", "col", "ColumnRef"]
+
+
+class Predicate(ABC):
+    """A boolean condition evaluable against a table."""
+
+    @abstractmethod
+    def mask(self, table: Table) -> np.ndarray:
+        """Return the boolean row mask of this predicate over ``table``."""
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return _And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return _Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return _Not(self)
+
+    def apply(self, table: Table) -> Table:
+        """Return the rows of ``table`` satisfying this predicate."""
+        return table.filter(self.mask(table))
+
+
+class _And(Predicate):
+    def __init__(self, left: Predicate, right: Predicate):
+        self._left, self._right = left, right
+
+    def mask(self, table: Table) -> np.ndarray:
+        return self._left.mask(table) & self._right.mask(table)
+
+    def __repr__(self) -> str:
+        return f"({self._left!r} & {self._right!r})"
+
+
+class _Or(Predicate):
+    def __init__(self, left: Predicate, right: Predicate):
+        self._left, self._right = left, right
+
+    def mask(self, table: Table) -> np.ndarray:
+        return self._left.mask(table) | self._right.mask(table)
+
+    def __repr__(self) -> str:
+        return f"({self._left!r} | {self._right!r})"
+
+
+class _Not(Predicate):
+    def __init__(self, inner: Predicate):
+        self._inner = inner
+
+    def mask(self, table: Table) -> np.ndarray:
+        return ~self._inner.mask(table)
+
+    def __repr__(self) -> str:
+        return f"~{self._inner!r}"
+
+
+class _Comparison(Predicate):
+    """A single column-vs-constant comparison."""
+
+    _NUMERIC_OPS = {"<", "<=", ">", ">=", "==", "!="}
+
+    def __init__(self, column: str, op: str, value: Any):
+        self._column = column
+        self._op = op
+        self._value = value
+
+    def mask(self, table: Table) -> np.ndarray:
+        column = table.column(self._column)
+        if isinstance(column, CategoricalColumn):
+            return self._categorical_mask(column)
+        assert isinstance(column, NumericColumn)
+        return self._numeric_mask(column)
+
+    def _categorical_mask(self, column: CategoricalColumn) -> np.ndarray:
+        if self._op == "==":
+            code = column.try_encode(self._value)
+            if code is None:
+                return np.zeros(len(column), dtype=bool)
+            return column.mask_eq(code)
+        if self._op == "!=":
+            code = column.try_encode(self._value)
+            if code is None:
+                return np.ones(len(column), dtype=bool)
+            return ~column.mask_eq(code)
+        if self._op == "isin":
+            mask = np.zeros(len(column), dtype=bool)
+            for value in self._value:
+                code = column.try_encode(value)
+                if code is not None:
+                    mask |= column.mask_eq(code)
+            return mask
+        raise SchemaError(
+            f"operator {self._op!r} is not defined for categorical column {self._column!r}"
+        )
+
+    def _numeric_mask(self, column: NumericColumn) -> np.ndarray:
+        data = column.data
+        if self._op == "isin":
+            mask = np.zeros(len(column), dtype=bool)
+            for value in self._value:
+                mask |= data == float(value)
+            return mask
+        value = float(self._value)
+        ops = {
+            "<": data < value,
+            "<=": data <= value,
+            ">": data > value,
+            ">=": data >= value,
+            "==": data == value,
+            "!=": data != value,
+        }
+        return ops[self._op]
+
+    def __repr__(self) -> str:
+        return f"col({self._column!r}) {self._op} {self._value!r}"
+
+
+class ColumnRef:
+    """A named column awaiting a comparison; produced by :func:`col`."""
+
+    def __init__(self, name: str):
+        self._name = name
+
+    def __lt__(self, value: Any) -> Predicate:
+        return _Comparison(self._name, "<", value)
+
+    def __le__(self, value: Any) -> Predicate:
+        return _Comparison(self._name, "<=", value)
+
+    def __gt__(self, value: Any) -> Predicate:
+        return _Comparison(self._name, ">", value)
+
+    def __ge__(self, value: Any) -> Predicate:
+        return _Comparison(self._name, ">=", value)
+
+    def __eq__(self, value: Any) -> Predicate:  # type: ignore[override]
+        return _Comparison(self._name, "==", value)
+
+    def __ne__(self, value: Any) -> Predicate:  # type: ignore[override]
+        return _Comparison(self._name, "!=", value)
+
+    def isin(self, values: Iterable[Any]) -> Predicate:
+        """Membership test against a collection of values."""
+        return _Comparison(self._name, "isin", tuple(values))
+
+    def __repr__(self) -> str:
+        return f"col({self._name!r})"
+
+    __hash__ = None  # type: ignore[assignment]  # == builds predicates, not booleans
+
+
+def col(name: str) -> ColumnRef:
+    """Reference a column by name for use in predicates."""
+    return ColumnRef(name)

@@ -1,0 +1,173 @@
+"""Schema objects describing the columns of a :class:`~repro.table.Table`.
+
+The paper operates on a single denormalised relational table ``D`` with
+a set of columns ``C`` (Section 2.1).  We model each column as either
+
+* **categorical** — the domain mined by smart drill-down.  Values are
+  dictionary-encoded; the rule mining algorithms operate on the integer
+  codes.
+* **numeric** — measure columns (for ``Sum`` aggregation, Section 6.3)
+  or raw columns awaiting bucketization (Section 6.2).
+
+A :class:`Schema` is an ordered, immutable collection of
+:class:`ColumnSchema` entries with O(1) name lookup.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+
+__all__ = ["ColumnKind", "ColumnSchema", "Schema"]
+
+
+class ColumnKind(enum.Enum):
+    """The storage/semantic kind of a table column."""
+
+    CATEGORICAL = "categorical"
+    NUMERIC = "numeric"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """Description of a single column.
+
+    Parameters
+    ----------
+    name:
+        Column name; must be unique within a schema.
+    kind:
+        :class:`ColumnKind` of the column.
+    """
+
+    name: str
+    kind: ColumnKind = ColumnKind.CATEGORICAL
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be a non-empty string")
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind is ColumnKind.CATEGORICAL
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind is ColumnKind.NUMERIC
+
+
+class Schema:
+    """Ordered collection of :class:`ColumnSchema` with name lookup.
+
+    Instances are immutable; deriving a modified schema returns a new
+    object (see :meth:`without`, :meth:`replace`).
+    """
+
+    __slots__ = ("_columns", "_index")
+
+    def __init__(self, columns: Iterable[ColumnSchema]):
+        cols = tuple(columns)
+        index: dict[str, int] = {}
+        for i, col in enumerate(cols):
+            if not isinstance(col, ColumnSchema):
+                raise SchemaError(f"expected ColumnSchema, got {type(col).__name__}")
+            if col.name in index:
+                raise SchemaError(f"duplicate column name: {col.name!r}")
+            index[col.name] = i
+        self._columns = cols
+        self._index = index
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def categorical(cls, names: Sequence[str]) -> "Schema":
+        """Build a schema where every named column is categorical."""
+        return cls(ColumnSchema(n, ColumnKind.CATEGORICAL) for n in names)
+
+    @classmethod
+    def of(cls, **kinds: str) -> "Schema":
+        """Build a schema from ``name=kind`` keyword pairs.
+
+        >>> Schema.of(store="categorical", sales="numeric").names
+        ('store', 'sales')
+        """
+        return cls(ColumnSchema(n, ColumnKind(k)) for n, k in kinds.items())
+
+    # -- basic protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[ColumnSchema]:
+        return iter(self._columns)
+
+    def __getitem__(self, key: int | str) -> ColumnSchema:
+        if isinstance(key, str):
+            return self._columns[self.index_of(key)]
+        return self._columns[key]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{c.name}:{c.kind.value[:3]}" for c in self._columns)
+        return f"Schema({parts})"
+
+    # -- lookup ----------------------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Column names, in schema order."""
+        return tuple(c.name for c in self._columns)
+
+    def index_of(self, name: str) -> int:
+        """Return the positional index of column ``name``.
+
+        Raises :class:`SchemaError` for unknown names.
+        """
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"unknown column: {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    @property
+    def categorical_indexes(self) -> tuple[int, ...]:
+        """Indexes of all categorical columns, in schema order."""
+        return tuple(i for i, c in enumerate(self._columns) if c.is_categorical)
+
+    @property
+    def numeric_indexes(self) -> tuple[int, ...]:
+        """Indexes of all numeric columns, in schema order."""
+        return tuple(i for i, c in enumerate(self._columns) if c.is_numeric)
+
+    # -- derivation -------------------------------------------------------------
+
+    def without(self, *names: str) -> "Schema":
+        """Return a schema with the named columns removed."""
+        drop = {self.index_of(n) for n in names}
+        return Schema(c for i, c in enumerate(self._columns) if i not in drop)
+
+    def replace(self, name: str, new: ColumnSchema) -> "Schema":
+        """Return a schema with column ``name`` replaced by ``new``."""
+        idx = self.index_of(name)
+        cols = list(self._columns)
+        cols[idx] = new
+        return Schema(cols)
+
+    def restrict(self, names: Sequence[str]) -> "Schema":
+        """Return a schema containing only ``names``, in the given order."""
+        return Schema(self[n] for n in names)

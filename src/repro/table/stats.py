@@ -1,0 +1,93 @@
+"""Column statistics used by parameter guidance and the weight family.
+
+The analyses in Sections 4.2 and 6.1 of the paper need, per column:
+the number of distinct values ``|c|``, the frequency ``f_c`` of the most
+common value, and value-frequency tables.  These helpers compute them
+once per table so the estimators do not rescan columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.table.column import CategoricalColumn
+from repro.table.table import Table
+
+__all__ = ["ColumnStats", "TableStats", "compute_stats"]
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics of one categorical column."""
+
+    name: str
+    distinct: int
+    top_value: Any
+    top_count: int
+    top_fraction: float
+
+    @property
+    def entropy_bits(self) -> float:
+        """``ceil(log2 |c|)`` — the Bits weight contribution of the column."""
+        return float(np.ceil(np.log2(max(self.distinct, 1)))) if self.distinct > 1 else 0.0
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Per-column statistics for every categorical column of a table."""
+
+    n_rows: int
+    columns: tuple[ColumnStats, ...]
+
+    def column(self, name: str) -> ColumnStats:
+        for c in self.columns:
+            if c.name == name:
+                return c
+        raise KeyError(name)
+
+    @property
+    def min_distinct(self) -> int:
+        """``|c|`` of the categorical column with fewest distinct values.
+
+        Section 4.2 uses this to lower-bound the score of the best rule
+        (the most frequent value of this column occurs ≥ |T|/|c| times).
+        """
+        return min((c.distinct for c in self.columns), default=0)
+
+    @property
+    def max_top_fraction(self) -> float:
+        """Frequency ``x`` of the most common value anywhere in the table.
+
+        Appears in the Section 3.5 runtime analysis: candidate counts
+        shrink geometrically as ``x^i``.
+        """
+        return max((c.top_fraction for c in self.columns), default=0.0)
+
+
+def compute_stats(table: Table) -> TableStats:
+    """Compute :class:`TableStats` over the categorical columns of ``table``."""
+    stats: list[ColumnStats] = []
+    for idx in table.schema.categorical_indexes:
+        col = table.column(idx)
+        assert isinstance(col, CategoricalColumn)
+        name = table.schema[idx].name
+        counts = col.counts()
+        if counts.size == 0:
+            stats.append(ColumnStats(name, 0, None, 0, 0.0))
+            continue
+        top = int(np.argmax(counts))
+        top_count = int(counts[top])
+        fraction = top_count / table.n_rows if table.n_rows else 0.0
+        stats.append(
+            ColumnStats(
+                name=name,
+                distinct=col.distinct_count,
+                top_value=col.decode(top),
+                top_count=top_count,
+                top_fraction=fraction,
+            )
+        )
+    return TableStats(n_rows=table.n_rows, columns=tuple(stats))

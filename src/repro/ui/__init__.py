@@ -1,0 +1,12 @@
+"""Text rendering and the terminal explorer (the prototype front-end)."""
+
+from repro.ui.render import format_count, render_rows, render_rule_list, render_session
+from repro.ui.repl import ExplorerREPL
+
+__all__ = [
+    "ExplorerREPL",
+    "format_count",
+    "render_rows",
+    "render_rule_list",
+    "render_session",
+]

@@ -1,0 +1,93 @@
+"""ASCII rendering of rule-lists and sessions in the paper's table style.
+
+The paper's Tables 1–3 display rules as rows whose first column is
+prefixed with one ``.`` per tree depth, followed by the data columns
+(``?`` for wildcards), Count and Weight.  These renderers emit exactly
+that layout so example scripts and benchmark transcripts read like the
+paper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.core.rule import Rule, Wildcard
+from repro.core.scoring import RuleList, ScoredRule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.session.session import DrillDownSession, SessionNode
+
+__all__ = ["format_count", "render_rows", "render_rule_list", "render_session"]
+
+
+def format_count(count: float) -> str:
+    """Counts display as integers when integral, else one decimal."""
+    if abs(count - round(count)) < 1e-9:
+        return str(int(round(count)))
+    return f"{count:.1f}"
+
+
+def _rule_cells(rule: Rule, depth: int) -> list[str]:
+    cells = ["?" if isinstance(v, Wildcard) else str(v) for v in rule.values]
+    if depth > 0:
+        cells[0] = ". " * depth + cells[0]
+    return cells
+
+
+def render_rows(
+    column_names: Sequence[str],
+    rows: Iterable[tuple[int, Rule, float, float]],
+) -> str:
+    """Render ``(depth, rule, count, weight)`` rows as an aligned table."""
+    header = list(column_names) + ["Count", "Weight"]
+    body: list[list[str]] = []
+    for depth, rule, count, weight in rows:
+        body.append(_rule_cells(rule, depth) + [format_count(count), format_count(weight)])
+    widths = [len(h) for h in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in body:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_rule_list(
+    column_names: Sequence[str],
+    rule_list: RuleList | Iterable[ScoredRule],
+    *,
+    depth: int = 0,
+) -> str:
+    """Render a flat rule-list (no tree context)."""
+    entries = list(rule_list)
+    return render_rows(
+        column_names,
+        ((depth, e.rule, e.count, e.weight) for e in entries),
+    )
+
+
+def render_session(
+    session: "DrillDownSession", *, sort_display_by_count: bool = False
+) -> str:
+    """Render the session's displayed tree in the paper's layout.
+
+    ``sort_display_by_count`` orders siblings by descending count (the
+    prototype screenshots' order); the default keeps the Lemma 1
+    weight-descending order of the tables in the paper body.
+    """
+
+    rows: list[tuple[int, Rule, float, float]] = []
+
+    def walk(node: "SessionNode") -> None:
+        rows.append((node.depth, node.rule, node.count, node.weight))
+        children = node.children
+        if sort_display_by_count:
+            children = sorted(children, key=lambda c: -c.count)
+        for child in children:
+            walk(child)
+
+    walk(session.root)
+    return render_rows(session.column_names, rows)

@@ -1,0 +1,154 @@
+"""A terminal REPL over :class:`~repro.session.DrillDownSession`.
+
+The paper demonstrates a web prototype; this is the same interaction
+loop on a terminal — rows are addressed by their display index, and the
+commands mirror the paper's clicks:
+
+=====================  ====================================================
+``show``               re-print the current table
+``expand N``           smart drill-down on row ``N`` (click the rule)
+``star N COLUMN``      star drill-down on ``COLUMN`` of row ``N``
+``trad N COLUMN``      traditional drill-down on ``COLUMN`` of row ``N``
+``collapse N``         roll up row ``N``
+``k VALUE``            change the rules-per-expansion parameter
+``help`` / ``quit``    the obvious
+=====================  ====================================================
+
+All I/O goes through injected streams, so the loop is unit-testable
+with ``io.StringIO`` scripts.
+"""
+
+from __future__ import annotations
+
+import io
+import sys
+from typing import TextIO
+
+from repro.errors import ReproError, SessionError
+from repro.session.session import DrillDownSession
+
+__all__ = ["ExplorerREPL"]
+
+_HELP = """commands:
+  show                 print the current rule table
+  expand N             smart drill-down on display row N
+  star N COLUMN        star drill-down on COLUMN of row N
+  trad N COLUMN        traditional drill-down on COLUMN of row N
+  collapse N           collapse row N
+  k VALUE              set rules-per-expansion
+  favor COLUMN [X]     weight COLUMN X times higher (default 2)
+  ignore COLUMN        zero COLUMN's weight contribution
+  refresh              replace estimated counts with exact counts
+  help                 this message
+  quit                 exit"""
+
+
+class ExplorerREPL:
+    """Line-oriented explorer bound to one session."""
+
+    def __init__(
+        self,
+        session: DrillDownSession,
+        *,
+        input_stream: TextIO | None = None,
+        output_stream: TextIO | None = None,
+    ):
+        self.session = session
+        self._in = input_stream or sys.stdin
+        self._out = output_stream or sys.stdout
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _print(self, text: str) -> None:
+        self._out.write(text + "\n")
+
+    def _show(self) -> None:
+        self._print(self.session.to_text())
+
+    def _row(self, token: str):
+        try:
+            index = int(token)
+        except ValueError:
+            raise SessionError(f"row index must be an integer, got {token!r}") from None
+        nodes = self.session.displayed()
+        if not 0 <= index < len(nodes):
+            raise SessionError(f"row {index} out of range (0..{len(nodes) - 1})")
+        return nodes[index]
+
+    def _adjust_preference(self, command: str, args: list[str]) -> None:
+        """§6.1 favor/ignore: rescale one column's weight contribution."""
+        from repro.core.weights import adjust_column_preference
+
+        column_names = self.session.column_names
+        if args[0] not in column_names:
+            raise SessionError(f"unknown column {args[0]!r}")
+        column = column_names.index(args[0])
+        if command == "ignore":
+            factor = 0.0
+        else:
+            factor = float(args[1]) if len(args) > 1 else 2.0
+        self.session.wf = adjust_column_preference(
+            self.session.wf, column, factor, len(column_names)
+        )
+        verb = "favoring" if command == "favor" else "ignoring"
+        self._print(f"{verb} column {args[0]!r} (factor {factor:g})")
+
+    # -- command dispatch ----------------------------------------------------------
+
+    def handle(self, line: str) -> bool:
+        """Execute one command line; returns False when the loop should end."""
+        parts = line.strip().split()
+        if not parts:
+            return True
+        command, args = parts[0].lower(), parts[1:]
+        try:
+            if command in ("quit", "exit", "q"):
+                return False
+            if command == "help":
+                self._print(_HELP)
+            elif command == "show":
+                self._show()
+            elif command == "expand":
+                node = self._row(args[0])
+                self.session.expand(node.rule)
+                self._show()
+            elif command == "star":
+                node = self._row(args[0])
+                self.session.expand_star(node.rule, args[1])
+                self._show()
+            elif command == "trad":
+                node = self._row(args[0])
+                self.session.expand_traditional(node.rule, args[1])
+                self._show()
+            elif command == "collapse":
+                node = self._row(args[0])
+                self.session.collapse(node.rule)
+                self._show()
+            elif command == "k":
+                value = int(args[0])
+                if value < 1:
+                    raise SessionError("k must be >= 1")
+                self.session.k = value
+                self._print(f"k = {value}")
+            elif command in ("favor", "ignore"):
+                self._adjust_preference(command, args)
+            elif command == "refresh":
+                deltas = self.session.refresh_exact_counts()
+                self._print(f"refreshed {len(deltas)} count(s)")
+                self._show()
+            else:
+                self._print(f"unknown command: {command} (try 'help')")
+        except IndexError:
+            self._print(f"missing argument for {command!r} (try 'help')")
+        except (ReproError, ValueError) as exc:
+            self._print(f"error: {exc}")
+        return True
+
+    def run(self) -> None:
+        """Read-eval-print until EOF or ``quit``."""
+        self._print("smart drill-down explorer — 'help' lists commands")
+        self._show()
+        for line in self._in:
+            if not self.handle(line):
+                break
+            self._out.flush()

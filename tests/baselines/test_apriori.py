@@ -1,0 +1,97 @@
+"""Tests for the a-priori frequent-itemset miner."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import apriori
+from repro.core import count
+from repro.errors import ReproError
+from repro.table import Table
+from tests.conftest import random_table
+
+
+def brute_force_itemsets(table: Table, min_support: int, max_size: int | None = None):
+    """Reference implementation: enumerate all itemsets and count."""
+    cat_idx = table.schema.categorical_indexes
+    limit = len(cat_idx) if max_size is None else max_size
+    found = {}
+    distinct_per_col = {
+        c: sorted(set(table.categorical(c).to_list())) for c in cat_idx
+    }
+    for size in range(1, limit + 1):
+        for cols in itertools.combinations(cat_idx, size):
+            for values in itertools.product(*(distinct_per_col[c] for c in cols)):
+                support = sum(
+                    1
+                    for row in table.rows()
+                    if all(row[c] == v for c, v in zip(cols, values))
+                )
+                if support >= min_support:
+                    found[tuple(zip(cols, values))] = support
+    return found
+
+
+class TestApriori:
+    def test_level1_supports(self, tiny_table):
+        itemsets = apriori(tiny_table, min_support=4, max_size=1)
+        decoded = {
+            tuple(
+                (c, tiny_table.categorical(c).decode(code)) for c, code in f.items
+            ): f.support
+            for f in itemsets
+        }
+        assert decoded == {((0, "a"),): 5, ((1, "x"),): 4, ((2, "q"),): 4}
+
+    def test_matches_brute_force(self, tiny_table):
+        itemsets = apriori(tiny_table, min_support=2)
+        got = {
+            tuple(
+                (c, tiny_table.categorical(c).decode(code)) for c, code in f.items
+            ): f.support
+            for f in itemsets
+        }
+        expected = brute_force_itemsets(tiny_table, 2)
+        assert got == expected
+
+    def test_downward_closure(self, tiny_table):
+        """Every sub-itemset of a frequent itemset is frequent."""
+        itemsets = apriori(tiny_table, min_support=2)
+        keys = {f.items for f in itemsets}
+        for f in itemsets:
+            for drop in range(len(f.items)):
+                sub = f.items[:drop] + f.items[drop + 1 :]
+                if sub:
+                    assert sub in keys
+
+    def test_support_matches_rule_count(self, tiny_table):
+        for f in apriori(tiny_table, min_support=1):
+            rule = f.to_rule(tiny_table)
+            assert f.support == count(rule, tiny_table)
+
+    def test_min_support_validation(self, tiny_table):
+        with pytest.raises(ReproError):
+            apriori(tiny_table, min_support=0)
+
+    def test_high_support_empty(self, tiny_table):
+        assert apriori(tiny_table, min_support=100) == []
+
+    def test_max_size(self, tiny_table):
+        itemsets = apriori(tiny_table, min_support=1, max_size=2)
+        assert max(len(f.items) for f in itemsets) <= 2
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(0, 10_000), st.integers(2, 5))
+    def test_matches_brute_force_randomised(self, seed, min_support):
+        rng = np.random.default_rng(seed)
+        table = random_table(rng, n_rows=20, n_columns=3, domain=2)
+        got = {
+            tuple((c, table.categorical(c).decode(code)) for c, code in f.items): f.support
+            for f in apriori(table, min_support)
+        }
+        assert got == brute_force_itemsets(table, min_support)

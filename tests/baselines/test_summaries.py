@@ -1,0 +1,88 @@
+"""Tests for the summary baselines and the §2.1 marginal-objective claim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import count_only_greedy, full_drilldown_size, top_k_itemsets
+from repro.core import Rule, STAR, SizeWeight, brs, score_set
+from repro.errors import ReproError
+from repro.table import Table
+
+
+class TestTopKItemsets:
+    def test_returns_k_rules(self, tiny_table):
+        rl = top_k_itemsets(tiny_table, SizeWeight(), 3)
+        assert len(rl) == 3
+
+    def test_selects_top_static_scores(self, tiny_table):
+        """The selected rules are exactly the top-k by W·Count.
+
+        (The returned RuleList re-sorts by weight for display, so the
+        check compares score *sets*, not display order.)
+        """
+        wf = SizeWeight()
+        selected = top_k_itemsets(tiny_table, wf, 4)
+        from repro.baselines import apriori
+
+        all_static = sorted(
+            (
+                wf.weight(f.to_rule(tiny_table)) * f.support
+                for f in apriori(tiny_table, 1)
+            ),
+            reverse=True,
+        )
+        got_static = sorted((e.weight * e.count for e in selected), reverse=True)
+        assert got_static == all_static[:4]
+
+    def test_redundancy_pathology(self):
+        """§2.1: without MCount the summary re-covers the same region.
+
+        On a table dominated by (a, b) rows, the top-3 static-score
+        rules are (a, b), (a, ?), (?, b) — all describing the same
+        tuples — while BRS diversifies.
+        """
+        rows = [("a", "b")] * 50 + [("c", "d")] * 20 + [("e", "f")] * 15
+        table = Table.from_rows(["X", "Y"], rows)
+        wf = SizeWeight()
+        topk = top_k_itemsets(table, wf, 3)
+        assert set(topk.rules) == {
+            Rule(["a", "b"]),
+            Rule(["a", STAR]),
+            Rule([STAR, "b"]),
+        }
+        smart = brs(table, wf, 3, 2.0)
+        assert Rule(["c", "d"]) in smart.rules
+        assert smart.score > score_set(topk.rules, table, wf)
+
+    def test_brs_never_worse(self, tiny_table, marketing7):
+        """BRS's Score dominates the frequency baseline on real data."""
+        wf = SizeWeight()
+        for table, mw in ((tiny_table, 3.0), (marketing7, 4.0)):
+            smart = brs(table, wf, 4, mw)
+            topk = top_k_itemsets(table, wf, 4, max_size=int(mw))
+            assert smart.score >= score_set(topk.rules, table, wf) - 1e-9
+
+    def test_k_validation(self, tiny_table):
+        with pytest.raises(ReproError):
+            top_k_itemsets(tiny_table, SizeWeight(), -1)
+
+    def test_count_only_alias(self, tiny_table):
+        a = top_k_itemsets(tiny_table, SizeWeight(), 3)
+        b = count_only_greedy(tiny_table, SizeWeight(), 3)
+        assert a.rules == b.rules
+
+
+class TestFullDrilldownSize:
+    def test_counts_present_values(self, tiny_table):
+        assert full_drilldown_size(tiny_table, "B") == 3
+        assert full_drilldown_size(tiny_table, 0) == 2
+
+    def test_overload_comparison(self, marketing7):
+        """§5.1: traditional drill-down shows every value; smart shows k."""
+        sizes = [full_drilldown_size(marketing7, c) for c in marketing7.column_names]
+        assert max(sizes) > 4  # the k the paper uses
+
+    def test_numeric_column_rejected(self, measure_table):
+        with pytest.raises(ReproError):
+            full_drilldown_size(measure_table, "Sales")

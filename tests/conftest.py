@@ -1,0 +1,91 @@
+"""Shared fixtures: small deterministic tables and cached paper datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_census, generate_marketing, generate_retail
+from repro.table import Schema, Table
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_table() -> Table:
+    """A hand-written 8-row, 3-column table with known counts.
+
+    Value layout (a appears 5×, b 4×, x 4×, (a, x) 3×, (a, x, p) 2×):
+
+        A  B  C
+        a  x  p
+        a  x  p
+        a  x  q
+        a  y  q
+        a  z  q
+        b  x  p
+        b  y  q
+        b  z  r
+    """
+    rows = [
+        ("a", "x", "p"),
+        ("a", "x", "p"),
+        ("a", "x", "q"),
+        ("a", "y", "q"),
+        ("a", "z", "q"),
+        ("b", "x", "p"),
+        ("b", "y", "q"),
+        ("b", "z", "r"),
+    ]
+    return Table.from_rows(Schema.categorical(["A", "B", "C"]), rows)
+
+
+@pytest.fixture
+def measure_table() -> Table:
+    """A table with a numeric Sales measure for Sum-aggregate tests."""
+    data = {
+        "Store": ["W", "W", "T", "T", "T", "C"],
+        "Item": ["x", "y", "x", "x", "y", "z"],
+        "Sales": [10.0, 20.0, 5.0, 5.0, 30.0, 1.0],
+    }
+    return Table.from_dict(data)
+
+
+@pytest.fixture(scope="session")
+def retail() -> Table:
+    return generate_retail()
+
+
+@pytest.fixture(scope="session")
+def marketing() -> Table:
+    return generate_marketing()
+
+
+@pytest.fixture(scope="session")
+def marketing7(marketing: Table) -> Table:
+    return marketing.select(
+        ["Income", "Sex", "MaritalStatus", "Age", "Education", "Occupation", "TimeInBayArea"]
+    )
+
+
+@pytest.fixture(scope="session")
+def census_small() -> Table:
+    """A small synthetic Census slice (fast enough for unit tests)."""
+    return generate_census(20_000, n_columns=7)
+
+
+def random_table(
+    rng: np.random.Generator,
+    n_rows: int = 30,
+    n_columns: int = 3,
+    domain: int = 3,
+) -> Table:
+    """A uniform random categorical table (helper for property tests)."""
+    names = [f"c{i}" for i in range(n_columns)]
+    rows = [
+        tuple(f"v{rng.integers(domain)}" for _ in range(n_columns)) for _ in range(n_rows)
+    ]
+    return Table.from_rows(Schema.categorical(names), rows)

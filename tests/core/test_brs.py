@@ -1,0 +1,132 @@
+"""Tests for BRS (Algorithm 1) — greedy selection and its guarantee (§3.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Rule,
+    STAR,
+    SizeWeight,
+    brs,
+    brs_iter,
+    optimal_rule_set,
+    score_set,
+    tuple_measures,
+)
+from tests.conftest import random_table
+
+
+class TestBRSBasics:
+    def test_k_rules_returned(self, tiny_table):
+        result = brs(tiny_table, SizeWeight(), 2, 3.0)
+        assert len(result.rules) == 2
+
+    def test_k_zero(self, tiny_table):
+        result = brs(tiny_table, SizeWeight(), 0, 3.0)
+        assert result.rules == ()
+        assert result.score == 0.0
+
+    def test_stops_when_no_positive_marginal(self, tiny_table):
+        # Only 8 distinct tuples; a huge k cannot be filled forever.
+        result = brs(tiny_table, SizeWeight(), 100, 3.0)
+        assert 0 < len(result.rules) < 100
+        # Every pick added positive marginal value.
+        assert all(p.marginal > 0 for p in result.picks)
+
+    def test_picks_sorted_for_display(self, tiny_table):
+        result = brs(tiny_table, SizeWeight(), 3, 3.0)
+        weights = [e.weight for e in result.rule_list]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_score_consistent_with_score_set(self, tiny_table):
+        wf = SizeWeight()
+        result = brs(tiny_table, wf, 3, 3.0)
+        assert result.score == pytest.approx(score_set(result.rules, tiny_table, wf))
+
+    def test_deterministic(self, tiny_table):
+        a = brs(tiny_table, SizeWeight(), 3, 3.0)
+        b = brs(tiny_table, SizeWeight(), 3, 3.0)
+        assert a.rules == b.rules
+
+    def test_incremental_prefix_property(self, tiny_table):
+        """BRS is incremental (§6.1): k-rule output prefixes the (k+1)-rule one."""
+        wf = SizeWeight()
+        picks3 = brs(tiny_table, wf, 3, 3.0).picks
+        picks4 = brs(tiny_table, wf, 4, 3.0).picks
+        assert [p.rule for p in picks4[:3]] == [p.rule for p in picks3]
+
+    def test_brs_iter_streams_same_picks(self, tiny_table):
+        wf = SizeWeight()
+        batch = brs(tiny_table, wf, 3, 3.0)
+        streamed = []
+        for result in brs_iter(tiny_table, wf, 3.0):
+            streamed.append(result.rule)
+            if len(streamed) == 3:
+                break
+        assert list(batch.picks[i].rule for i in range(3)) == streamed
+
+    def test_no_duplicate_rules(self, marketing7):
+        result = brs(marketing7, SizeWeight(), 6, 5.0)
+        assert len(set(result.rules)) == len(result.rules)
+
+    def test_stats_aggregated_across_picks(self, tiny_table):
+        result = brs(tiny_table, SizeWeight(), 2, 3.0)
+        assert result.stats.passes >= 2  # at least one pass per pick
+
+
+class TestInitialTop:
+    def test_seeding_blocks_low_weight_rules(self, tiny_table):
+        wf = SizeWeight()
+        seed = np.full(tiny_table.n_rows, 1.0)
+        result = brs(tiny_table, wf, 3, 3.0, initial_top=seed)
+        # Every selected rule must beat weight 1 somewhere.
+        assert all(e.weight > 1.0 for e in result.rule_list)
+
+    def test_seeding_reduces_marginals(self, tiny_table):
+        wf = SizeWeight()
+        plain = brs(tiny_table, wf, 1, 3.0)
+        seeded = brs(tiny_table, wf, 1, 3.0, initial_top=np.full(8, 1.0))
+        assert seeded.picks[0].marginal <= plain.picks[0].marginal
+
+    def test_input_array_not_mutated(self, tiny_table):
+        seed = np.zeros(8)
+        brs(tiny_table, SizeWeight(), 2, 3.0, initial_top=seed)
+        assert seed.tolist() == [0.0] * 8
+
+
+class TestGreedyGuarantee:
+    """Empirical (1 − (1−1/k)^k) bound against the exhaustive optimum."""
+
+    @settings(deadline=None, max_examples=15)
+    @given(seed=st.integers(0, 10_000), k=st.sampled_from([1, 2, 3]))
+    def test_approximation_ratio(self, seed, k):
+        rng = np.random.default_rng(seed)
+        table = random_table(rng, n_rows=18, n_columns=3, domain=2)
+        wf = SizeWeight()
+        greedy = brs(table, wf, k, 3.0)
+        optimal = optimal_rule_set(table, wf, k)
+        if optimal.score == 0:
+            return
+        bound = 1.0 - (1.0 - 1.0 / k) ** k
+        assert greedy.score >= bound * optimal.score - 1e-9
+
+    def test_k1_greedy_is_optimal(self, tiny_table):
+        """For k=1 greedy is exact (the bound is 1)."""
+        wf = SizeWeight()
+        greedy = brs(tiny_table, wf, 1, 3.0)
+        optimal = optimal_rule_set(tiny_table, wf, 1)
+        assert greedy.score == pytest.approx(optimal.score)
+
+
+class TestSumAggregation:
+    def test_sum_picks_high_value_rules(self, measure_table):
+        m = tuple_measures(measure_table, "Sales")
+        by_count = brs(measure_table, SizeWeight(), 1, 2.0)
+        by_sum = brs(measure_table, SizeWeight(), 1, 2.0, measures=m)
+        # By count, (T, x) covers 2 tuples; by sum, (T, y) is worth 30.
+        assert by_count.rules != by_sum.rules
+        assert by_sum.picks[0].marginal >= by_count.picks[0].marginal

@@ -1,0 +1,175 @@
+"""Tests for the drill-down operators (§2.3, §3.1 reductions, §5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ColumnIndicatorWeight,
+    Rule,
+    STAR,
+    SizeWeight,
+    count,
+    rule_drilldown,
+    star_drilldown,
+    traditional_drilldown,
+)
+from repro.errors import RuleError
+
+
+class TestRuleDrillDown:
+    def test_children_are_strict_superrules(self, tiny_table):
+        parent = Rule(["a", STAR, STAR])
+        result = rule_drilldown(tiny_table, parent, SizeWeight(), 2, 3.0)
+        for rule in result.rules:
+            assert parent.is_strict_subrule_of(rule)
+
+    def test_counts_are_global(self, tiny_table):
+        """A child's count on the sub-table equals its full-table count."""
+        parent = Rule(["a", STAR, STAR])
+        result = rule_drilldown(tiny_table, parent, SizeWeight(), 2, 3.0)
+        for entry in result.rule_list:
+            assert entry.count == count(entry.rule, tiny_table)
+
+    def test_subtable_rows(self, tiny_table):
+        parent = Rule(["a", STAR, STAR])
+        result = rule_drilldown(tiny_table, parent, SizeWeight(), 2, 3.0)
+        assert result.subtable_rows == 5
+
+    def test_trivial_parent_is_plain_brs(self, tiny_table):
+        from repro.core import brs
+
+        via_drill = rule_drilldown(tiny_table, Rule.trivial(3), SizeWeight(), 2, 3.0)
+        via_brs = brs(tiny_table, SizeWeight(), 2, 3.0)
+        assert via_drill.rules == tuple(via_brs.rule_list.rules)
+
+    def test_parent_not_among_children(self, retail):
+        walmart = Rule.from_named(retail, Store="Walmart")
+        result = rule_drilldown(retail, walmart, SizeWeight(), 3, 3.0)
+        assert walmart not in result.rules
+
+    def test_arity_mismatch(self, tiny_table):
+        with pytest.raises(RuleError):
+            rule_drilldown(tiny_table, Rule(["a"]), SizeWeight(), 2, 3.0)
+
+    def test_paper_table3(self, retail):
+        """The Walmart expansion reproduces Table 3 exactly."""
+        walmart = Rule.from_named(retail, Store="Walmart")
+        result = rule_drilldown(retail, walmart, SizeWeight(), 3, 3.0)
+        got = {(str(e.rule), int(e.count)) for e in result.rule_list}
+        assert got == {
+            ("(Walmart, cookies, ?, ?)", 200),
+            ("(Walmart, ?, CA-1, ?)", 150),
+            ("(Walmart, ?, WA-5, ?)", 130),
+        }
+
+    def test_measure_changes_selection(self, measure_table):
+        by_count = rule_drilldown(
+            measure_table, Rule.trivial(3), SizeWeight(), 1, 2.0
+        )
+        by_sum = rule_drilldown(
+            measure_table, Rule.trivial(3), SizeWeight(), 1, 2.0, measure="Sales"
+        )
+        assert by_count.rules != by_sum.rules
+
+
+class TestStarDrillDown:
+    def test_children_instantiate_clicked_column(self, tiny_table):
+        result = star_drilldown(tiny_table, Rule.trivial(3), "C", SizeWeight(), 3, 3.0)
+        c_idx = tiny_table.schema.index_of("C")
+        assert result.rules
+        for rule in result.rules:
+            assert not rule.is_star(c_idx)
+
+    def test_with_nontrivial_parent(self, tiny_table):
+        parent = Rule(["a", STAR, STAR])
+        result = star_drilldown(tiny_table, parent, 2, SizeWeight(), 2, 3.0)
+        for rule in result.rules:
+            assert parent.is_subrule_of(rule)
+            assert not rule.is_star(2)
+
+    def test_clicking_instantiated_column_raises(self, tiny_table):
+        parent = Rule(["a", STAR, STAR])
+        with pytest.raises(RuleError):
+            star_drilldown(tiny_table, parent, 0, SizeWeight(), 2, 3.0)
+
+    def test_column_by_name_and_index_agree(self, tiny_table):
+        by_name = star_drilldown(tiny_table, Rule.trivial(3), "B", SizeWeight(), 2, 3.0)
+        by_index = star_drilldown(tiny_table, Rule.trivial(3), 1, SizeWeight(), 2, 3.0)
+        assert by_name.rules == by_index.rules
+
+    def test_paper_fig2_education_values(self, marketing7):
+        """Star expansion on Education of the Female rule (Figure 2)."""
+        female = Rule.from_named(marketing7, Sex="Female")
+        result = star_drilldown(marketing7, female, "Education", SizeWeight(), 4, 5.0)
+        edu_idx = marketing7.schema.index_of("Education")
+        sex_idx = marketing7.schema.index_of("Sex")
+        assert len(result.rules) == 4
+        for rule in result.rules:
+            assert rule[sex_idx] == "Female"
+            assert not rule.is_star(edu_idx)
+
+
+class TestTraditionalDrillDown:
+    def test_one_rule_per_distinct_value(self, tiny_table):
+        result = traditional_drilldown(tiny_table, Rule.trivial(3), "C")
+        assert len(result.rules) == 3  # p, q, r
+
+    def test_sorted_by_count_descending(self, tiny_table):
+        result = traditional_drilldown(tiny_table, Rule.trivial(3), "C")
+        counts = [e.count for e in result.rule_list]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_counts_partition_subtable(self, tiny_table):
+        parent = Rule(["a", STAR, STAR])
+        result = traditional_drilldown(tiny_table, parent, "B")
+        assert sum(e.count for e in result.rule_list) == 5
+
+    def test_k_truncates(self, tiny_table):
+        result = traditional_drilldown(tiny_table, Rule.trivial(3), "C", k=2)
+        assert len(result.rules) == 2
+
+    def test_equivalent_via_brs(self, tiny_table):
+        """§5.1: traditional drill-down = BRS with an indicator weight."""
+        direct = traditional_drilldown(tiny_table, Rule.trivial(3), "B")
+        via_brs = traditional_drilldown(tiny_table, Rule.trivial(3), "B", via_brs=True)
+        assert set(direct.rules) == set(via_brs.rules)
+
+    def test_via_brs_counts_match(self, tiny_table):
+        direct = traditional_drilldown(tiny_table, Rule.trivial(3), "B")
+        via_brs = traditional_drilldown(tiny_table, Rule.trivial(3), "B", via_brs=True)
+        direct_counts = {e.rule: e.count for e in direct.rule_list}
+        brs_counts = {e.rule: e.count for e in via_brs.rule_list}
+        assert direct_counts == brs_counts
+
+    def test_instantiated_column_raises(self, tiny_table):
+        with pytest.raises(RuleError):
+            traditional_drilldown(tiny_table, Rule(["a", STAR, STAR]), 0)
+
+    def test_measure_ordering(self, measure_table):
+        result = traditional_drilldown(
+            measure_table, Rule.trivial(3), "Store", measure="Sales"
+        )
+        # T has 40 sales, W has 30, C has 1.
+        assert [e.rule[0] for e in result.rule_list] == ["T", "W", "C"]
+        assert [e.count for e in result.rule_list] == [40.0, 30.0, 1.0]
+
+
+class TestNumericColumnGuards:
+    def test_star_on_numeric_column_rejected(self, measure_table):
+        """Numeric columns must be bucketized before star drill-down (§6.2)."""
+        with pytest.raises(RuleError):
+            star_drilldown(
+                measure_table, Rule.trivial(3), "Sales", SizeWeight(), 2, 3.0
+            )
+
+    def test_star_works_after_bucketization(self, measure_table):
+        from repro.table import bucketize
+
+        bucketed = bucketize(measure_table, "Sales", n_buckets=2)
+        result = star_drilldown(
+            bucketed, Rule.trivial(3), "Sales", SizeWeight(), 2, 3.0
+        )
+        sales_idx = bucketed.schema.index_of("Sales")
+        assert result.rules
+        assert all(not r.is_star(sales_idx) for r in result.rules)

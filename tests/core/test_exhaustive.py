@@ -1,0 +1,94 @@
+"""Tests for the brute-force ground-truth solvers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Rule,
+    STAR,
+    SizeWeight,
+    count,
+    enumerate_supported_rules,
+    optimal_rule_set,
+    score_set,
+)
+from repro.table import Table
+
+
+class TestEnumerateSupportedRules:
+    def test_every_rule_has_support(self, tiny_table):
+        for rule in enumerate_supported_rules(tiny_table):
+            assert count(rule, tiny_table) > 0
+
+    def test_exact_count_small_table(self):
+        # 2 distinct tuples over 2 columns: per tuple 3 projections
+        # (sizes 1..2), minus shared singletons.
+        table = Table.from_rows(["A", "B"], [("a", "x"), ("a", "y")])
+        rules = enumerate_supported_rules(table)
+        expected = {
+            Rule(["a", STAR]),
+            Rule([STAR, "x"]),
+            Rule([STAR, "y"]),
+            Rule(["a", "x"]),
+            Rule(["a", "y"]),
+        }
+        assert set(rules) == expected
+
+    def test_max_size_filter(self, tiny_table):
+        rules = enumerate_supported_rules(tiny_table, max_size=1)
+        assert all(r.size == 1 for r in rules)
+        # 2 + 3 + 3 distinct values.
+        assert len(rules) == 8
+
+    def test_include_trivial(self, tiny_table):
+        rules = enumerate_supported_rules(tiny_table, max_size=1, include_trivial=True)
+        assert Rule.trivial(3) in rules
+
+    def test_deterministic_order(self, tiny_table):
+        a = enumerate_supported_rules(tiny_table)
+        b = enumerate_supported_rules(tiny_table)
+        assert a == b
+        sizes = [r.size for r in a]
+        assert sizes == sorted(sizes)
+
+    def test_skips_numeric_columns(self, measure_table):
+        rules = enumerate_supported_rules(measure_table)
+        sales_idx = measure_table.schema.index_of("Sales")
+        assert all(r.is_star(sales_idx) for r in rules)
+
+
+class TestOptimalRuleSet:
+    def test_beats_or_ties_any_candidate_set(self, tiny_table):
+        wf = SizeWeight()
+        optimal = optimal_rule_set(tiny_table, wf, 2)
+        pool = enumerate_supported_rules(tiny_table)
+        import itertools
+
+        for combo in itertools.combinations(pool, 2):
+            assert optimal.score >= score_set(combo, tiny_table, wf) - 1e-9
+
+    def test_rules_sorted_by_weight(self, tiny_table):
+        optimal = optimal_rule_set(tiny_table, SizeWeight(), 3)
+        wf = SizeWeight()
+        weights = [wf.weight(r) for r in optimal.rules]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_k_larger_never_worse(self, tiny_table):
+        wf = SizeWeight()
+        s2 = optimal_rule_set(tiny_table, wf, 2).score
+        s3 = optimal_rule_set(tiny_table, wf, 3).score
+        assert s3 >= s2
+
+    def test_empty_table(self):
+        table = Table.from_rows(["A"], [])
+        optimal = optimal_rule_set(table, SizeWeight(), 2)
+        assert optimal.rules == ()
+        assert optimal.score == 0.0
+
+    def test_explicit_candidates(self, tiny_table):
+        wf = SizeWeight()
+        pool = [Rule(["a", STAR, STAR]), Rule(["b", STAR, STAR])]
+        optimal = optimal_rule_set(tiny_table, wf, 2, candidates=pool)
+        assert set(optimal.rules) == set(pool)
+        assert optimal.score == 8.0

@@ -1,0 +1,97 @@
+"""Tests for the Section 6 extensions: time budgets and column preferences."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BitsWeight,
+    CallableWeight,
+    ParametricWeight,
+    Rule,
+    STAR,
+    SizeWeight,
+    adjust_column_preference,
+    brs,
+    brs_time_limited,
+)
+from repro.errors import WeightFunctionError
+
+
+class TestTimeLimitedBRS:
+    def test_returns_prefix_of_fixed_k(self, marketing7):
+        """The time-limited output prefixes the fixed-k greedy output."""
+        wf = SizeWeight()
+        limited = brs_time_limited(marketing7, wf, 5.0, time_limit_seconds=60.0, max_rules=3)
+        full = brs(marketing7, wf, 6, 5.0)
+        assert [p.rule for p in limited.picks] == [p.rule for p in full.picks[:3]]
+
+    def test_always_finds_at_least_one_rule(self, tiny_table):
+        result = brs_time_limited(tiny_table, SizeWeight(), 3.0, time_limit_seconds=1e-9)
+        assert len(result.rules) >= 1
+
+    def test_generous_budget_exhausts_rules(self, tiny_table):
+        result = brs_time_limited(tiny_table, SizeWeight(), 3.0, time_limit_seconds=30.0)
+        # Stops when no positive marginal remains, like plain BRS.
+        unlimited = brs(tiny_table, SizeWeight(), 1000, 3.0)
+        assert set(result.rules) == set(unlimited.rules)
+
+    def test_invalid_budget(self, tiny_table):
+        with pytest.raises(ValueError):
+            brs_time_limited(tiny_table, SizeWeight(), 3.0, time_limit_seconds=0.0)
+
+    def test_max_rules_cap(self, marketing7):
+        result = brs_time_limited(
+            marketing7, SizeWeight(), 5.0, time_limit_seconds=60.0, max_rules=2
+        )
+        assert len(result.rules) == 2
+
+
+class TestColumnPreference:
+    def test_size_promoted_to_parametric(self):
+        adjusted = adjust_column_preference(SizeWeight(), 1, 3.0, 3)
+        assert isinstance(adjusted, ParametricWeight)
+        assert adjusted.weight(Rule([STAR, "b", STAR])) == 3.0
+        assert adjusted.weight(Rule(["a", STAR, STAR])) == 1.0
+
+    def test_ignore_zeroes_column(self):
+        adjusted = adjust_column_preference(SizeWeight(), 0, 0.0, 2)
+        assert adjusted.weight(Rule(["a", STAR])) == 0.0
+        assert adjusted.weight(Rule(["a", "b"])) == 1.0
+
+    def test_bits_scaled(self, tiny_table):
+        base = BitsWeight.for_table(tiny_table)
+        adjusted = adjust_column_preference(base, 1, 2.0, 3)
+        assert isinstance(adjusted, BitsWeight)
+        assert adjusted.column_bits[1] == base.column_bits[1] * 2
+
+    def test_parametric_scaled_preserves_exponent(self):
+        base = ParametricWeight([1.0, 2.0], exponent=2.0)
+        adjusted = adjust_column_preference(base, 0, 4.0, 2)
+        assert isinstance(adjusted, ParametricWeight)
+        assert adjusted.exponent == 2.0
+        assert adjusted.column_weights == (4.0, 2.0)
+
+    def test_unsupported_weight_rejected(self):
+        wf = CallableWeight(lambda r: float(r.size))
+        with pytest.raises(WeightFunctionError):
+            adjust_column_preference(wf, 0, 2.0, 2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WeightFunctionError):
+            adjust_column_preference(SizeWeight(), 0, -1.0, 2)
+        with pytest.raises(WeightFunctionError):
+            adjust_column_preference(SizeWeight(), 5, 1.0, 2)
+
+    def test_favoring_changes_selection(self, marketing7):
+        """Favouring Occupation surfaces Occupation rules (§6.1 intent)."""
+        occ = marketing7.schema.index_of("Occupation")
+        favoured = adjust_column_preference(SizeWeight(), occ, 4.0, marketing7.n_columns)
+        result = brs(marketing7, favoured, 4, 8.0)
+        assert any(not r.is_star(occ) for r in result.rules)
+
+    def test_ignored_column_never_selected(self, marketing7):
+        sex = marketing7.schema.index_of("Sex")
+        ignoring = adjust_column_preference(SizeWeight(), sex, 0.0, marketing7.n_columns)
+        result = brs(marketing7, ignoring, 4, 5.0)
+        assert all(r.is_star(sex) for r in result.rules)

@@ -1,0 +1,110 @@
+"""Tests for parameter guidance (§4.2, §6.1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SizeWeight,
+    estimate_mw,
+    estimate_parametric_mw,
+    exponent_for_target_fraction,
+    kkt_analysis,
+    recommend_min_sample_size,
+)
+from repro.table import Table, compute_stats
+
+
+class TestEstimateMW:
+    def test_covers_actual_max_weight(self, marketing7):
+        """2× the pilot's max weight should cover the true optimum."""
+        from repro.core import brs
+
+        wf = SizeWeight()
+        mw = estimate_mw(marketing7, wf, 4, sample_size=2000, rng=np.random.default_rng(1))
+        full = brs(marketing7, wf, 4, 7.0)
+        true_max = max(wf.weight(r) for r in full.rules)
+        assert mw >= true_max
+
+    def test_small_table_uses_everything(self, tiny_table):
+        mw = estimate_mw(tiny_table, SizeWeight(), 2, sample_size=100)
+        assert mw >= 1.0
+
+    def test_empty_table(self):
+        table = Table.from_rows(["A"], [])
+        assert estimate_mw(table, SizeWeight(), 2) == 1.0
+
+    def test_safety_factor_scales(self, tiny_table):
+        base = estimate_mw(tiny_table, SizeWeight(), 2, safety_factor=1.0)
+        doubled = estimate_mw(tiny_table, SizeWeight(), 2, safety_factor=2.0)
+        assert doubled == pytest.approx(2.0 * base)
+
+
+class TestMinSSRecommendation:
+    def test_formula(self, tiny_table):
+        # |C| = 3 columns, min distinct = 2 → ρ·6.
+        assert recommend_min_sample_size(tiny_table, rho=10.0) == 60.0
+
+    def test_accepts_stats(self, tiny_table):
+        stats = compute_stats(tiny_table)
+        assert recommend_min_sample_size(stats) == recommend_min_sample_size(tiny_table)
+
+    def test_paper_example(self):
+        """|T|=10000, |c|=5, |C|=10 → minSS ≫ 50 (paper §4.2)."""
+        rows = [(f"v{i % 5}", *[f"x{i % 7}_{j}" for j in range(9)]) for i in range(100)]
+        table = Table.from_rows([f"c{j}" for j in range(10)], rows)
+        assert recommend_min_sample_size(table, rho=1.0) == 10 * 5
+
+
+class TestKKT:
+    def test_uniform_bits_ratio_equal(self):
+        """With f_c = 1/|c| and w_c = log|c|, all ratios are equal (§6.1)."""
+        domains = [4, 8, 16]
+        fs = [1.0 / d for d in domains]
+        ws = [math.log2(d) for d in domains]
+        analysis = kkt_analysis(fs, ws, exponent=1.0)
+        ratios = [r for r in analysis.ratios]
+        assert max(ratios) - min(ratios) < 1e-9
+
+    def test_size_weighting_prefers_frequent_values(self):
+        """Under Size weighting the best columns have the largest f_c."""
+        fs = [0.9, 0.2, 0.5]
+        ws = [1.0, 1.0, 1.0]
+        analysis = kkt_analysis(fs, ws, exponent=1.0)
+        assert analysis.predicted_columns[0] == 0
+
+    def test_fraction_formula(self):
+        fs = [0.5, 0.5]
+        k = 1.0
+        analysis = kkt_analysis(fs, [1.0, 1.0], exponent=k)
+        expected = -k / (math.log(0.5) + math.log(0.5))
+        assert analysis.instantiated_fraction == pytest.approx(expected)
+
+    def test_exponent_for_target_roundtrip(self):
+        fs = [0.3, 0.6, 0.4]
+        target = 0.5
+        k = exponent_for_target_fraction(fs, target)
+        analysis = kkt_analysis(fs, [1.0, 1.0, 1.0], exponent=k)
+        assert analysis.instantiated_fraction == pytest.approx(target)
+
+    def test_target_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            exponent_for_target_fraction([0.5], 1.5)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            kkt_analysis([0.5], [1.0, 1.0], 1.0)
+
+    def test_parametric_mw_on_table(self, tiny_table):
+        mw = estimate_parametric_mw(tiny_table, [1.0, 1.0, 1.0], exponent=1.0)
+        assert 0.0 <= mw <= 3.0
+
+    def test_predicted_mw_monotone_in_exponent(self):
+        fs = [0.5, 0.5, 0.5]
+        ws = [1.0, 1.0, 1.0]
+        low = kkt_analysis(fs, ws, exponent=0.5).instantiated_fraction
+        high = kkt_analysis(fs, ws, exponent=2.0).instantiated_fraction
+        assert high > low

@@ -1,0 +1,224 @@
+"""Unit and property tests for the rule model (paper §2.1 semantics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Rule, STAR, Wildcard, cover_mask, count
+from repro.errors import RuleError
+from repro.table import Interval, Schema, Table
+
+
+class TestWildcard:
+    def test_singleton(self):
+        assert Wildcard() is STAR
+        assert Wildcard() is Wildcard()
+
+    def test_repr(self):
+        assert repr(STAR) == "?"
+
+
+class TestRuleBasics:
+    def test_trivial_rule(self):
+        rule = Rule.trivial(3)
+        assert rule.size == 0
+        assert rule.is_trivial
+        assert len(rule) == 3
+        assert all(rule.is_star(i) for i in range(3))
+
+    def test_size_counts_non_stars(self):
+        assert Rule(["a", STAR, "c"]).size == 2
+        assert Rule(["a", "b", "c"]).size == 3
+
+    def test_from_items(self):
+        rule = Rule.from_items(4, {1: "b", 3: "d"})
+        assert rule.values == (STAR, "b", STAR, "d")
+        assert rule.instantiated_indexes == (1, 3)
+        assert rule.star_indexes == (0, 2)
+
+    def test_from_items_out_of_range(self):
+        with pytest.raises(RuleError):
+            Rule.from_items(2, {5: "x"})
+
+    def test_from_named(self, tiny_table):
+        rule = Rule.from_named(tiny_table, B="x")
+        assert rule.values == (STAR, "x", STAR)
+
+    def test_unhashable_value_rejected(self):
+        with pytest.raises(RuleError):
+            Rule([["list"], STAR])
+
+    def test_equality_and_hash(self):
+        assert Rule(["a", STAR]) == Rule(["a", STAR])
+        assert hash(Rule(["a", STAR])) == hash(Rule(["a", STAR]))
+        assert Rule(["a", STAR]) != Rule([STAR, "a"])
+
+    def test_str_uses_question_marks(self):
+        assert str(Rule(["a", STAR, "c"])) == "(a, ?, c)"
+
+    def test_items_iterates_instantiated(self):
+        assert list(Rule([STAR, "b", "c"]).items()) == [(1, "b"), (2, "c")]
+
+    def test_with_value_and_star_roundtrip(self):
+        rule = Rule.trivial(3).with_value(1, "b")
+        assert rule.values == (STAR, "b", STAR)
+        assert rule.with_star(1) == Rule.trivial(3)
+
+    def test_with_value_out_of_range(self):
+        with pytest.raises(RuleError):
+            Rule.trivial(2).with_value(2, "x")
+
+
+class TestSubsumption:
+    def test_trivial_is_subrule_of_everything(self):
+        trivial = Rule.trivial(3)
+        assert trivial.is_subrule_of(Rule(["a", "b", "c"]))
+        assert trivial.is_subrule_of(trivial)
+
+    def test_paper_example(self):
+        # "rule (a, ?) is a sub-rule of (a, b)"
+        assert Rule(["a", STAR]).is_subrule_of(Rule(["a", "b"]))
+        assert not Rule(["a", "b"]).is_subrule_of(Rule(["a", STAR]))
+
+    def test_conflicting_values_not_subrule(self):
+        assert not Rule(["a", STAR]).is_subrule_of(Rule(["b", "c"]))
+
+    def test_strict_subrule_excludes_equal(self):
+        rule = Rule(["a", STAR])
+        assert not rule.is_strict_subrule_of(rule)
+        assert Rule([STAR, STAR]).is_strict_subrule_of(rule)
+
+    def test_superrule_is_inverse(self):
+        sub, sup = Rule(["a", STAR]), Rule(["a", "b"])
+        assert sup.is_superrule_of(sub)
+        assert not sub.is_superrule_of(sup)
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(RuleError):
+            Rule(["a"]).is_subrule_of(Rule(["a", "b"]))
+
+    def test_merge_compatible(self):
+        merged = Rule(["a", STAR, STAR]).merge(Rule([STAR, "b", STAR]))
+        assert merged == Rule(["a", "b", STAR])
+
+    def test_merge_conflict_is_none(self):
+        assert Rule(["a", STAR]).merge(Rule(["b", STAR])) is None
+
+    def test_merge_is_least_upper_bound(self):
+        r1, r2 = Rule(["a", STAR, "c"]), Rule(["a", "b", STAR])
+        merged = r1.merge(r2)
+        assert r1.is_subrule_of(merged) and r2.is_subrule_of(merged)
+
+
+class TestCoverage:
+    def test_covers_row(self):
+        rule = Rule(["a", STAR, "p"])
+        assert rule.covers_row(("a", "x", "p"))
+        assert not rule.covers_row(("a", "x", "q"))
+        assert not rule.covers_row(("b", "x", "p"))
+
+    def test_covers_row_arity_mismatch(self):
+        with pytest.raises(RuleError):
+            Rule(["a"]).covers_row(("a", "b"))
+
+    def test_cover_mask_matches_row_loop(self, tiny_table):
+        rule = Rule(["a", "x", STAR])
+        mask = cover_mask(rule, tiny_table)
+        expected = [rule.covers_row(row) for row in tiny_table.rows()]
+        assert mask.tolist() == expected
+
+    def test_count_on_tiny_table(self, tiny_table):
+        assert count(Rule(["a", STAR, STAR]), tiny_table) == 5
+        assert count(Rule([STAR, "x", STAR]), tiny_table) == 4
+        assert count(Rule(["a", "x", STAR]), tiny_table) == 3
+        assert count(Rule(["a", "x", "p"]), tiny_table) == 2
+        assert count(Rule.trivial(3), tiny_table) == 8
+
+    def test_unknown_value_covers_nothing(self, tiny_table):
+        assert count(Rule(["zzz", STAR, STAR]), tiny_table) == 0
+
+    def test_cover_mask_arity_mismatch(self, tiny_table):
+        with pytest.raises(RuleError):
+            cover_mask(Rule(["a"]), tiny_table)
+
+    def test_interval_rule_on_numeric_column(self):
+        table = Table.from_dict({"name": ["a", "b", "c"], "age": [10.0, 25.0, 40.0]})
+        rule = Rule([STAR, Interval(20.0, 30.0)])
+        assert cover_mask(rule, table).tolist() == [False, True, False]
+
+    def test_scalar_rule_on_numeric_column(self):
+        table = Table.from_dict({"name": ["a", "b"], "age": [10.0, 25.0]})
+        rule = Rule([STAR, 25.0])
+        assert cover_mask(rule, table).tolist() == [False, True]
+
+    def test_interval_covers_row_semantics(self):
+        rule = Rule([Interval(0.0, 10.0)])
+        assert rule.covers_row((5.0,))
+        assert not rule.covers_row((10.0,))  # half-open
+        closed = Rule([Interval(0.0, 10.0, closed_right=True)])
+        assert closed.covers_row((10.0,))
+
+
+# -- hypothesis strategies ----------------------------------------------------
+
+_values = st.sampled_from(["a", "b", "c"])
+_cells = st.one_of(st.just(STAR), _values)
+
+
+def _rules(n_columns: int = 4):
+    return st.lists(_cells, min_size=n_columns, max_size=n_columns).map(Rule)
+
+
+@st.composite
+def _rule_pairs_sub_super(draw):
+    """Generate (sub, super) pairs by starring out columns of super."""
+    sup = draw(_rules())
+    starred = draw(st.sets(st.integers(0, 3)))
+    sub = sup
+    for i in starred:
+        sub = sub.with_star(i)
+    return sub, sup
+
+
+class TestRuleProperties:
+    @given(_rule_pairs_sub_super())
+    def test_starring_yields_subrule(self, pair):
+        sub, sup = pair
+        assert sub.is_subrule_of(sup)
+
+    @given(_rules(), _rules())
+    def test_subrule_antisymmetry(self, r1, r2):
+        if r1.is_subrule_of(r2) and r2.is_subrule_of(r1):
+            assert r1 == r2
+
+    @given(_rules(), _rules(), _rules())
+    def test_subrule_transitivity(self, r1, r2, r3):
+        if r1.is_subrule_of(r2) and r2.is_subrule_of(r3):
+            assert r1.is_subrule_of(r3)
+
+    @given(_rules(), st.lists(_values, min_size=4, max_size=4))
+    def test_subrule_covers_superset(self, rule, row):
+        """t ∈ r2 and r1 ⊑ r2 imply t ∈ r1 (paper §2.1)."""
+        row = tuple(row)
+        for i in range(4):
+            sub = rule.with_star(i)
+            if rule.covers_row(row):
+                assert sub.covers_row(row)
+
+    @given(_rules(), _rules())
+    def test_merge_symmetric(self, r1, r2):
+        assert r1.merge(r2) == r2.merge(r1)
+
+    @given(_rules(), _rules())
+    def test_merge_covers_intersection(self, r1, r2):
+        merged = r1.merge(r2)
+        rows = [("a", "a", "a", "a"), ("a", "b", "c", "a"), ("b", "b", "b", "b")]
+        for row in rows:
+            both = r1.covers_row(row) and r2.covers_row(row)
+            if merged is None:
+                assert not both
+            else:
+                assert merged.covers_row(row) == both

@@ -1,0 +1,199 @@
+"""Tests for Count/MCount/Score (paper §2.1) and Lemma 1."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Rule,
+    RuleList,
+    STAR,
+    SizeWeight,
+    aggregate,
+    count,
+    marginal_counts,
+    score_list,
+    score_set,
+    sort_rules_by_weight,
+    top_weights,
+    tuple_measures,
+)
+from repro.core.exhaustive import enumerate_supported_rules
+from repro.errors import RuleError
+from repro.table import Table
+from tests.conftest import random_table
+
+
+class TestMeasures:
+    def test_default_is_ones(self, tiny_table):
+        m = tuple_measures(tiny_table)
+        assert m.tolist() == [1.0] * 8
+
+    def test_measure_column(self, measure_table):
+        m = tuple_measures(measure_table, "Sales")
+        assert m.tolist() == [10.0, 20.0, 5.0, 5.0, 30.0, 1.0]
+
+    def test_negative_measure_rejected(self):
+        table = Table.from_dict({"a": ["x"], "v": [-1.0]})
+        with pytest.raises(RuleError):
+            tuple_measures(table, "v")
+
+
+class TestMarginalCounts:
+    def test_disjoint_rules(self, tiny_table):
+        rules = [Rule(["a", STAR, STAR]), Rule(["b", STAR, STAR])]
+        assert marginal_counts(rules, tiny_table) == [5.0, 3.0]
+
+    def test_overlapping_rules(self, tiny_table):
+        rules = [Rule(["a", STAR, STAR]), Rule([STAR, "x", STAR])]
+        # (?, x, ?) covers 4 rows, 3 already covered by (a, ?, ?).
+        assert marginal_counts(rules, tiny_table) == [5.0, 1.0]
+
+    def test_duplicate_rule_has_zero_marginal(self, tiny_table):
+        rule = Rule(["a", STAR, STAR])
+        assert marginal_counts([rule, rule], tiny_table) == [5.0, 0.0]
+
+    def test_empty_list(self, tiny_table):
+        assert marginal_counts([], tiny_table) == []
+
+    def test_with_measures(self, measure_table):
+        m = tuple_measures(measure_table, "Sales")
+        rules = [Rule(["W", STAR, STAR]), Rule([STAR, "x", STAR])]
+        # W covers sales 10+20; x covers 10+5+5 of which 10 is W's.
+        assert marginal_counts(rules, measure_table, m) == [30.0, 10.0]
+
+
+class TestScore:
+    def test_score_list_formula(self, tiny_table):
+        wf = SizeWeight()
+        rules = [Rule(["a", "x", STAR]), Rule(["a", STAR, STAR])]
+        # 2*3 + 1*(5-3) = 8
+        assert score_list(rules, tiny_table, wf) == 8.0
+
+    def test_score_set_sorts_by_weight(self, tiny_table):
+        wf = SizeWeight()
+        rules = [Rule(["a", STAR, STAR]), Rule(["a", "x", STAR])]
+        # As a set, the size-2 rule is credited first: same 8.0.
+        assert score_set(rules, tiny_table, wf) == 8.0
+        # As a mis-ordered list, the size-1 rule absorbs the overlap: 5 + 2*0 = 5.
+        assert score_list(rules, tiny_table, wf) == 5.0
+
+    def test_score_equals_top_weight_sum(self, tiny_table):
+        """Score(R) = Σ_t W(TOP(t, R)) (the proof-of-Lemma-1 identity)."""
+        wf = SizeWeight()
+        rules = [Rule(["a", "x", STAR]), Rule([STAR, STAR, "q"])]
+        top = top_weights(rules, tiny_table, wf)
+        assert score_set(rules, tiny_table, wf) == pytest.approx(top.sum())
+
+    def test_lemma1_on_all_permutations(self, tiny_table):
+        """Weight-descending order maximises list score (Lemma 1)."""
+        wf = SizeWeight()
+        rules = [
+            Rule(["a", STAR, STAR]),
+            Rule(["a", "x", STAR]),
+            Rule([STAR, STAR, "q"]),
+        ]
+        best = score_set(rules, tiny_table, wf)
+        for perm in itertools.permutations(rules):
+            assert score_list(list(perm), tiny_table, wf) <= best + 1e-9
+
+
+class TestTopWeights:
+    def test_uncovered_tuples_zero(self, tiny_table):
+        top = top_weights([Rule(["a", STAR, STAR])], tiny_table, SizeWeight())
+        assert top.tolist() == [1, 1, 1, 1, 1, 0, 0, 0]
+
+    def test_takes_max_weight(self, tiny_table):
+        rules = [Rule(["a", STAR, STAR]), Rule(["a", "x", "p"])]
+        top = top_weights(rules, tiny_table, SizeWeight())
+        assert top.tolist() == [3, 3, 1, 1, 1, 0, 0, 0]
+
+
+class TestRuleList:
+    def test_sorted_descending_by_weight(self, tiny_table):
+        wf = SizeWeight()
+        rl = RuleList(
+            [Rule(["a", STAR, STAR]), Rule(["a", "x", "p"]), Rule(["a", "x", STAR])],
+            tiny_table,
+            wf,
+        )
+        weights = [e.weight for e in rl]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_entries_carry_count_and_mcount(self, tiny_table):
+        wf = SizeWeight()
+        rl = RuleList([Rule(["a", "x", STAR]), Rule(["a", STAR, STAR])], tiny_table, wf)
+        assert rl[0].count == 3.0 and rl[0].mcount == 3.0
+        assert rl[1].count == 5.0 and rl[1].mcount == 2.0
+
+    def test_score_matches_score_set(self, tiny_table):
+        wf = SizeWeight()
+        rules = [Rule(["a", STAR, STAR]), Rule([STAR, "x", STAR])]
+        rl = RuleList(rules, tiny_table, wf)
+        assert rl.score == score_set(rules, tiny_table, wf)
+
+    def test_scaled_entry(self, tiny_table):
+        rl = RuleList([Rule(["a", STAR, STAR])], tiny_table, SizeWeight())
+        scaled = rl[0].scaled(10.0)
+        assert scaled.count == 50.0 and scaled.mcount == 50.0
+        assert scaled.weight == rl[0].weight
+
+    def test_len_iter_getitem(self, tiny_table):
+        rl = RuleList([Rule(["a", STAR, STAR])], tiny_table, SizeWeight())
+        assert len(rl) == 1
+        assert list(rl)[0] is rl[0]
+
+
+class TestSubmodularity:
+    """Empirical check of Lemma 3 on random tables."""
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(0, 10_000))
+    def test_diminishing_returns(self, seed):
+        rng = np.random.default_rng(seed)
+        table = random_table(rng, n_rows=20, n_columns=3, domain=2)
+        wf = SizeWeight()
+        pool = enumerate_supported_rules(table, max_size=2)
+        if len(pool) < 4:
+            return
+        picks = rng.choice(len(pool), size=4, replace=False)
+        a = {pool[picks[0]]}
+        b = a | {pool[picks[1]], pool[picks[2]]}
+        s = pool[picks[3]]
+        gain_a = score_set(a | {s}, table, wf) - score_set(a, table, wf)
+        gain_b = score_set(b | {s}, table, wf) - score_set(b, table, wf)
+        assert gain_a >= gain_b - 1e-9
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(0, 10_000))
+    def test_monotone_in_set(self, seed):
+        rng = np.random.default_rng(seed)
+        table = random_table(rng, n_rows=20, n_columns=3, domain=2)
+        wf = SizeWeight()
+        pool = enumerate_supported_rules(table, max_size=2)
+        if len(pool) < 3:
+            return
+        picks = rng.choice(len(pool), size=3, replace=False)
+        small = {pool[picks[0]]}
+        large = small | {pool[picks[1]], pool[picks[2]]}
+        assert score_set(large, table, wf) >= score_set(small, table, wf) - 1e-9
+
+
+class TestAggregate:
+    def test_aggregate_default_counts(self, tiny_table):
+        assert aggregate(Rule(["a", STAR, STAR]), tiny_table) == 5.0
+
+    def test_aggregate_with_measures(self, measure_table):
+        m = tuple_measures(measure_table, "Sales")
+        assert aggregate(Rule(["T", STAR, STAR]), measure_table, m) == 40.0
+
+    def test_sort_rules_stable_on_ties(self, tiny_table):
+        wf = SizeWeight()
+        r1, r2 = Rule(["a", STAR, STAR]), Rule(["b", STAR, STAR])
+        assert sort_rules_by_weight([r1, r2], wf) == [r1, r2]
+        assert sort_rules_by_weight([r2, r1], wf) == [r2, r1]

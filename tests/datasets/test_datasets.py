@@ -1,0 +1,220 @@
+"""Tests for the synthetic dataset generators (DESIGN.md §3 substitutions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Rule, STAR, count
+from repro.datasets import (
+    CENSUS_COLUMNS,
+    CENSUS_DOMAIN_SIZES,
+    ClusterSpec,
+    MARKETING_COLUMNS,
+    MARKETING_DOMAINS,
+    generate_census,
+    generate_marketing,
+    generate_retail,
+    generate_zipf_table,
+    zipf_probabilities,
+)
+from repro.datasets.marketing import (
+    N_FEMALE,
+    N_MALE,
+    N_FEMALE_LONG_BAY,
+    N_MALE_NEVER_MARRIED_LONG_BAY,
+)
+from repro.errors import DatasetError
+
+
+class TestRetail:
+    def test_engineered_counts(self, retail):
+        assert retail.n_rows == 6000
+        assert count(Rule.from_named(retail, Store="Walmart"), retail) == 1000
+        assert count(Rule.from_named(retail, Product="comforters", Region="MA-3"), retail) == 600
+        assert count(Rule.from_named(retail, Store="Target", Product="bicycles"), retail) == 200
+        assert count(Rule.from_named(retail, Store="Walmart", Product="cookies"), retail) == 200
+        assert count(Rule.from_named(retail, Store="Walmart", Region="CA-1"), retail) == 150
+        assert count(Rule.from_named(retail, Store="Walmart", Region="WA-5"), retail) == 130
+
+    def test_scale_preserves_ratios(self):
+        scaled = generate_retail(scale=2)
+        assert scaled.n_rows == 12000
+        assert count(Rule.from_named(scaled, Store="Walmart"), scaled) == 2000
+
+    def test_sales_column_positive(self, retail):
+        assert (retail.numeric("Sales").data > 0).all()
+
+    def test_deterministic(self):
+        assert generate_retail(seed=3).to_rows() == generate_retail(seed=3).to_rows()
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatasetError):
+            generate_retail(scale=0)
+
+
+class TestMarketing:
+    def test_row_and_column_counts(self, marketing):
+        assert marketing.n_rows == N_FEMALE + N_MALE == 8993
+        assert marketing.column_names == MARKETING_COLUMNS
+        assert len(MARKETING_COLUMNS) == 14
+
+    def test_headline_quotas_exact(self, marketing):
+        assert count(Rule.from_named(marketing, Sex="Female"), marketing) == N_FEMALE
+        assert count(Rule.from_named(marketing, Sex="Male"), marketing) == N_MALE
+        assert (
+            count(
+                Rule.from_named(marketing, Sex="Female", TimeInBayArea=">10 years"),
+                marketing,
+            )
+            == N_FEMALE_LONG_BAY
+        )
+        assert (
+            count(
+                Rule.from_named(
+                    marketing,
+                    Sex="Male",
+                    MaritalStatus="Never married",
+                    TimeInBayArea=">10 years",
+                ),
+                marketing,
+            )
+            == N_MALE_NEVER_MARRIED_LONG_BAY
+        )
+
+    def test_quotas_hold_for_any_seed(self):
+        table = generate_marketing(seed=999)
+        assert count(Rule.from_named(table, Sex="Female"), table) == N_FEMALE
+        assert (
+            count(Rule.from_named(table, Sex="Female", TimeInBayArea=">10 years"), table)
+            == N_FEMALE_LONG_BAY
+        )
+
+    def test_domains_at_most_ten_values(self, marketing):
+        """The paper: 'each column has up to 10 distinct values'."""
+        for name, size in marketing.distinct_counts().items():
+            assert size <= 10, name
+            assert size <= len(MARKETING_DOMAINS[name])
+
+    def test_deterministic(self):
+        a = generate_marketing(seed=5)
+        b = generate_marketing(seed=5)
+        assert a.to_rows()[:100] == b.to_rows()[:100]
+
+    def test_correlations_present(self, marketing):
+        """Education↔income: graduates skew to high income buckets."""
+        grad_high = count(
+            Rule.from_named(marketing, Education="Grad study", Income="$75k+"), marketing
+        )
+        grad_total = count(Rule.from_named(marketing, Education="Grad study"), marketing)
+        low_high = count(
+            Rule.from_named(marketing, Education="Grade 8 or less", Income="$75k+"),
+            marketing,
+        )
+        low_total = count(
+            Rule.from_named(marketing, Education="Grade 8 or less"), marketing
+        )
+        assert grad_high / grad_total > low_high / max(low_total, 1)
+
+    def test_dual_income_functionally_consistent(self, marketing):
+        """'Not married' dual-income iff not married (engineered FD)."""
+        not_married_dual = count(
+            Rule.from_named(marketing, MaritalStatus="Married", DualIncome="Not married"),
+            marketing,
+        )
+        assert not_married_dual == 0
+
+
+class TestCensus:
+    def test_schema(self):
+        table = generate_census(1000)
+        assert table.n_columns == 68
+        assert table.column_names == CENSUS_COLUMNS
+
+    def test_column_prefix(self):
+        table = generate_census(500, n_columns=7)
+        assert table.column_names == CENSUS_COLUMNS[:7]
+
+    def test_domain_sizes_bounded(self):
+        table = generate_census(5000, n_columns=10)
+        for name, distinct in table.distinct_counts().items():
+            idx = CENSUS_COLUMNS.index(name)
+            assert distinct <= CENSUS_DOMAIN_SIZES[idx]
+
+    def test_skew_produces_heavy_top_value(self):
+        from repro.table import compute_stats
+
+        table = generate_census(20_000, n_columns=7)
+        stats = compute_stats(table)
+        assert stats.max_top_fraction > 0.3
+
+    def test_deterministic(self):
+        a = generate_census(200, seed=4)
+        b = generate_census(200, seed=4)
+        assert a.to_rows() == b.to_rows()
+
+    def test_invalid_columns(self):
+        with pytest.raises(DatasetError):
+            generate_census(10, n_columns=0)
+
+
+class TestZipf:
+    def test_probabilities_normalised(self):
+        p = zipf_probabilities(10, 1.0)
+        assert p.sum() == pytest.approx(1.0)
+        assert (np.diff(p) <= 0).all()  # decreasing in rank
+
+    def test_zero_skew_uniform(self):
+        p = zipf_probabilities(4, 0.0)
+        assert np.allclose(p, 0.25)
+
+    def test_invalid_domain(self):
+        with pytest.raises(DatasetError):
+            zipf_probabilities(0, 1.0)
+
+    def test_table_shape(self):
+        table = generate_zipf_table(100, [3, 5], skew=1.0, seed=1)
+        assert table.n_rows == 100
+        assert table.distinct_counts()["c0"] <= 3
+
+    def test_cluster_correlation(self):
+        """Clustered columns co-vary far above independence."""
+        spec = ClusterSpec(columns=(0, 1), n_latent=3, strength=0.9)
+        table = generate_zipf_table(20_000, [6, 6], skew=0.0, clusters=[spec], seed=2)
+        # Measure mutual co-occurrence of top pairs: with strength 0.9
+        # some (v0, v1) pair occurs far more than the 1/36 independence rate.
+        from collections import Counter
+
+        pairs = Counter(table.rows())
+        top = pairs.most_common(1)[0][1] / table.n_rows
+        assert top > 3 / 36
+
+    def test_cluster_validation(self):
+        with pytest.raises(DatasetError):
+            generate_zipf_table(
+                10, [2, 2], clusters=[ClusterSpec(columns=(0, 5))], seed=0
+            )
+        with pytest.raises(DatasetError):
+            generate_zipf_table(
+                10,
+                [2, 2],
+                clusters=[ClusterSpec(columns=(0,)), ClusterSpec(columns=(0,))],
+                seed=0,
+            )
+
+    def test_per_column_skew(self):
+        table = generate_zipf_table(5000, [5, 5], skew=[0.0, 2.0], seed=3)
+        from repro.table import compute_stats
+
+        stats = compute_stats(table)
+        assert stats.columns[1].top_fraction > stats.columns[0].top_fraction
+
+    def test_parameter_validation(self):
+        with pytest.raises(DatasetError):
+            generate_zipf_table(10, [])
+        with pytest.raises(DatasetError):
+            generate_zipf_table(-1, [2])
+        with pytest.raises(DatasetError):
+            generate_zipf_table(10, [2], skew=[1.0, 2.0])
+        with pytest.raises(DatasetError):
+            generate_zipf_table(10, [2], column_names=["a", "b"])

@@ -1,0 +1,72 @@
+"""Unit tests for the experiment-runner plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    Series,
+    SeriesPoint,
+    report_table,
+    run_fig1_empty_rule,
+    run_mw_sweep,
+    run_tables_1_2_3,
+    timed,
+    trend_slope,
+    weighting_by_name,
+)
+
+
+class TestCommon:
+    def test_timed_returns_result(self):
+        seconds, value = timed(lambda: 42)
+        assert value == 42
+        assert seconds >= 0
+
+    def test_series_accessors(self):
+        s = Series("x", (SeriesPoint(1, 2, {"a": 3.0}), SeriesPoint(2, 4, {"a": 5.0})))
+        assert s.xs == [1, 2]
+        assert s.ys == [2, 4]
+        assert s.extra("a") == [3.0, 5.0]
+
+    def test_trend_slope(self):
+        assert trend_slope([0, 1, 2], [0, 2, 4]) == pytest.approx(2.0)
+        assert trend_slope([1, 1, 1], [1, 2, 3]) == 0.0  # degenerate x
+
+    def test_report_table_formats(self):
+        text = report_table("Title", ["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len(lines) == 6
+
+    def test_weighting_by_name(self, tiny_table):
+        from repro.core import BitsWeight, SizeWeight
+
+        assert isinstance(weighting_by_name("size", tiny_table), SizeWeight)
+        assert isinstance(weighting_by_name("bits", tiny_table), BitsWeight)
+        with pytest.raises(ValueError):
+            weighting_by_name("magic", tiny_table)
+
+
+class TestQualitativeRunners:
+    def test_results_carry_text_and_rules(self):
+        result = run_fig1_empty_rule()
+        assert result.rules
+        assert "Count" in result.text
+        assert "Figure 1" in result.name
+
+    def test_tables_runner_returns_pair(self):
+        table2, table3 = run_tables_1_2_3()
+        assert "Table 2" in table2.name
+        assert "Table 3" in table3.name
+        assert len(table2.rules) == 3 and len(table3.rules) == 3
+
+
+class TestPerformanceRunners:
+    def test_mw_sweep_shape(self, tiny_table):
+        series = run_mw_sweep(tiny_table, "size", [1, 2], repeats=1)
+        assert len(series.points) == 2
+        assert series.points[0].x == 1.0
+        assert all(p.y >= 0 for p in series.points)
+        assert "score" in series.points[0].extra

@@ -1,0 +1,101 @@
+"""Tests for the knapsack reduction (Lemma 4) — executed constructively."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.hardness import (
+    KnapsackInstance,
+    allocation_to_knapsack_choice,
+    knapsack_to_allocation,
+    solve_knapsack_dp,
+    solve_knapsack_exhaustive,
+)
+from repro.sampling import allocate_dp
+
+
+class TestKnapsackSolvers:
+    def test_dp_small_instance(self):
+        inst = KnapsackInstance(weights=(2, 3, 4), values=(3.0, 4.0, 5.0), capacity=5)
+        chosen, value = solve_knapsack_dp(inst)
+        assert value == 7.0
+        assert sorted(chosen) == [0, 1]
+
+    def test_dp_zero_capacity(self):
+        inst = KnapsackInstance((1,), (10.0,), 0)
+        chosen, value = solve_knapsack_dp(inst)
+        assert chosen == [] and value == 0.0
+
+    def test_dp_takes_all_when_ample(self):
+        inst = KnapsackInstance((1, 1), (1.0, 2.0), 10)
+        chosen, value = solve_knapsack_dp(inst)
+        assert value == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            KnapsackInstance((0,), (1.0,), 5)
+        with pytest.raises(ReproError):
+            KnapsackInstance((1,), (-1.0,), 5)
+        with pytest.raises(ReproError):
+            KnapsackInstance((1, 2), (1.0,), 5)
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(0, 10_000))
+    def test_dp_matches_exhaustive(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 6))
+        inst = KnapsackInstance(
+            weights=tuple(int(w) for w in rng.integers(1, 8, n)),
+            values=tuple(float(v) for v in rng.integers(0, 20, n)),
+            capacity=int(rng.integers(0, 15)),
+        )
+        _, dp_value = solve_knapsack_dp(inst)
+        _, exact_value = solve_knapsack_exhaustive(inst)
+        assert dp_value == pytest.approx(exact_value)
+
+
+class TestLemma4Reduction:
+    def test_structure(self):
+        inst = KnapsackInstance((2, 3), (5.0, 4.0), 4)
+        groups, memory = knapsack_to_allocation(inst, min_sample_size=1000)
+        assert len(groups) == 2
+        for group in groups:
+            assert len(group.leaves) == 2
+            must, opt = group.leaves
+            assert must.selectivity == 1.0
+            assert 0.0 < opt.selectivity < 1.0
+        assert memory > 2 * 1000  # m·minSS plus scaled capacity
+
+    def test_mandatory_leaves_always_satisfied(self):
+        inst = KnapsackInstance((2, 3), (5.0, 4.0), 4)
+        groups, memory = knapsack_to_allocation(inst, min_sample_size=1000)
+        result = allocate_dp(groups, memory, 1000)
+        satisfied = set(result.satisfied)
+        assert {"r0_must", "r1_must"} <= satisfied
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(0, 10_000))
+    def test_allocation_solves_knapsack(self, seed):
+        """Solving the reduced allocation recovers a knapsack optimum."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 4))
+        inst = KnapsackInstance(
+            weights=tuple(int(w) for w in rng.integers(1, 6, n)),
+            values=tuple(float(v) for v in rng.integers(1, 10, n)),
+            capacity=int(rng.integers(1, 10)),
+        )
+        groups, memory = knapsack_to_allocation(inst, min_sample_size=1000)
+        result = allocate_dp(groups, memory, 1000)
+        chosen = allocation_to_knapsack_choice(groups, result.sizes, 1000)
+        _, optimal_value = solve_knapsack_dp(inst)
+        achieved = inst.total_value(chosen)
+        # The reduction uses ceil-ed integer sizes, so allow one
+        # marginal object of slack relative to the optimum.
+        slack = max((v for v in inst.values), default=0.0)
+        assert achieved >= optimal_value - slack - 1e-9
+        # And the chosen set must respect the (scaled) capacity closely.
+        assert inst.total_weight(chosen) <= inst.capacity + max(inst.weights)

@@ -1,0 +1,123 @@
+"""Tests for the Max-Coverage reduction (Lemma 2) — executed constructively."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import brs, optimal_rule_set
+from repro.errors import ReproError
+from repro.hardness import (
+    MCPInstance,
+    exact_mcp,
+    greedy_mcp,
+    mcp_to_table,
+    mcp_weight_function,
+    rules_to_subset_choice,
+)
+
+
+@pytest.fixture
+def small_instance() -> MCPInstance:
+    return MCPInstance.of(
+        universe_size=6,
+        subsets=[{0, 1, 2}, {2, 3}, {3, 4, 5}, {0, 5}],
+        k=2,
+    )
+
+
+class TestMCPSolvers:
+    def test_greedy_on_small_instance(self, small_instance):
+        chosen, covered = greedy_mcp(small_instance)
+        assert len(chosen) == 2
+        assert covered == 6  # {0,1,2} ∪ {3,4,5}
+
+    def test_exact_on_small_instance(self, small_instance):
+        chosen, covered = exact_mcp(small_instance)
+        assert covered == 6
+
+    def test_greedy_respects_k(self):
+        inst = MCPInstance.of(4, [{0}, {1}, {2}, {3}], k=2)
+        chosen, covered = greedy_mcp(inst)
+        assert len(chosen) == 2 and covered == 2
+
+    def test_greedy_stops_when_nothing_to_gain(self):
+        inst = MCPInstance.of(2, [{0, 1}, {0}, {1}], k=3)
+        chosen, covered = greedy_mcp(inst)
+        assert covered == 2
+        assert len(chosen) == 1  # remaining subsets add nothing
+
+    def test_invalid_instance(self):
+        with pytest.raises(ReproError):
+            MCPInstance.of(2, [{5}], k=1)
+
+    def test_coverage_helper(self, small_instance):
+        assert small_instance.coverage([0, 1]) == 4
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(0, 10_000))
+    def test_greedy_bound_vs_exact(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 8
+        subsets = [set(rng.choice(n, size=rng.integers(1, 4), replace=False).tolist()) for _ in range(5)]
+        inst = MCPInstance.of(n, subsets, k=2)
+        _, greedy_cov = greedy_mcp(inst)
+        _, exact_cov = exact_mcp(inst)
+        assert greedy_cov >= (1 - (1 - 1 / 2) ** 2) * exact_cov - 1e-9
+
+
+class TestReduction:
+    def test_table_shape(self, small_instance):
+        table = mcp_to_table(small_instance)
+        assert table.n_rows == 6
+        assert table.n_columns == 4
+        # Element 2 belongs to S0 and S1.
+        assert table.row(2) == (1, 1, 0, 0)
+
+    def test_weight_function(self):
+        from repro.core import Rule, STAR
+
+        wf = mcp_weight_function()
+        assert wf.weight(Rule([1, STAR, STAR, STAR])) == 1.0
+        assert wf.weight(Rule([0, STAR, STAR, STAR])) == 0.0
+        assert wf.weight(Rule([0, 1, STAR, STAR])) == 1.0
+        assert wf.weight(Rule.trivial(4)) == 0.0
+
+    def test_greedy_rule_selection_equals_greedy_mcp(self, small_instance):
+        """Lemma 2, run forward: BRS on the reduced table = greedy MCP."""
+        table = mcp_to_table(small_instance)
+        wf = mcp_weight_function()
+        result = brs(table, wf, small_instance.k, 1.0)
+        chosen = rules_to_subset_choice(result.rules)
+        rule_coverage = small_instance.coverage(chosen)
+        _, greedy_cov = greedy_mcp(small_instance)
+        assert rule_coverage == greedy_cov
+        # Score equals covered-element count (weight 1 per covered tuple).
+        assert result.score == pytest.approx(greedy_cov)
+
+    def test_optimal_rule_score_equals_optimal_coverage(self):
+        """Score maximisation ≡ MCP on a tiny instance (both exhaustive)."""
+        inst = MCPInstance.of(4, [{0, 1}, {1, 2}, {2, 3}], k=2)
+        table = mcp_to_table(inst)
+        wf = mcp_weight_function()
+        optimal_rules = optimal_rule_set(table, wf, inst.k, max_size=1)
+        _, exact_cov = exact_mcp(inst)
+        assert optimal_rules.score == pytest.approx(exact_cov)
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(0, 10_000))
+    def test_reduction_equivalence_randomised(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 6
+        subsets = [
+            set(rng.choice(n, size=rng.integers(1, 4), replace=False).tolist())
+            for _ in range(4)
+        ]
+        inst = MCPInstance.of(n, subsets, k=2)
+        table = mcp_to_table(inst)
+        wf = mcp_weight_function()
+        optimal_rules = optimal_rule_set(table, wf, inst.k, max_size=2)
+        _, exact_cov = exact_mcp(inst)
+        assert optimal_rules.score == pytest.approx(exact_cov)

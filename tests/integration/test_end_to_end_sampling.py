@@ -1,0 +1,138 @@
+"""Integration tests: the full sampling pipeline on a large disk table.
+
+The §5.2 claims exercised end-to-end: samples make drill-downs cheap
+after the first pass, estimated counts track true counts, and the
+experiment runners produce the paper's curve shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Rule, SizeWeight, brs, count
+from repro.datasets import generate_census
+from repro.experiments import (
+    run_approximation_study,
+    run_minss_sweep,
+    run_mw_sweep,
+    run_scaling_sweep,
+    trend_slope,
+)
+from repro.session import DrillDownSession
+from repro.storage import DiskTable
+
+
+@pytest.fixture(scope="module")
+def census():
+    return generate_census(60_000, n_columns=7)
+
+
+class TestSampledExploration:
+    def test_three_level_exploration(self, census):
+        disk = DiskTable(census)
+        session = DrillDownSession(
+            disk,
+            k=3,
+            mw=5.0,
+            memory_capacity=30_000,
+            min_sample_size=3_000,
+            rng=np.random.default_rng(1),
+        )
+        level1 = session.expand(session.root.rule)
+        level2 = session.expand(level1[0].rule)
+        assert level2
+        # All rules displayed are genuine super-rules down the tree.
+        for child in level2:
+            assert level1[0].rule.is_subrule_of(child.rule)
+
+    def test_estimated_counts_track_truth(self, census):
+        disk = DiskTable(census)
+        session = DrillDownSession(
+            disk,
+            k=4,
+            mw=5.0,
+            memory_capacity=30_000,
+            min_sample_size=5_000,
+            rng=np.random.default_rng(2),
+        )
+        children = session.expand(session.root.rule)
+        for child in children:
+            true = count(child.rule, census)
+            assert child.count == pytest.approx(true, rel=0.25)
+
+    def test_sampled_rules_match_full_table_rules_mostly(self, census):
+        """§5.2.2: incorrect-rule count is small at healthy minSS."""
+        truth = set(brs(census, SizeWeight(), 4, 5.0).rules)
+        disk = DiskTable(census)
+        session = DrillDownSession(
+            disk,
+            k=4,
+            mw=5.0,
+            memory_capacity=30_000,
+            min_sample_size=5_000,
+            rng=np.random.default_rng(3),
+        )
+        sampled = {c.rule for c in session.expand(session.root.rule)}
+        assert len(sampled - truth) <= 1
+
+    def test_io_only_on_first_expansion(self, census):
+        disk = DiskTable(census)
+        session = DrillDownSession(
+            disk,
+            k=3,
+            mw=5.0,
+            memory_capacity=30_000,
+            min_sample_size=3_000,
+            rng=np.random.default_rng(4),
+        )
+        children = session.expand(session.root.rule)
+        session.expand(children[0].rule)
+        session.expand(children[1].rule)
+        # Prefetch already paid any needed pass before the user clicked:
+        # the follow-up expansions themselves cost no disk I/O.
+        assert session.history[1].simulated_io_seconds == 0.0
+        assert session.history[2].simulated_io_seconds == 0.0
+
+
+class TestExperimentShapes:
+    def test_mw_sweep_monotone_scores(self, census):
+        series = run_mw_sweep(census, "size", [1, 2, 3, 5], repeats=1)
+        scores = series.extra("score")
+        assert scores == sorted(scores)  # larger mw never hurts the score
+
+    def test_minss_error_decays(self, census):
+        points = run_minss_sweep(
+            census, "size", [250, 1000, 4000], iterations=4, seed=0
+        )
+        errors = [p.percent_error for p in points]
+        assert errors[0] > errors[-1]
+        # Roughly 1/sqrt(minSS): quadrupling the sample roughly halves error.
+        assert errors[-1] < 0.75 * errors[0]
+
+    def test_minss_incorrect_rules_decrease(self, census):
+        points = run_minss_sweep(
+            census, "size", [100, 4000], iterations=4, seed=1
+        )
+        assert points[-1].incorrect_rules <= points[0].incorrect_rules
+
+    def test_scaling_linear_in_table_size(self):
+        tables = [generate_census(n, n_columns=7, seed=9) for n in (10_000, 20_000, 40_000)]
+        series = run_scaling_sweep(tables, min_sample_size=2_000)
+        io_secs = series.extra("simulated_io_seconds")
+        # Simulated scan cost doubles with table size.
+        assert io_secs[1] == pytest.approx(2 * io_secs[0], rel=0.1)
+        assert io_secs[2] == pytest.approx(4 * io_secs[0], rel=0.1)
+        # BRS-only cost does not grow with |T| (it sees only the sample).
+        brs_secs = series.extra("brs_only_seconds")
+        assert max(brs_secs) < 10 * min(brs_secs) + 0.05
+
+    def test_approximation_ratios_respect_bound(self):
+        series = run_approximation_study(n_trials=5, n_rows=25)
+        bound = 1 - (1 - 1 / 3) ** 3
+        assert all(r >= bound - 1e-9 for r in series.ys)
+        assert all(r <= 1.0 + 1e-9 for r in series.ys)
+
+    def test_trend_slope_helper(self):
+        assert trend_slope([1, 2, 3], [2, 4, 6]) == pytest.approx(2.0)
+        assert trend_slope([1], [1]) == 0.0

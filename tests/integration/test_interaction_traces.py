@@ -1,0 +1,53 @@
+"""Tests for the simulated interaction traces and the memory-budget sweep."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import generate_census
+from repro.experiments import run_memory_budget_sweep, simulate_exploration
+
+
+@pytest.fixture(scope="module")
+def census():
+    return generate_census(40_000, n_columns=7, seed=13)
+
+
+class TestSimulateExploration:
+    def test_trace_runs_to_depth(self, census):
+        result = simulate_exploration(census, clicks=4, min_sample_size=2_000, seed=0)
+        assert result.clicks >= 2
+        assert result.created >= 1
+        assert result.simulated_io_seconds > 0
+
+    def test_deterministic_per_seed(self, census):
+        a = simulate_exploration(census, clicks=4, min_sample_size=2_000, seed=3)
+        b = simulate_exploration(census, clicks=4, min_sample_size=2_000, seed=3)
+        # Wall time is inherently noisy; everything else is seeded.
+        assert (a.clicks, a.served_from_memory, a.created, a.simulated_io_seconds) == (
+            b.clicks,
+            b.served_from_memory,
+            b.created,
+            b.simulated_io_seconds,
+        )
+
+    def test_prefetch_improves_hit_rate(self, census):
+        with_prefetch = simulate_exploration(
+            census, clicks=5, min_sample_size=2_000, seed=1, prefetch=True
+        )
+        without = simulate_exploration(
+            census, clicks=5, min_sample_size=2_000, seed=1, prefetch=False
+        )
+        assert with_prefetch.memory_hit_rate >= without.memory_hit_rate
+
+    def test_hit_rate_bounds(self, census):
+        result = simulate_exploration(census, clicks=4, min_sample_size=2_000, seed=2)
+        assert 0.0 <= result.memory_hit_rate <= 1.0
+
+
+class TestMemoryBudgetSweep:
+    def test_bigger_budget_never_hurts(self, census):
+        sweep = run_memory_budget_sweep(
+            census, [4_000, 40_000], clicks=4, min_sample_size=2_000, seeds=(0, 1)
+        )
+        assert sweep[40_000].memory_hit_rate >= sweep[4_000].memory_hit_rate

@@ -1,0 +1,130 @@
+"""Randomised session fuzzing: invariants hold under arbitrary interaction.
+
+Drives hundreds of random expand/star/traditional/collapse operations
+against in-memory and sampled sessions and asserts the structural
+invariants after every step:
+
+* the displayed set is a tree of strict super-rules,
+* every node is registered exactly once,
+* counts are positive and children's counts never exceed the parent's
+  (exactly for in-memory sessions; within sampling tolerance otherwise),
+* collapse fully undoes expand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SessionError
+from repro.session import DrillDownSession
+
+
+def check_invariants(session: DrillDownSession, *, exact_counts: bool) -> None:
+    nodes = session.displayed()
+    rules = [n.rule for n in nodes]
+    assert len(set(rules)) == len(rules), "a rule is displayed twice"
+
+    def walk(node, ancestors):
+        for ancestor in ancestors:
+            assert ancestor.rule.is_subrule_of(node.rule)
+        assert node.count >= 0
+        for child in node.children:
+            assert child.depth == node.depth + 1
+            assert node.rule.is_strict_subrule_of(child.rule)
+            if exact_counts:
+                assert child.count <= node.count + 1e-9
+            walk(child, ancestors + [node])
+
+    walk(session.root, [])
+
+
+def random_walk(session: DrillDownSession, rng: np.random.Generator, steps: int,
+                *, exact_counts: bool, categorical: tuple[int, ...]) -> None:
+    for _ in range(steps):
+        nodes = session.displayed()
+        action = rng.choice(["expand", "star", "traditional", "collapse"])
+        node = nodes[int(rng.integers(len(nodes)))]
+        try:
+            if action == "expand":
+                session.expand(node.rule)
+            elif action == "star":
+                stars = [i for i in node.rule.star_indexes if i in categorical]
+                if stars:
+                    session.expand_star(node.rule, int(rng.choice(stars)))
+            elif action == "traditional":
+                stars = [i for i in node.rule.star_indexes if i in categorical]
+                if stars:
+                    session.expand_traditional(node.rule, int(rng.choice(stars)), k=3)
+            else:
+                session.collapse(node.rule)
+        except SessionError:
+            pass  # already expanded / not expanded / tiny cover: all legal refusals
+        check_invariants(session, exact_counts=exact_counts)
+
+
+class TestInMemoryFuzz:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_walk(self, retail, seed):
+        session = DrillDownSession(retail, k=3, mw=3.0)
+        random_walk(
+            session,
+            np.random.default_rng(seed),
+            steps=25,
+            exact_counts=True,
+            categorical=retail.schema.categorical_indexes,
+        )
+
+    def test_collapse_restores_initial_state(self, retail):
+        session = DrillDownSession(retail, k=3, mw=3.0)
+        rng = np.random.default_rng(9)
+        random_walk(
+            session,
+            rng,
+            steps=15,
+            exact_counts=True,
+            categorical=retail.schema.categorical_indexes,
+        )
+        if session.root.is_expanded:
+            session.collapse(session.root.rule)
+        assert session.displayed() == [session.root]
+        assert session.leaves() == [session.root]
+
+    def test_star_on_numeric_column_rejected(self, retail):
+        """Clicking the '?' of a measure column is a clear error."""
+        from repro.errors import SchemaError
+
+        session = DrillDownSession(retail, k=3, mw=3.0)
+        with pytest.raises(SchemaError):
+            session.expand_traditional(
+                session.root.rule, retail.schema.index_of("Sales")
+            )
+
+
+class TestSampledFuzz:
+    def test_random_walk_with_sampling(self):
+        from repro.datasets import generate_zipf_table
+        from repro.storage import DiskTable
+
+        table = generate_zipf_table(
+            25_000, [4, 5, 6, 7], skew=1.1, seed=5,
+            column_names=["A", "B", "C", "D"],
+        )
+        session = DrillDownSession(
+            DiskTable(table),
+            k=3,
+            mw=4.0,
+            memory_capacity=15_000,
+            min_sample_size=1_500,
+            rng=np.random.default_rng(0),
+        )
+        random_walk(
+            session,
+            np.random.default_rng(1),
+            steps=12,
+            exact_counts=False,
+            categorical=table.schema.categorical_indexes,
+        )
+        # The handler stayed within its budget throughout.
+        assert session.handler is not None
+        assert session.handler.memory_used() <= 15_000

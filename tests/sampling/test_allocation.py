@@ -1,0 +1,181 @@
+"""Tests for sample-memory allocation (Problem 5, §4.1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError
+from repro.sampling import (
+    GroupSpec,
+    LeafSpec,
+    allocate_dp,
+    allocate_exhaustive,
+    allocate_uniform,
+    enumerate_local_options,
+)
+
+
+def group(*leaves: tuple[float, float]) -> GroupSpec:
+    """Shorthand: leaves given as (probability, selectivity) pairs."""
+    return GroupSpec(
+        parent="p",
+        leaves=tuple(
+            LeafSpec(name=f"l{i}", probability=p, selectivity=s)
+            for i, (p, s) in enumerate(leaves)
+        ),
+    )
+
+
+class TestSpecs:
+    def test_leaf_validation(self):
+        with pytest.raises(AllocationError):
+            LeafSpec("x", probability=1.5, selectivity=0.5)
+        with pytest.raises(AllocationError):
+            LeafSpec("x", probability=0.5, selectivity=0.0)
+
+    def test_group_needs_leaves(self):
+        with pytest.raises(AllocationError):
+            GroupSpec("p", ())
+
+    def test_group_duplicate_leaf_names(self):
+        with pytest.raises(AllocationError):
+            GroupSpec("p", (LeafSpec("x", 0.5, 0.5), LeafSpec("x", 0.5, 0.5)))
+
+
+class TestLocalOptions:
+    def test_contains_zero_option(self):
+        options = enumerate_local_options(group((0.5, 0.5)), 1000)
+        assert any(o.cost == 0 and o.value == 0.0 for o in options)
+
+    def test_non_dominated(self):
+        options = enumerate_local_options(group((0.4, 0.2), (0.6, 0.8)), 1000)
+        costs = [o.cost for o in options]
+        values = [o.value for o in options]
+        assert costs == sorted(costs)
+        assert values == sorted(values)  # strictly better value for more cost
+
+    def test_single_leaf_options(self):
+        options = enumerate_local_options(group((1.0, 0.5)), 1000)
+        # Satisfying the leaf costs min(own sample 1000, parent 2000) = 1000.
+        full = [o for o in options if o.value == 1.0]
+        assert full and min(o.cost for o in full) == 1000
+
+    def test_parent_sharing_beats_individual_sampling(self):
+        """With high selectivities, one parent sample serves all leaves."""
+        g = group((0.5, 0.9), (0.5, 0.9))
+        options = enumerate_local_options(g, 900)
+        full = min(o for o in options if o.value == 1.0)
+        # Parent sample of 1000 satisfies both (0.9 * 1000 = 900) at cost
+        # 1000 < two individual samples at 1800.
+        assert full.cost <= 1000
+
+    def test_min_sample_size_validated(self):
+        with pytest.raises(AllocationError):
+            enumerate_local_options(group((0.5, 0.5)), 0)
+
+
+class TestAllocateDP:
+    def test_within_budget(self):
+        groups = [group((0.5, 0.5), (0.5, 0.3))]
+        result = allocate_dp(groups, 5000, 1000)
+        assert result.cost <= 5000
+        assert sum(result.sizes.values()) == result.cost
+
+    def test_zero_memory(self):
+        result = allocate_dp([group((1.0, 0.5))], 0, 1000)
+        assert result.value == 0.0
+        assert result.sizes == {}
+
+    def test_satisfies_all_with_ample_memory(self):
+        groups = [group((0.3, 0.5), (0.3, 0.2), (0.4, 0.8))]
+        result = allocate_dp(groups, 100_000, 1000)
+        assert result.value == pytest.approx(1.0)
+        assert set(result.satisfied) == {"l0", "l1", "l2"}
+
+    def test_prefers_probable_leaves_under_pressure(self):
+        g = GroupSpec(
+            "p",
+            (
+                LeafSpec("hot", probability=0.9, selectivity=0.5),
+                LeafSpec("cold", probability=0.1, selectivity=0.5),
+            ),
+        )
+        result = allocate_dp([g], 1000, 1000)
+        assert "hot" in result.satisfied
+        assert "cold" not in result.satisfied
+
+    def test_multiple_groups_share_budget(self):
+        groups = [
+            GroupSpec("p1", (LeafSpec("a", 0.6, 0.9),)),
+            GroupSpec("p2", (LeafSpec("b", 0.4, 0.9),)),
+        ]
+        result = allocate_dp(groups, 1500, 1000)
+        # Only one leaf fits; the more probable one wins.
+        assert result.satisfied == ("a",)
+
+    def test_negative_memory_rejected(self):
+        with pytest.raises(AllocationError):
+            allocate_dp([group((0.5, 0.5))], -1, 100)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        seed=st.integers(0, 10_000),
+        memory_factor=st.sampled_from([0.5, 1.0, 2.0]),
+    )
+    def test_matches_exhaustive_on_tiny_instances(self, seed, memory_factor):
+        """DP ≥ brute-force grid search (DP explores a superset of grids)."""
+        rng = np.random.default_rng(seed)
+        minss = 100
+        g = GroupSpec(
+            "p",
+            tuple(
+                LeafSpec(
+                    name=f"l{i}",
+                    probability=float(p),
+                    selectivity=float(rng.uniform(0.1, 1.0)),
+                )
+                for i, p in enumerate(rng.dirichlet(np.ones(2)))
+            ),
+        )
+        memory = int(300 * memory_factor)
+        dp = allocate_dp([g], memory, minss)
+        brute = allocate_exhaustive([g], memory, minss, grid=12)
+        assert dp.value >= brute.value - 1e-9
+
+
+class TestAllocateUniform:
+    def test_even_split(self):
+        groups = [group((0.5, 0.5), (0.5, 0.5))]
+        result = allocate_uniform(groups, 4000, 1000)
+        assert result.sizes == {"l0": 2000, "l1": 2000}
+        assert result.value == pytest.approx(1.0)
+
+    def test_wastes_memory_on_unlikely_leaves(self):
+        """Uniform underperforms DP when probabilities are skewed."""
+        g = GroupSpec(
+            "p",
+            tuple(
+                LeafSpec(f"l{i}", probability=(0.91 if i == 0 else 0.01), selectivity=0.99)
+                for i in range(10)
+            ),
+        )
+        memory = 1200
+        uniform = allocate_uniform([g], memory, 1000)
+        dp = allocate_dp([g], memory, 1000)
+        assert dp.value > uniform.value
+
+    def test_empty_groups(self):
+        result = allocate_uniform([], 100, 10)
+        assert result.value == 0.0
+
+
+class TestExhaustive:
+    def test_too_many_nodes_rejected(self):
+        groups = [group((0.2, 0.5), (0.2, 0.5), (0.2, 0.5), (0.2, 0.5), (0.2, 0.5), (0.2, 0.5))]
+        with pytest.raises(AllocationError):
+            allocate_exhaustive(groups, 100, 10)

@@ -1,0 +1,165 @@
+"""Tests for the convex relaxation (Problem 6, §4.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError
+from repro.sampling import (
+    GroupSpec,
+    LeafSpec,
+    hinge_objective,
+    problem_from_groups,
+    project_capped_simplex,
+    solve_lp,
+    solve_subgradient,
+    step_objective,
+)
+
+
+def simple_problem(memory=10_000, minss=2_000):
+    g = GroupSpec(
+        "p",
+        (
+            LeafSpec("a", probability=0.5, selectivity=0.5),
+            LeafSpec("b", probability=0.3, selectivity=0.2),
+            LeafSpec("c", probability=0.2, selectivity=0.9),
+        ),
+    )
+    return problem_from_groups([g], memory, minss)
+
+
+class TestProblemConstruction:
+    def test_nodes_and_leaves(self):
+        p = simple_problem()
+        assert set(p.leaf_names) == {"a", "b", "c"}
+        assert "p" in p.node_names
+        # Leaf self-selectivity is 1.
+        a_leaf = p.leaf_names.index("a")
+        a_node = p.node_names.index("a")
+        assert p.selectivity[a_node, a_leaf] == 1.0
+
+    def test_duplicate_leaf_rejected(self):
+        g1 = GroupSpec("p1", (LeafSpec("x", 0.5, 0.5),))
+        g2 = GroupSpec("p2", (LeafSpec("x", 0.5, 0.5),))
+        with pytest.raises(AllocationError):
+            problem_from_groups([g1, g2], 100, 10)
+
+    def test_invalid_dimensions(self):
+        p = simple_problem()
+        with pytest.raises(AllocationError):
+            type(p)(
+                node_names=p.node_names,
+                leaf_names=p.leaf_names,
+                probabilities=np.zeros(2),
+                selectivity=p.selectivity,
+                memory=p.memory,
+                min_sample_size=p.min_sample_size,
+            )
+
+
+class TestObjectives:
+    def test_hinge_saturates_at_one(self):
+        p = simple_problem()
+        sizes = np.full(len(p.node_names), 1e9)
+        assert hinge_objective(p, sizes) == pytest.approx(1.0)
+
+    def test_hinge_zero_at_zero(self):
+        p = simple_problem()
+        assert hinge_objective(p, np.zeros(len(p.node_names))) == 0.0
+
+    def test_step_counts_satisfied_leaves(self):
+        p = simple_problem(minss=1000)
+        sizes = np.zeros(len(p.node_names))
+        sizes[p.node_names.index("a")] = 1000.0
+        assert step_objective(p, sizes) == pytest.approx(0.5)
+
+    def test_hinge_upper_bounds_step_scaled(self):
+        """hinge ≥ step pointwise (min(1, e/m) ≥ I[e ≥ m])... equality at threshold."""
+        p = simple_problem()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            sizes = rng.uniform(0, p.memory / 2, size=len(p.node_names))
+            assert hinge_objective(p, sizes) >= step_objective(p, sizes) - 1e-9
+
+
+class TestLP:
+    def test_respects_budget(self):
+        p = simple_problem()
+        result = solve_lp(p)
+        assert sum(result.sizes.values()) <= p.memory + 1e-6
+
+    def test_saturates_with_ample_memory(self):
+        p = simple_problem(memory=100_000, minss=1000)
+        assert solve_lp(p).objective == pytest.approx(1.0)
+
+    def test_rounded_sizes_integer(self):
+        p = simple_problem()
+        rounded = solve_lp(p).rounded_sizes()
+        assert all(isinstance(v, int) for v in rounded.values())
+
+    def test_lp_at_least_subgradient(self):
+        p = simple_problem(memory=4000)
+        lp = solve_lp(p)
+        sg = solve_subgradient(p)
+        assert lp.objective >= sg.objective - 1e-6
+
+
+class TestSubgradient:
+    def test_approaches_lp_optimum(self):
+        p = simple_problem(memory=6000)
+        lp = solve_lp(p)
+        sg = solve_subgradient(p, iterations=1500)
+        assert sg.objective >= 0.95 * lp.objective
+
+    def test_feasible(self):
+        p = simple_problem(memory=3000)
+        sg = solve_subgradient(p)
+        total = sum(sg.sizes.values())
+        assert total <= p.memory + 1e-6
+        assert all(v >= -1e-9 for v in sg.sizes.values())
+
+    def test_zero_memory(self):
+        p = simple_problem(memory=0)
+        sg = solve_subgradient(p, iterations=50)
+        assert sg.objective == 0.0
+
+
+class TestProjection:
+    def test_identity_when_feasible(self):
+        x = np.array([1.0, 2.0])
+        assert project_capped_simplex(x, 10.0).tolist() == [1.0, 2.0]
+
+    def test_clips_negatives(self):
+        x = np.array([-5.0, 3.0])
+        assert project_capped_simplex(x, 10.0).tolist() == [0.0, 3.0]
+
+    def test_projects_onto_simplex_when_over(self):
+        x = np.array([6.0, 6.0])
+        projected = project_capped_simplex(x, 6.0)
+        assert projected.sum() == pytest.approx(6.0)
+        assert projected.tolist() == [3.0, 3.0]
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(AllocationError):
+            project_capped_simplex(np.array([1.0]), -1.0)
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=8),
+        st.floats(0, 100),
+    )
+    def test_projection_properties(self, values, cap):
+        x = np.asarray(values)
+        y = project_capped_simplex(x, cap)
+        assert (y >= -1e-9).all()
+        assert y.sum() <= cap + 1e-6
+        # Projection is no farther from x than any feasible grid point.
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            z = rng.uniform(0, 1, size=x.size)
+            z = z / max(z.sum(), 1e-9) * min(cap, rng.uniform(0, cap + 1e-9))
+            assert np.linalg.norm(y - x) <= np.linalg.norm(z - x) + 1e-6

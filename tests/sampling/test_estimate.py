@@ -1,0 +1,115 @@
+"""Tests for count estimation and confidence intervals (§4.2, §4.3)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Rule, STAR, count
+from repro.errors import SamplingError
+from repro.sampling import (
+    Sample,
+    coverage_fraction_bound,
+    estimate_count,
+    percent_error,
+    required_sample_size,
+)
+from repro.table import Table
+from repro.datasets import generate_zipf_table
+
+
+def uniform_sample(table: Table, size: int, rng: np.random.Generator) -> Sample:
+    idx = np.sort(rng.choice(table.n_rows, size=size, replace=False))
+    return Sample(
+        filter_rule=Rule.trivial(table.n_columns),
+        scale=table.n_rows / size,
+        table=table.take(idx),
+        row_ids=idx,
+        population=table.n_rows,
+    )
+
+
+class TestEstimateCount:
+    def test_point_estimate_unbiased_shape(self):
+        """Mean of repeated estimates lands near the true count."""
+        table = generate_zipf_table(5000, [6, 6], skew=1.0, seed=5)
+        rule = Rule(["c0_v0", STAR])
+        true = count(rule, table)
+        rng = np.random.default_rng(1)
+        estimates = [
+            estimate_count(uniform_sample(table, 400, rng), rule).estimate
+            for _ in range(60)
+        ]
+        assert abs(np.mean(estimates) - true) < 0.1 * true
+
+    def test_interval_contains_estimate(self, tiny_table, rng):
+        s = uniform_sample(tiny_table, 6, rng)
+        est = estimate_count(s, Rule(["a", STAR, STAR]))
+        assert est.low <= est.estimate <= est.high
+
+    def test_ci_coverage_near_nominal(self):
+        """~95% of 95%-CIs should contain the true count."""
+        table = generate_zipf_table(5000, [5], skew=0.8, seed=9)
+        rule = Rule(["c0_v0"])
+        true = count(rule, table)
+        rng = np.random.default_rng(2)
+        hits = sum(
+            estimate_count(uniform_sample(table, 500, rng), rule).contains(true)
+            for _ in range(200)
+        )
+        assert hits >= 0.85 * 200  # loose lower bound, no flakiness
+
+    def test_width_shrinks_with_sample_size(self):
+        table = generate_zipf_table(5000, [5], skew=0.8, seed=9)
+        rule = Rule(["c0_v0"])
+        rng = np.random.default_rng(3)
+        small = estimate_count(uniform_sample(table, 100, rng), rule)
+        large = estimate_count(uniform_sample(table, 2000, rng), rule)
+        assert large.half_width < small.half_width
+
+    def test_empty_sample_rejected(self, tiny_table):
+        s = Sample(Rule.trivial(3), 1.0, tiny_table.take(np.array([], dtype=np.int64)),
+                   np.array([], dtype=np.int64), 0)
+        with pytest.raises(SamplingError):
+            estimate_count(s, Rule.trivial(3))
+
+    def test_bad_confidence(self, tiny_table, rng):
+        s = uniform_sample(tiny_table, 4, rng)
+        with pytest.raises(SamplingError):
+            estimate_count(s, Rule.trivial(3), confidence=1.5)
+
+
+class TestPercentError:
+    def test_exact_match_is_zero(self):
+        assert percent_error(100.0, 100.0) == 0.0
+
+    def test_formula(self):
+        assert percent_error(110.0, 100.0) == pytest.approx(10.0)
+        assert percent_error(90.0, 100.0) == pytest.approx(10.0)
+
+    def test_zero_actual(self):
+        assert percent_error(0.0, 0.0) == 0.0
+        assert percent_error(5.0, 0.0) == math.inf
+
+
+class TestSampleSizeRules:
+    def test_required_sample_size_formula(self):
+        # x = 1/6, rho = 10 → 10 * 5 = 50.
+        assert required_sample_size(1 / 6, rho=10.0) == pytest.approx(50.0)
+
+    def test_full_coverage_needs_nothing(self):
+        assert required_sample_size(1.0) == 0.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(SamplingError):
+            required_sample_size(0.0)
+
+    def test_coverage_fraction_bound(self):
+        # Paper: |C|=10, |c|=5 → top rule covers ≥ 1/50 of tuples.
+        assert coverage_fraction_bound(10, 5) == pytest.approx(1 / 50)
+
+    def test_coverage_bound_invalid(self):
+        with pytest.raises(SamplingError):
+            coverage_fraction_bound(0, 5)

@@ -1,0 +1,135 @@
+"""Tests for the §4.2/§4.3 handler extensions: exact counts, cell budget."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Rule, STAR, count
+from repro.datasets import generate_zipf_table
+from repro.errors import SamplingError
+from repro.sampling import Sample, SampleHandler
+from repro.storage import DiskTable
+
+
+@pytest.fixture
+def table():
+    return generate_zipf_table(
+        15_000, [4, 6, 8], skew=1.0, seed=7, column_names=["A", "B", "C"]
+    )
+
+
+@pytest.fixture
+def disk(table):
+    return DiskTable(table, page_rows=1024)
+
+
+class TestExactCounts:
+    def test_counts_match_direct_computation(self, disk, table):
+        h = SampleHandler(disk, memory_capacity=6_000, min_sample_size=1_000)
+        rules = [
+            Rule(["A_v0", STAR, STAR]),
+            Rule([STAR, "B_v0", STAR]),
+            Rule(["A_v0", "B_v0", STAR]),
+        ]
+        got = h.exact_counts(rules)
+        for rule in rules:
+            assert got[rule] == count(rule, table)
+
+    def test_one_metered_pass(self, disk):
+        h = SampleHandler(disk, memory_capacity=6_000, min_sample_size=1_000)
+        before = disk.io_stats.scans_completed
+        h.exact_counts([Rule(["A_v0", STAR, STAR]), Rule([STAR, "B_v1", STAR])])
+        assert disk.io_stats.scans_completed == before + 1
+
+    def test_empty_rules_free(self, disk):
+        h = SampleHandler(disk, memory_capacity=6_000, min_sample_size=1_000)
+        before = disk.io_stats.scans_completed
+        assert h.exact_counts([]) == {}
+        assert disk.io_stats.scans_completed == before
+
+
+class TestCellBudget:
+    def test_memory_cells_accounting(self, table):
+        sample = Sample(
+            filter_rule=Rule(["A_v0", STAR, STAR]),
+            scale=2.0,
+            table=table.head(10),
+            row_ids=np.arange(10),
+            population=20,
+        )
+        # One of three columns is fixed by the filter: 10 × 2 cells.
+        assert sample.memory_cells() == 20
+        assert sample.memory_tuples() == 10
+
+    def test_trivial_filter_costs_full_width(self, table):
+        sample = Sample(
+            filter_rule=Rule.trivial(3),
+            scale=1.0,
+            table=table.head(4),
+            row_ids=np.arange(4),
+            population=4,
+        )
+        assert sample.memory_cells() == 12
+
+    def test_cells_budget_fits_more_samples(self, disk):
+        """Filtered samples are cheaper under the §4.2 optimisation."""
+        h = SampleHandler(
+            disk,
+            memory_capacity=9_000,
+            min_sample_size=1_000,
+            budget_unit="cells",
+            rng=np.random.default_rng(0),
+        )
+        h.get_sample(Rule(["A_v0", STAR, STAR]))
+        h.get_sample(Rule(["A_v1", STAR, STAR]))
+        # Each sample: 3000 tuples × 2 free columns = 6000 cells, but
+        # eviction keeps usage within the 9000-cell budget.
+        assert h.memory_used() <= 9_000
+
+    def test_tuples_budget_unchanged_by_filter(self, disk):
+        h = SampleHandler(
+            disk, memory_capacity=6_000, min_sample_size=1_000, budget_unit="tuples"
+        )
+        h.get_sample(Rule(["A_v0", STAR, STAR]))
+        assert h.memory_used() == sum(s.size for s in h.samples.values())
+
+    def test_invalid_budget_unit(self, disk):
+        with pytest.raises(SamplingError):
+            SampleHandler(disk, budget_unit="bytes")  # type: ignore[arg-type]
+
+
+class TestSessionRefresh:
+    def test_refresh_on_sampled_session(self, disk, table):
+        from repro.session import DrillDownSession
+
+        session = DrillDownSession(
+            disk,
+            k=3,
+            mw=3.0,
+            memory_capacity=10_000,
+            min_sample_size=1_000,
+            rng=np.random.default_rng(1),
+        )
+        session.expand(session.root.rule)
+        deltas = session.refresh_exact_counts()
+        for node in session.displayed():
+            if node.rule.is_trivial:
+                continue
+            assert node.count == count(node.rule, table)
+        # Estimated counts rarely hit exactly; some delta expected.
+        assert isinstance(deltas, dict)
+
+    def test_refresh_on_memory_session_is_noop(self, retail):
+        from repro.session import DrillDownSession
+
+        session = DrillDownSession(retail, k=3, mw=3.0)
+        session.expand(session.root.rule)
+        assert session.refresh_exact_counts() == {}
+
+    def test_refresh_with_measure(self, measure_table):
+        from repro.session import DrillDownSession
+
+        session = DrillDownSession(measure_table, k=2, mw=2.0, measure="Sales")
+        session.expand(session.root.rule)
+        assert session.refresh_exact_counts() == {}

@@ -1,0 +1,140 @@
+"""Tests for reservoir sampling: invariants and statistical uniformity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.core import Rule, STAR
+from repro.errors import SamplingError
+from repro.sampling import MultiReservoir, ReservoirSampler, bernoulli_sample_indexes
+from repro.table import Table
+
+
+class TestReservoirInvariants:
+    def test_holds_all_when_stream_small(self, rng):
+        r = ReservoirSampler(10, rng)
+        r.offer(np.arange(4))
+        assert sorted(r.result().tolist()) == [0, 1, 2, 3]
+
+    def test_capacity_respected(self, rng):
+        r = ReservoirSampler(5, rng)
+        r.offer(np.arange(100))
+        assert r.size == 5
+        assert r.seen == 100
+
+    def test_sample_is_subset_of_stream(self, rng):
+        r = ReservoirSampler(7, rng)
+        r.offer(np.arange(50, 150))
+        assert set(r.result().tolist()) <= set(range(50, 150))
+
+    def test_chunked_offers_equal_stream(self, rng):
+        r = ReservoirSampler(5, rng)
+        for start in range(0, 100, 13):
+            r.offer(np.arange(start, min(start + 13, 100)))
+        assert r.seen == 100
+        assert r.size == 5
+
+    def test_zero_capacity(self, rng):
+        r = ReservoirSampler(0, rng)
+        r.offer(np.arange(10))
+        assert r.size == 0
+        assert r.seen == 10
+
+    def test_negative_capacity_rejected(self, rng):
+        with pytest.raises(SamplingError):
+            ReservoirSampler(-1, rng)
+
+    def test_2d_offer_rejected(self, rng):
+        r = ReservoirSampler(2, rng)
+        with pytest.raises(SamplingError):
+            r.offer(np.zeros((2, 2), dtype=np.int64))
+
+    def test_result_sorted(self, rng):
+        r = ReservoirSampler(10, rng)
+        r.offer(np.arange(1000))
+        res = r.result()
+        assert res.tolist() == sorted(res.tolist())
+
+
+class TestReservoirUniformity:
+    def test_inclusion_probability_uniform(self):
+        """Each of n items lands in a k-reservoir with probability k/n.
+
+        Chi-square over 3000 independent reservoirs of 5 from 25 items.
+        """
+        n, k, trials = 25, 5, 3000
+        rng = np.random.default_rng(7)
+        counts = np.zeros(n)
+        for _ in range(trials):
+            r = ReservoirSampler(k, rng)
+            r.offer(np.arange(n))
+            counts[r.result()] += 1
+        expected = trials * k / n
+        chi2 = ((counts - expected) ** 2 / expected).sum()
+        p_value = 1.0 - scipy_stats.chi2.cdf(chi2, df=n - 1)
+        assert p_value > 0.001  # uniform inclusion is not rejected
+
+    def test_block_size_does_not_bias(self):
+        """Offering in one block vs many yields the same distribution."""
+        n, k, trials = 20, 4, 2000
+        rng = np.random.default_rng(11)
+        counts_single = np.zeros(n)
+        counts_chunked = np.zeros(n)
+        for _ in range(trials):
+            r1 = ReservoirSampler(k, rng)
+            r1.offer(np.arange(n))
+            counts_single[r1.result()] += 1
+            r2 = ReservoirSampler(k, rng)
+            for i in range(0, n, 3):
+                r2.offer(np.arange(i, min(i + 3, n)))
+            counts_chunked[r2.result()] += 1
+        # Two-sample chi-square on the inclusion histograms.
+        total = counts_single + counts_chunked
+        expected = total / 2
+        chi2 = (
+            ((counts_single - expected) ** 2 / np.maximum(expected, 1)).sum()
+            + ((counts_chunked - expected) ** 2 / np.maximum(expected, 1)).sum()
+        )
+        p_value = 1.0 - scipy_stats.chi2.cdf(chi2, df=n - 1)
+        assert p_value > 0.001
+
+
+class TestMultiReservoir:
+    def test_counts_exact_and_samples_covered(self, tiny_table, rng):
+        rule_a = Rule(["a", STAR, STAR])
+        rule_x = Rule([STAR, "x", STAR])
+        multi = MultiReservoir({rule_a: 3, rule_x: 3}, rng)
+        ids = np.arange(tiny_table.n_rows)
+        multi.offer_chunk(ids, tiny_table)
+        counts = multi.counts()
+        assert counts[rule_a] == 5
+        assert counts[rule_x] == 4
+        results = multi.results()
+        # Sampled ids must be rows actually covered by the filter.
+        a_rows = {0, 1, 2, 3, 4}
+        assert set(results[rule_a].tolist()) <= a_rows
+
+    def test_multiple_chunks_accumulate(self, tiny_table, rng):
+        rule = Rule(["a", STAR, STAR])
+        multi = MultiReservoir({rule: 10}, rng)
+        multi.offer_chunk(np.arange(4), tiny_table.take(np.arange(4)))
+        multi.offer_chunk(np.arange(4, 8), tiny_table.take(np.arange(4, 8)))
+        assert multi.counts()[rule] == 5
+        assert multi.results()[rule].size == 5
+
+
+class TestBernoulli:
+    def test_rate_bounds(self, rng):
+        with pytest.raises(SamplingError):
+            bernoulli_sample_indexes(10, 1.5, rng)
+
+    def test_rate_zero_and_one(self, rng):
+        assert bernoulli_sample_indexes(10, 0.0, rng).size == 0
+        assert bernoulli_sample_indexes(10, 1.0, rng).size == 10
+
+    def test_expected_size(self):
+        rng = np.random.default_rng(3)
+        sizes = [bernoulli_sample_indexes(1000, 0.3, rng).size for _ in range(50)]
+        assert 250 < np.mean(sizes) < 350

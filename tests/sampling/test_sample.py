@@ -1,0 +1,57 @@
+"""Tests for the Sample triple (f_s, N_s, T_s)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Rule, STAR
+from repro.errors import SamplingError
+from repro.sampling import Sample
+from repro.table import Table
+
+
+def make_sample(tiny_table, indexes, filter_rule=None, population=None) -> Sample:
+    idx = np.asarray(indexes, dtype=np.int64)
+    filter_rule = filter_rule or Rule.trivial(3)
+    population = population if population is not None else tiny_table.n_rows
+    return Sample(
+        filter_rule=filter_rule,
+        scale=population / idx.size,
+        table=tiny_table.take(idx),
+        row_ids=idx,
+        population=population,
+    )
+
+
+class TestSample:
+    def test_size_and_rate(self, tiny_table):
+        s = make_sample(tiny_table, [0, 2, 4, 6])
+        assert s.size == 4
+        assert s.scale == 2.0
+        assert s.rate == 0.5
+
+    def test_estimate_count_scales(self, tiny_table):
+        s = make_sample(tiny_table, [0, 1, 5, 6])  # two 'a' rows among 4
+        est = s.estimate_count(Rule(["a", STAR, STAR]))
+        assert est == 2 * 2.0
+
+    def test_restrict_returns_covered_rows(self, tiny_table):
+        s = make_sample(tiny_table, [0, 1, 5, 7])
+        ids, covered = s.restrict(Rule([STAR, "x", STAR]))
+        assert ids.tolist() == [0, 1, 5]
+        assert all(row[1] == "x" for row in covered.rows())
+
+    def test_memory_tuples(self, tiny_table):
+        assert make_sample(tiny_table, [0, 1]).memory_tuples() == 2
+
+    def test_invalid_scale(self, tiny_table):
+        with pytest.raises(SamplingError):
+            Sample(Rule.trivial(3), 0.0, tiny_table, np.arange(8), 8)
+
+    def test_row_ids_must_align(self, tiny_table):
+        with pytest.raises(SamplingError):
+            Sample(Rule.trivial(3), 1.0, tiny_table, np.arange(3), 8)
+
+    def test_repr(self, tiny_table):
+        assert "Sample(" in repr(make_sample(tiny_table, [0]))

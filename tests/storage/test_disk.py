@@ -1,0 +1,83 @@
+"""Tests for the metered disk simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import DiskTable
+from repro.table import Table
+
+
+@pytest.fixture
+def disk(tiny_table) -> DiskTable:
+    return DiskTable(tiny_table, page_rows=3, page_read_seconds=0.01)
+
+
+class TestScan:
+    def test_chunks_cover_all_rows(self, disk, tiny_table):
+        seen = []
+        for ids, chunk in disk.scan():
+            seen.extend(chunk.to_rows())
+            assert chunk.n_rows == ids.size
+        assert seen == tiny_table.to_rows()
+
+    def test_page_accounting(self, disk):
+        list(disk.scan())
+        stats = disk.io_stats
+        assert stats.scans_started == 1
+        assert stats.scans_completed == 1
+        assert stats.pages_read == 3  # ceil(8 / 3)
+        assert stats.tuples_read == 8
+        assert stats.simulated_seconds == pytest.approx(0.03)
+
+    def test_row_ids_are_global(self, disk):
+        all_ids = np.concatenate([ids for ids, _ in disk.scan()])
+        assert all_ids.tolist() == list(range(8))
+
+    def test_n_pages(self, disk):
+        assert disk.n_pages == 3
+
+    def test_multiple_scans_accumulate(self, disk):
+        list(disk.scan())
+        list(disk.scan())
+        assert disk.io_stats.scans_completed == 2
+        assert disk.io_stats.pages_read == 6
+
+
+class TestRandomAccess:
+    def test_fetch_rows_counts_touched_pages(self, disk):
+        disk.fetch_rows(np.array([0, 1]))  # one page
+        assert disk.io_stats.pages_read == 1
+        disk.fetch_rows(np.array([0, 7]))  # two pages
+        assert disk.io_stats.pages_read == 3
+
+    def test_fetch_buffered_is_free(self, disk):
+        table = disk.fetch_buffered(np.array([1, 6]))
+        assert table.n_rows == 2
+        assert disk.io_stats.pages_read == 0
+
+    def test_materialize_counts_full_scan(self, disk, tiny_table):
+        table = disk.materialize()
+        assert table.to_rows() == tiny_table.to_rows()
+        assert disk.io_stats.pages_read == disk.n_pages
+
+
+class TestIOStats:
+    def test_snapshot_and_delta(self, disk):
+        before = disk.io_stats.snapshot()
+        list(disk.scan())
+        delta = disk.io_stats.delta(before)
+        assert delta.pages_read == 3
+        assert before.pages_read == 0  # snapshot unaffected
+
+    def test_invalid_parameters(self, tiny_table):
+        with pytest.raises(StorageError):
+            DiskTable(tiny_table, page_rows=0)
+        with pytest.raises(StorageError):
+            DiskTable(tiny_table, page_read_seconds=-1.0)
+
+    def test_metadata_is_free(self, disk):
+        _ = disk.schema, disk.n_rows, disk.n_columns
+        assert disk.io_stats.pages_read == 0

@@ -1,0 +1,67 @@
+"""Tests for the LRU page cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import DiskTable, PageCache
+
+
+@pytest.fixture
+def disk(tiny_table) -> DiskTable:
+    return DiskTable(tiny_table, page_rows=2, page_read_seconds=0.01)  # 4 pages
+
+
+class TestPageCache:
+    def test_hit_after_miss(self, disk):
+        cache = PageCache(disk, capacity_pages=2)
+        cache.get_page(0)
+        cache.get_page(0)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert disk.io_stats.pages_read == 1  # second access free
+
+    def test_lru_eviction(self, disk):
+        cache = PageCache(disk, capacity_pages=2)
+        cache.get_page(0)
+        cache.get_page(1)
+        cache.get_page(2)  # evicts page 0
+        assert cache.stats.evictions == 1
+        cache.get_page(0)  # miss again
+        assert cache.stats.misses == 4
+
+    def test_access_refreshes_recency(self, disk):
+        cache = PageCache(disk, capacity_pages=2)
+        cache.get_page(0)
+        cache.get_page(1)
+        cache.get_page(0)  # page 0 now most recent
+        cache.get_page(2)  # evicts page 1, not 0
+        cache.get_page(0)
+        assert cache.stats.hits == 2
+
+    def test_scan_through_cache(self, disk, tiny_table):
+        cache = PageCache(disk, capacity_pages=4)
+        rows = []
+        for _, chunk in cache.scan():
+            rows.extend(chunk.to_rows())
+        assert rows == tiny_table.to_rows()
+        # Second scan is fully cached.
+        pages_before = disk.io_stats.pages_read
+        list(cache.scan())
+        assert disk.io_stats.pages_read == pages_before
+
+    def test_hit_rate(self, disk):
+        cache = PageCache(disk, capacity_pages=4)
+        cache.get_page(0)
+        cache.get_page(0)
+        assert cache.stats.hit_rate == 0.5
+
+    def test_page_out_of_range(self, disk):
+        cache = PageCache(disk, capacity_pages=1)
+        with pytest.raises(StorageError):
+            cache.get_page(99)
+
+    def test_invalid_capacity(self, disk):
+        with pytest.raises(StorageError):
+            PageCache(disk, capacity_pages=0)

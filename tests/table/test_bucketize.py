@@ -1,0 +1,129 @@
+"""Tests for numeric bucketization (§6.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DatasetError, SchemaError
+from repro.table import Interval, Table, bucketize, bucketize_column
+from repro.table.bucketize import equal_depth_edges, equal_width_edges
+from repro.table.column import NumericColumn
+
+
+class TestInterval:
+    def test_contains_half_open(self):
+        iv = Interval(0.0, 10.0)
+        assert 0.0 in iv and 5 in iv
+        assert 10.0 not in iv
+
+    def test_contains_closed(self):
+        iv = Interval(0.0, 10.0, closed_right=True)
+        assert 10.0 in iv
+
+    def test_non_numeric_not_contained(self):
+        assert "x" not in Interval(0.0, 1.0)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(DatasetError):
+            Interval(2.0, 1.0)
+
+    def test_str(self):
+        assert str(Interval(18.0, 24.0)) == "[18, 24)"
+        assert str(Interval(0.5, 1.5, closed_right=True)) == "[0.5, 1.5]"
+
+
+class TestEdges:
+    def test_equal_width(self):
+        edges = equal_width_edges(np.array([0.0, 10.0]), 5)
+        assert edges.tolist() == [0.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_equal_width_constant_column(self):
+        edges = equal_width_edges(np.array([3.0, 3.0]), 2)
+        assert edges[0] == 3.0 and edges[-1] > 3.0
+
+    def test_equal_depth_balances(self):
+        data = np.arange(100, dtype=np.float64)
+        edges = equal_depth_edges(data, 4)
+        assert len(edges) == 5
+
+    def test_equal_depth_collapses_ties(self):
+        data = np.array([1.0] * 99 + [2.0])
+        edges = equal_depth_edges(data, 4)
+        assert len(edges) < 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            equal_width_edges(np.array([]), 3)
+        with pytest.raises(DatasetError):
+            equal_depth_edges(np.array([]), 3)
+
+    def test_bad_bucket_count(self):
+        with pytest.raises(DatasetError):
+            equal_width_edges(np.array([1.0]), 0)
+
+
+class TestBucketizeColumn:
+    def test_every_value_lands_in_its_interval(self):
+        col = NumericColumn([1.0, 5.0, 9.9, 10.0, 3.3])
+        bucketed = bucketize_column(col, n_buckets=3)
+        for raw, interval in zip(col.to_list(), bucketed.to_list()):
+            assert raw in interval
+
+    def test_maximum_in_final_closed_bucket(self):
+        col = NumericColumn([0.0, 10.0])
+        bucketed = bucketize_column(col, n_buckets=2)
+        last = bucketed.to_list()[1]
+        assert isinstance(last, Interval) and last.closed_right
+        assert 10.0 in last
+
+    def test_explicit_edges(self):
+        col = NumericColumn([18.0, 25.0, 40.0])
+        bucketed = bucketize_column(col, edges=[18, 24, 34, 44])
+        assert [str(v) for v in bucketed.to_list()] == ["[18, 24)", "[24, 34)", "[34, 44]"]
+
+    def test_edges_must_cover_data(self):
+        col = NumericColumn([100.0])
+        with pytest.raises(DatasetError):
+            bucketize_column(col, edges=[0, 10])
+
+    def test_edges_must_increase(self):
+        col = NumericColumn([1.0])
+        with pytest.raises(DatasetError):
+            bucketize_column(col, edges=[0, 0, 10])
+
+    def test_unknown_method(self):
+        with pytest.raises(DatasetError):
+            bucketize_column(NumericColumn([1.0]), method="magic")
+
+
+class TestBucketizeTable:
+    def test_replaces_with_categorical(self, measure_table):
+        bucketed = bucketize(measure_table, "Sales", n_buckets=3)
+        assert bucketed.schema["Sales"].is_categorical
+        assert bucketed.n_rows == measure_table.n_rows
+
+    def test_non_numeric_rejected(self, measure_table):
+        with pytest.raises(SchemaError):
+            bucketize(measure_table, "Store")
+
+    def test_bucketized_column_minable(self, measure_table):
+        """Bucketized columns participate in BRS like any categorical."""
+        from repro.core import SizeWeight, brs
+
+        bucketed = bucketize(measure_table, "Sales", n_buckets=2)
+        result = brs(bucketed, SizeWeight(), 2, 3.0)
+        assert len(result.rules) == 2
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+def test_bucketize_partition_property(values):
+    """Buckets partition the data: every value in exactly one interval."""
+    col = NumericColumn(values)
+    bucketed = bucketize_column(col, n_buckets=4)
+    intervals = [v for v in bucketed.values]
+    for raw in values:
+        memberships = sum(1 for iv in intervals if raw in iv)
+        assert memberships >= 1

@@ -1,0 +1,126 @@
+"""Tests for dictionary-encoded and numeric columns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError, SchemaError
+from repro.table import CategoricalColumn, NumericColumn
+
+
+class TestCategoricalColumn:
+    def test_from_values_first_seen_order(self):
+        col = CategoricalColumn.from_values(["b", "a", "b", "c"])
+        assert col.values == ("b", "a", "c")
+        assert col.codes.tolist() == [0, 1, 0, 2]
+
+    def test_encode_decode_roundtrip(self):
+        col = CategoricalColumn.from_values(["x", "y"])
+        for value in ("x", "y"):
+            assert col.decode(col.encode(value)) == value
+
+    def test_encode_unknown_raises(self):
+        col = CategoricalColumn.from_values(["x"])
+        with pytest.raises(EncodingError):
+            col.encode("zzz")
+
+    def test_try_encode(self):
+        col = CategoricalColumn.from_values(["x"])
+        assert col.try_encode("x") == 0
+        assert col.try_encode("nope") is None
+        assert col.try_encode(["unhashable"]) is None
+
+    def test_encode_unhashable_raises(self):
+        col = CategoricalColumn.from_values(["x"])
+        with pytest.raises(EncodingError):
+            col.encode(["unhashable"])
+
+    def test_codes_read_only(self):
+        col = CategoricalColumn.from_values(["x", "y"])
+        with pytest.raises(ValueError):
+            col.codes[0] = 1
+
+    def test_out_of_range_codes_rejected(self):
+        with pytest.raises(SchemaError):
+            CategoricalColumn(np.array([0, 5], dtype=np.int32), ["a"])
+
+    def test_duplicate_dictionary_rejected(self):
+        with pytest.raises(SchemaError):
+            CategoricalColumn(np.array([0], dtype=np.int32), ["a", "a"])
+
+    def test_mask_eq(self):
+        col = CategoricalColumn.from_values(["a", "b", "a"])
+        assert col.mask_eq(0).tolist() == [True, False, True]
+
+    def test_take_shares_dictionary(self):
+        col = CategoricalColumn.from_values(["a", "b", "a", "c"])
+        sub = col.take(np.array([0, 3]))
+        assert sub.values == col.values  # dictionary not compacted
+        assert sub.to_list() == ["a", "c"]
+
+    def test_counts_and_frequencies(self):
+        col = CategoricalColumn.from_values(["a", "b", "a", "a"])
+        assert col.counts().tolist() == [3, 1]
+        assert col.frequencies().tolist() == [0.75, 0.25]
+
+    def test_empty_column(self):
+        col = CategoricalColumn.from_values([])
+        assert len(col) == 0
+        assert col.frequencies().tolist() == []
+
+    def test_remap(self):
+        col = CategoricalColumn.from_values(["a", "b"])
+        renamed = col.remap({"a": "alpha"})
+        assert renamed.to_list() == ["alpha", "b"]
+
+    def test_getitem(self):
+        col = CategoricalColumn.from_values(["a", "b"])
+        assert col[1] == "b"
+
+    def test_equality(self):
+        a = CategoricalColumn.from_values(["x", "y"])
+        b = CategoricalColumn.from_values(["x", "y"])
+        assert a == b
+
+    @given(st.lists(st.sampled_from(["a", "b", "c", "d"])))
+    def test_roundtrip_property(self, values):
+        col = CategoricalColumn.from_values(values)
+        assert col.to_list() == values
+        assert col.counts().sum() == len(values)
+
+
+class TestNumericColumn:
+    def test_basic(self):
+        col = NumericColumn([1.0, 2.5, 3.0])
+        assert len(col) == 3
+        assert col[1] == 2.5
+        assert col.to_list() == [1.0, 2.5, 3.0]
+
+    def test_read_only(self):
+        col = NumericColumn([1.0])
+        with pytest.raises(ValueError):
+            col.data[0] = 2.0
+
+    def test_take(self):
+        col = NumericColumn([1.0, 2.0, 3.0])
+        assert col.take(np.array([2, 0])).to_list() == [3.0, 1.0]
+
+    def test_mask_range_half_open(self):
+        col = NumericColumn([0.0, 5.0, 10.0])
+        assert col.mask_range(0.0, 10.0).tolist() == [True, True, False]
+        assert col.mask_range(0.0, 10.0, closed_right=True).tolist() == [True, True, True]
+
+    def test_mask_eq(self):
+        col = NumericColumn([1.0, 2.0, 1.0])
+        assert col.mask_eq(1.0).tolist() == [True, False, True]
+
+    def test_2d_rejected(self):
+        with pytest.raises(SchemaError):
+            NumericColumn(np.zeros((2, 2)))
+
+    def test_equality(self):
+        assert NumericColumn([1.0]) == NumericColumn([1.0])
+        assert NumericColumn([1.0]) != NumericColumn([2.0])

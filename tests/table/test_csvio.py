@@ -1,0 +1,70 @@
+"""Tests for CSV import/export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.table import (
+    Schema,
+    Table,
+    read_csv,
+    table_from_csv_text,
+    table_to_csv_text,
+    write_csv,
+)
+
+
+class TestParse:
+    def test_type_inference(self):
+        table = table_from_csv_text("name,age\nalice,30\nbob,25\n")
+        assert table.schema["name"].is_categorical
+        assert table.schema["age"].is_numeric
+        assert table.numeric("age").to_list() == [30.0, 25.0]
+
+    def test_mixed_column_stays_categorical(self):
+        table = table_from_csv_text("v\n1\nx\n")
+        assert table.schema["v"].is_categorical
+        # Cells are coerced individually: 1 is an int, "x" a string.
+        assert table.to_rows() == [(1,), ("x",)]
+
+    def test_explicit_schema_overrides(self):
+        schema = Schema.categorical(["name", "age"])
+        table = table_from_csv_text("name,age\nalice,30\n", schema)
+        assert table.schema["age"].is_categorical
+
+    def test_schema_header_mismatch(self):
+        schema = Schema.categorical(["x"])
+        with pytest.raises(DatasetError):
+            table_from_csv_text("y\n1\n", schema)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(DatasetError):
+            table_from_csv_text("")
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(DatasetError):
+            table_from_csv_text("a,b\n1\n")
+
+    def test_header_only(self):
+        table = table_from_csv_text("a,b\n")
+        assert table.n_rows == 0
+
+
+class TestRoundtrip:
+    def test_text_roundtrip(self, tiny_table):
+        text = table_to_csv_text(tiny_table)
+        back = table_from_csv_text(text)
+        assert back.to_rows() == tiny_table.to_rows()
+
+    def test_file_roundtrip(self, tmp_path, measure_table):
+        path = tmp_path / "t.csv"
+        write_csv(measure_table, path)
+        back = read_csv(path)
+        assert back.column_names == measure_table.column_names
+        assert back.numeric("Sales").to_list() == measure_table.numeric("Sales").to_list()
+
+    def test_quoted_commas_survive(self):
+        table = Table.from_rows(["c"], [("hello, world",)])
+        back = table_from_csv_text(table_to_csv_text(table))
+        assert back.row(0) == ("hello, world",)

@@ -1,0 +1,89 @@
+"""Tests for group-by aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.table import Table, group_by
+
+
+class TestGroupByCount:
+    def test_single_key(self, tiny_table):
+        rows = group_by(tiny_table, "A")
+        assert [(r.key, r.count) for r in rows] == [(("a",), 5), (("b",), 3)]
+
+    def test_multi_key(self, tiny_table):
+        rows = group_by(tiny_table, ["A", "B"])
+        as_dict = {r.key: r.count for r in rows}
+        assert as_dict[("a", "x")] == 3
+        assert as_dict[("b", "z")] == 1
+        assert sum(as_dict.values()) == 8
+
+    def test_sort_by_key(self, tiny_table):
+        rows = group_by(tiny_table, "B", sort="key", descending=False)
+        assert [r.key[0] for r in rows] == ["x", "y", "z"]
+
+    def test_limit(self, tiny_table):
+        rows = group_by(tiny_table, "B", limit=1)
+        assert len(rows) == 1
+        assert rows[0].key == ("x",)  # most frequent first
+
+    def test_empty_table(self):
+        table = Table.from_rows(["A"], [])
+        assert group_by(table, "A") == []
+
+
+class TestGroupByMeasures:
+    def test_sum(self, measure_table):
+        rows = group_by(measure_table, "Store", aggregate="sum", measure="Sales")
+        as_dict = {r.key[0]: r.value for r in rows}
+        assert as_dict == {"T": 40.0, "W": 30.0, "C": 1.0}
+
+    def test_mean(self, measure_table):
+        rows = group_by(measure_table, "Store", aggregate="mean", measure="Sales")
+        as_dict = {r.key[0]: r.value for r in rows}
+        assert as_dict["W"] == pytest.approx(15.0)
+
+    def test_min_max(self, measure_table):
+        mins = {r.key[0]: r.value for r in group_by(measure_table, "Store", aggregate="min", measure="Sales")}
+        maxs = {r.key[0]: r.value for r in group_by(measure_table, "Store", aggregate="max", measure="Sales")}
+        assert mins["T"] == 5.0 and maxs["T"] == 30.0
+
+    def test_value_sort_descending(self, measure_table):
+        rows = group_by(measure_table, "Store", aggregate="sum", measure="Sales")
+        values = [r.value for r in rows]
+        assert values == sorted(values, reverse=True)
+
+
+class TestValidation:
+    def test_missing_measure(self, tiny_table):
+        with pytest.raises(SchemaError):
+            group_by(tiny_table, "A", aggregate="sum")
+
+    def test_numeric_key_rejected(self, measure_table):
+        with pytest.raises(SchemaError):
+            group_by(measure_table, "Sales")
+
+    def test_unknown_aggregate(self, measure_table):
+        with pytest.raises(SchemaError):
+            group_by(measure_table, "Store", aggregate="median", measure="Sales")
+
+    def test_unknown_sort(self, tiny_table):
+        with pytest.raises(SchemaError):
+            group_by(tiny_table, "A", sort="magic")
+
+    def test_no_keys(self, tiny_table):
+        with pytest.raises(SchemaError):
+            group_by(tiny_table, [])
+
+
+class TestConsistencyWithTraditionalDrilldown:
+    def test_matches_traditional_drilldown(self, tiny_table):
+        """group_by on one column = traditional drill-down counts (§5.1)."""
+        from repro.core import Rule, traditional_drilldown
+
+        rows = group_by(tiny_table, "C")
+        drill = traditional_drilldown(tiny_table, Rule.trivial(3), "C")
+        drill_counts = {e.rule[2]: e.count for e in drill.rule_list}
+        assert {r.key[0]: r.count for r in rows} == drill_counts

@@ -1,0 +1,93 @@
+"""Tests for the predicate DSL (the Example 1 entry query substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.table import Table, col
+
+
+@pytest.fixture
+def sales_table() -> Table:
+    return Table.from_dict(
+        {
+            "store": ["acme", "acme", "bazar", "bazar", "corner"],
+            "region": ["n", "s", "n", "s", "n"],
+            "sales": [100.0, 2500.0, 900.0, 1200.0, 50.0],
+        }
+    )
+
+
+class TestNumericComparisons:
+    def test_greater_than(self, sales_table):
+        mask = (col("sales") > 1000).mask(sales_table)
+        assert mask.tolist() == [False, True, False, True, False]
+
+    def test_all_operators(self, sales_table):
+        assert (col("sales") >= 900).mask(sales_table).sum() == 3
+        assert (col("sales") < 100).mask(sales_table).sum() == 1
+        assert (col("sales") <= 100).mask(sales_table).sum() == 2
+        assert (col("sales") == 900).mask(sales_table).sum() == 1
+        assert (col("sales") != 900).mask(sales_table).sum() == 4
+
+    def test_isin_numeric(self, sales_table):
+        mask = col("sales").isin([100, 50]).mask(sales_table)
+        assert mask.tolist() == [True, False, False, False, True]
+
+
+class TestCategoricalComparisons:
+    def test_equality(self, sales_table):
+        mask = (col("store") == "acme").mask(sales_table)
+        assert mask.tolist() == [True, True, False, False, False]
+
+    def test_inequality(self, sales_table):
+        mask = (col("store") != "acme").mask(sales_table)
+        assert mask.sum() == 3
+
+    def test_unknown_value(self, sales_table):
+        assert (col("store") == "nope").mask(sales_table).sum() == 0
+        assert (col("store") != "nope").mask(sales_table).sum() == 5
+
+    def test_isin(self, sales_table):
+        mask = col("store").isin(["acme", "corner", "ghost"]).mask(sales_table)
+        assert mask.sum() == 3
+
+    def test_ordering_rejected(self, sales_table):
+        with pytest.raises(SchemaError):
+            (col("store") > "a").mask(sales_table)
+
+
+class TestComposition:
+    def test_and(self, sales_table):
+        pred = (col("store") == "acme") & (col("sales") > 1000)
+        assert pred.mask(sales_table).tolist() == [False, True, False, False, False]
+
+    def test_or(self, sales_table):
+        pred = (col("region") == "s") | (col("sales") < 60)
+        assert pred.mask(sales_table).sum() == 3
+
+    def test_not(self, sales_table):
+        pred = ~(col("region") == "n")
+        assert pred.mask(sales_table).tolist() == [False, True, False, True, False]
+
+    def test_apply_returns_filtered_table(self, sales_table):
+        hot = (col("sales") > 1000).apply(sales_table)
+        assert hot.n_rows == 2
+        assert set(r[0] for r in hot.rows()) == {"acme", "bazar"}
+
+    def test_repr_is_readable(self):
+        pred = (col("a") == 1) & ~(col("b") > 2)
+        assert "col('a')" in repr(pred) and "~" in repr(pred)
+
+
+class TestIntegrationWithDrillDown:
+    def test_example1_entry_query(self, retail):
+        """The paper's setup: filter by a Sales threshold, then explore."""
+        from repro.core import SizeWeight, brs
+
+        hot = (col("Sales") > 100).apply(retail)
+        assert 0 < hot.n_rows < retail.n_rows
+        result = brs(hot, SizeWeight(), 3, 3.0)
+        assert len(result.rules) == 3

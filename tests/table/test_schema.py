@@ -1,0 +1,79 @@
+"""Tests for Schema and ColumnSchema."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.table import ColumnKind, ColumnSchema, Schema
+
+
+class TestColumnSchema:
+    def test_defaults_to_categorical(self):
+        col = ColumnSchema("store")
+        assert col.is_categorical and not col.is_numeric
+
+    def test_numeric_kind(self):
+        col = ColumnSchema("sales", ColumnKind.NUMERIC)
+        assert col.is_numeric and not col.is_categorical
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnSchema("")
+
+
+class TestSchema:
+    def test_categorical_factory(self):
+        schema = Schema.categorical(["a", "b"])
+        assert schema.names == ("a", "b")
+        assert all(c.is_categorical for c in schema)
+
+    def test_of_factory(self):
+        schema = Schema.of(store="categorical", sales="numeric")
+        assert schema["sales"].is_numeric
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.categorical(["a", "a"])
+
+    def test_index_of(self):
+        schema = Schema.categorical(["a", "b", "c"])
+        assert schema.index_of("b") == 1
+        with pytest.raises(SchemaError):
+            schema.index_of("zz")
+
+    def test_contains(self):
+        schema = Schema.categorical(["a"])
+        assert "a" in schema and "b" not in schema
+
+    def test_getitem_by_name_and_index(self):
+        schema = Schema.categorical(["a", "b"])
+        assert schema[0] is schema["a"]
+
+    def test_kind_index_lists(self):
+        schema = Schema.of(a="categorical", v="numeric", b="categorical")
+        assert schema.categorical_indexes == (0, 2)
+        assert schema.numeric_indexes == (1,)
+
+    def test_without(self):
+        schema = Schema.categorical(["a", "b", "c"]).without("b")
+        assert schema.names == ("a", "c")
+
+    def test_replace(self):
+        schema = Schema.of(a="categorical", v="numeric")
+        replaced = schema.replace("v", ColumnSchema("v", ColumnKind.CATEGORICAL))
+        assert replaced["v"].is_categorical
+        assert schema["v"].is_numeric  # original untouched
+
+    def test_restrict_reorders(self):
+        schema = Schema.categorical(["a", "b", "c"]).restrict(["c", "a"])
+        assert schema.names == ("c", "a")
+
+    def test_equality_and_hash(self):
+        assert Schema.categorical(["a"]) == Schema.categorical(["a"])
+        assert hash(Schema.categorical(["a"])) == hash(Schema.categorical(["a"]))
+        assert Schema.categorical(["a"]) != Schema.categorical(["b"])
+
+    def test_non_columnschema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["not-a-column"])  # type: ignore[list-item]

@@ -1,0 +1,43 @@
+"""Tests for table statistics (§4.2 / §6.1 inputs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.table import Table, compute_stats
+
+
+class TestComputeStats:
+    def test_per_column_stats(self, tiny_table):
+        stats = compute_stats(tiny_table)
+        a = stats.column("A")
+        assert a.distinct == 2
+        assert a.top_value == "a"
+        assert a.top_count == 5
+        assert a.top_fraction == pytest.approx(5 / 8)
+
+    def test_min_distinct(self, tiny_table):
+        assert compute_stats(tiny_table).min_distinct == 2
+
+    def test_max_top_fraction(self, tiny_table):
+        assert compute_stats(tiny_table).max_top_fraction == pytest.approx(5 / 8)
+
+    def test_numeric_columns_skipped(self, measure_table):
+        stats = compute_stats(measure_table)
+        names = [c.name for c in stats.columns]
+        assert "Sales" not in names
+
+    def test_unknown_column_raises(self, tiny_table):
+        with pytest.raises(KeyError):
+            compute_stats(tiny_table).column("nope")
+
+    def test_entropy_bits(self, tiny_table):
+        stats = compute_stats(tiny_table)
+        assert stats.column("A").entropy_bits == 1.0  # 2 values
+        assert stats.column("B").entropy_bits == 2.0  # 3 values
+
+    def test_empty_table(self):
+        stats = compute_stats(Table.from_rows(["A"], []))
+        assert stats.n_rows == 0
+        assert stats.columns[0].distinct == 0
+        assert stats.min_distinct == 0

@@ -1,0 +1,164 @@
+"""Tests for the columnar Table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.table import (
+    CategoricalColumn,
+    ColumnKind,
+    ColumnSchema,
+    NumericColumn,
+    Schema,
+    Table,
+)
+
+
+class TestConstruction:
+    def test_from_rows_names_only(self):
+        table = Table.from_rows(["a", "b"], [("x", "y"), ("x", "z")])
+        assert table.n_rows == 2
+        assert table.column_names == ("a", "b")
+
+    def test_from_rows_ragged_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_rows(["a", "b"], [("x",)])
+
+    def test_from_dict_infers_kinds(self):
+        table = Table.from_dict({"name": ["a", "b"], "value": [1.0, 2.0]})
+        assert table.schema["name"].is_categorical
+        assert table.schema["value"].is_numeric
+
+    def test_from_dict_bools_are_categorical(self):
+        table = Table.from_dict({"flag": [True, False]})
+        assert table.schema["flag"].is_categorical
+
+    def test_kind_mismatch_rejected(self):
+        schema = Schema.of(a="numeric")
+        with pytest.raises(SchemaError):
+            Table(schema, [CategoricalColumn.from_values(["x"])])
+
+    def test_column_length_mismatch_rejected(self):
+        schema = Schema.categorical(["a", "b"])
+        with pytest.raises(SchemaError):
+            Table(
+                schema,
+                [CategoricalColumn.from_values(["x"]), CategoricalColumn.from_values(["y", "z"])],
+            )
+
+    def test_column_count_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            Table(Schema.categorical(["a", "b"]), [CategoricalColumn.from_values(["x"])])
+
+    def test_empty_table(self):
+        table = Table.from_rows(["a"], [])
+        assert table.n_rows == 0
+        assert table.to_rows() == []
+
+
+class TestAccess:
+    def test_row_roundtrip(self, tiny_table):
+        assert tiny_table.row(0) == ("a", "x", "p")
+        assert tiny_table.row(-1) == ("b", "z", "r")
+
+    def test_row_out_of_range(self, tiny_table):
+        with pytest.raises(IndexError):
+            tiny_table.row(100)
+
+    def test_rows_iterator(self, tiny_table):
+        assert list(tiny_table.rows()) == tiny_table.to_rows()
+
+    def test_to_dict(self, tiny_table):
+        d = tiny_table.to_dict()
+        assert d["A"][:3] == ["a", "a", "a"]
+
+    def test_column_by_name_and_index(self, tiny_table):
+        assert tiny_table.column("A") is tiny_table.column(0)
+
+    def test_categorical_accessor_kind_check(self, measure_table):
+        with pytest.raises(SchemaError):
+            measure_table.categorical("Sales")
+        with pytest.raises(SchemaError):
+            measure_table.numeric("Store")
+
+
+class TestTransformations:
+    def test_take_preserves_dictionaries(self, tiny_table):
+        sub = tiny_table.take(np.array([0, 5]))
+        assert sub.to_rows() == [("a", "x", "p"), ("b", "x", "p")]
+        assert sub.categorical("A").values == tiny_table.categorical("A").values
+
+    def test_filter(self, tiny_table):
+        mask = tiny_table.categorical("A").mask_eq(0)
+        sub = tiny_table.filter(mask)
+        assert sub.n_rows == 5
+        assert all(r[0] == "a" for r in sub.rows())
+
+    def test_filter_bad_mask(self, tiny_table):
+        with pytest.raises(SchemaError):
+            tiny_table.filter(np.zeros(3, dtype=bool))
+
+    def test_head(self, tiny_table):
+        assert tiny_table.head(2).to_rows() == tiny_table.to_rows()[:2]
+        assert tiny_table.head(100).n_rows == 8
+
+    def test_select(self, tiny_table):
+        sub = tiny_table.select(["C", "A"])
+        assert sub.column_names == ("C", "A")
+        assert sub.row(0) == ("p", "a")
+
+    def test_rename(self, tiny_table):
+        renamed = tiny_table.rename({"A": "alpha"})
+        assert renamed.column_names == ("alpha", "B", "C")
+        assert renamed.to_rows() == tiny_table.to_rows()
+
+    def test_with_column(self, tiny_table):
+        col = NumericColumn(np.arange(8, dtype=np.float64))
+        extended = tiny_table.with_column(ColumnSchema("n", ColumnKind.NUMERIC), col)
+        assert extended.n_columns == 4
+        assert extended.row(3)[-1] == 3.0
+
+    def test_replace_column(self, tiny_table):
+        new = CategoricalColumn.from_values(["k"] * 8)
+        replaced = tiny_table.replace_column("B", ColumnSchema("B"), new)
+        assert set(r[1] for r in replaced.rows()) == {"k"}
+
+    def test_concat(self, tiny_table):
+        doubled = tiny_table.concat(tiny_table)
+        assert doubled.n_rows == 16
+        assert doubled.to_rows() == tiny_table.to_rows() * 2
+
+    def test_concat_reencodes_dictionaries(self):
+        a = Table.from_rows(["c"], [("x",)])
+        b = Table.from_rows(["c"], [("y",)])
+        combined = a.concat(b)
+        assert combined.to_rows() == [("x",), ("y",)]
+        assert combined.categorical("c").distinct_count == 2
+
+    def test_concat_schema_mismatch(self, tiny_table, measure_table):
+        with pytest.raises(SchemaError):
+            tiny_table.concat(measure_table)
+
+    def test_distinct_counts(self, tiny_table):
+        assert tiny_table.distinct_counts() == {"A": 2, "B": 3, "C": 3}
+
+    def test_equality(self, tiny_table):
+        same = Table.from_rows(["A", "B", "C"], tiny_table.to_rows())
+        assert tiny_table == same
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from("ab"), st.sampled_from("xyz")),
+        max_size=30,
+    )
+)
+def test_roundtrip_property(rows):
+    table = Table.from_rows(["u", "v"], rows)
+    assert table.to_rows() == rows
+    # take(all) is identity
+    assert table.take(np.arange(len(rows))).to_rows() == rows

@@ -1,0 +1,65 @@
+"""Tests for the paper-style ASCII rendering."""
+
+from __future__ import annotations
+
+from repro.core import Rule, RuleList, STAR, SizeWeight
+from repro.session import DrillDownSession
+from repro.ui import format_count, render_rows, render_rule_list, render_session
+
+
+class TestFormatCount:
+    def test_integral(self):
+        assert format_count(6000.0) == "6000"
+        assert format_count(0.0) == "0"
+
+    def test_fractional(self):
+        assert format_count(123.456) == "123.5"
+
+
+class TestRenderRows:
+    def test_header_and_alignment(self):
+        text = render_rows(
+            ["Store", "Product"],
+            [(0, Rule([STAR, STAR]), 6000, 0), (1, Rule(["Walmart", STAR]), 1000, 1)],
+        )
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "Store"
+        assert "Count" in lines[0] and "Weight" in lines[0]
+        # Depth-1 rows carry the paper's dot prefix.
+        assert lines[3].startswith(". Walmart")
+
+    def test_wildcards_render_as_question_marks(self):
+        text = render_rows(["A"], [(0, Rule([STAR]), 1, 0)])
+        assert "?" in text.splitlines()[2]
+
+
+class TestRenderRuleList:
+    def test_renders_entries(self, tiny_table):
+        rl = RuleList([Rule(["a", STAR, STAR])], tiny_table, SizeWeight())
+        text = render_rule_list(tiny_table.column_names, rl)
+        assert "a" in text and "5" in text
+
+
+class TestRenderSession:
+    def test_paper_table_shape(self, retail):
+        session = DrillDownSession(retail, k=3, mw=3.0)
+        session.expand(session.root.rule)
+        session.expand(Rule.from_named(retail, Store="Walmart"))
+        text = render_session(session)
+        lines = text.splitlines()
+        assert lines[2].startswith("?")  # trivial rule first
+        assert any(line.startswith(". ") for line in lines)  # depth 1
+        assert any(line.startswith(". . ") for line in lines)  # depth 2
+        assert "6000" in text and "1000" in text
+
+    def test_sort_display_by_count(self, retail):
+        session = DrillDownSession(retail, k=3, mw=3.0)
+        session.expand(session.root.rule)
+        text = render_session(session, sort_display_by_count=True)
+        lines = [l for l in text.splitlines()[2:] if l.startswith(". ")]
+        counts = [int(l.split("|")[-2]) for l in lines]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_session_to_text_delegates(self, retail):
+        session = DrillDownSession(retail, k=3, mw=3.0)
+        assert session.to_text() == render_session(session)

@@ -1,0 +1,116 @@
+"""Tests for the terminal explorer REPL (scripted I/O)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.session import DrillDownSession
+from repro.ui import ExplorerREPL
+
+
+def run_script(retail, script: str) -> str:
+    session = DrillDownSession(retail, k=3, mw=3.0)
+    out = io.StringIO()
+    repl = ExplorerREPL(session, input_stream=io.StringIO(script), output_stream=out)
+    repl.run()
+    return out.getvalue()
+
+
+class TestCommands:
+    def test_expand_and_show(self, retail):
+        output = run_script(retail, "expand 0\nquit\n")
+        assert "Walmart" in output
+        assert "comforters" in output
+
+    def test_collapse(self, retail):
+        output = run_script(retail, "expand 0\ncollapse 0\nquit\n")
+        # Final show has only the trivial rule row.
+        final_table = output.rsplit("smart drill-down", 1)[-1]
+        assert final_table.count("Walmart") >= 1  # appeared at least once mid-run
+
+    def test_star_command(self, retail):
+        output = run_script(retail, "star 0 Region\nquit\n")
+        assert "MA-3" in output or "CA-1" in output or "NY-1" in output
+
+    def test_trad_command(self, retail):
+        output = run_script(retail, "trad 0 Store\nquit\n")
+        assert "Walmart" in output
+
+    def test_k_command(self, retail):
+        session = DrillDownSession(retail, k=3, mw=3.0)
+        out = io.StringIO()
+        repl = ExplorerREPL(session, input_stream=io.StringIO("k 5\nquit\n"), output_stream=out)
+        repl.run()
+        assert session.k == 5
+        assert "k = 5" in out.getvalue()
+
+    def test_help(self, retail):
+        assert "commands:" in run_script(retail, "help\nquit\n")
+
+    def test_unknown_command(self, retail):
+        assert "unknown command" in run_script(retail, "frobnicate\nquit\n")
+
+    def test_bad_row_index(self, retail):
+        output = run_script(retail, "expand 99\nquit\n")
+        assert "error:" in output
+
+    def test_non_integer_row(self, retail):
+        output = run_script(retail, "expand zero\nquit\n")
+        assert "error:" in output
+
+    def test_missing_argument(self, retail):
+        output = run_script(retail, "expand\nquit\n")
+        assert "missing argument" in output
+
+    def test_invalid_k(self, retail):
+        output = run_script(retail, "k 0\nquit\n")
+        assert "error:" in output
+
+    def test_eof_terminates(self, retail):
+        # No quit command: run() must return at EOF.
+        output = run_script(retail, "show\n")
+        assert "smart drill-down explorer" in output
+
+    def test_blank_lines_ignored(self, retail):
+        output = run_script(retail, "\n\nquit\n")
+        assert "smart drill-down explorer" in output
+
+
+class TestPreferenceCommands:
+    def test_favor_changes_weighting(self, retail):
+        session = DrillDownSession(retail, k=3, mw=3.0)
+        out = io.StringIO()
+        repl = ExplorerREPL(
+            session,
+            input_stream=io.StringIO("favor Region 3\nexpand 0\nquit\n"),
+            output_stream=out,
+        )
+        repl.run()
+        assert "favoring column 'Region'" in out.getvalue()
+        from repro.core import ParametricWeight
+
+        assert isinstance(session.wf, ParametricWeight)
+
+    def test_ignore_column(self, retail):
+        session = DrillDownSession(retail, k=3, mw=3.0)
+        out = io.StringIO()
+        repl = ExplorerREPL(
+            session,
+            input_stream=io.StringIO("ignore Store\nexpand 0\nquit\n"),
+            output_stream=out,
+        )
+        repl.run()
+        assert "ignoring column 'Store'" in out.getvalue()
+        store_idx = retail.schema.index_of("Store")
+        for node in session.root.children:
+            assert node.rule.is_star(store_idx)
+
+    def test_unknown_column_reports_error(self, retail):
+        output = run_script(retail, "favor Nope\nquit\n")
+        assert "error:" in output
+
+    def test_refresh_command(self, retail):
+        output = run_script(retail, "expand 0\nrefresh\nquit\n")
+        assert "refreshed" in output
