@@ -1,0 +1,159 @@
+"""Incremental search engine: first-pick vs later-pick latency + speedup.
+
+The §6.1 interactivity claim ("display as many rules as we can find
+within a 5-second limit") depends on the latency of repeated
+`find_best_marginal_rule` calls.  This benchmark times the k=10 greedy
+on the census workload under both engines and records:
+
+* per-pick latency for the incremental engine — the first pick builds
+  the candidate cache, later picks are CELF heap re-evaluations;
+* the wall-clock speedup of the incremental engine over the
+  from-scratch greedy (one cold Algorithm 2 run per pick), asserted
+  to be at least 3×;
+* exact equivalence of the two engines' rule sequences.
+
+A JSON perf record is written next to this file
+(``BENCH_incremental_search.json``) so future changes can track the
+latency trajectory.  Run via pytest (the ``smoke`` marker selects it:
+``pytest benchmarks/bench_incremental_search.py -m smoke``) or
+directly::
+
+    PYTHONPATH=src python benchmarks/bench_incremental_search.py [--smoke]
+
+Both modes finish well under a minute; ``--smoke`` runs one repeat
+instead of three.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import SizeWeight, brs, brs_iter
+from repro.datasets import generate_census
+
+RECORD_PATH = Path(__file__).resolve().parent / "BENCH_incremental_search.json"
+CENSUS_ROWS = 100_000
+N_COLUMNS = 7
+K = 10
+MW = 5.0
+MIN_SPEEDUP = 3.0
+
+
+def _time_run(table, engine: str) -> float:
+    start = time.perf_counter()
+    brs(table, SizeWeight(), K, MW, engine=engine)
+    return time.perf_counter() - start
+
+
+def _per_pick_times(table, engine: str) -> list[float]:
+    """Latency of each greedy pick, streamed through :func:`brs_iter`."""
+    times: list[float] = []
+    stream = brs_iter(table, SizeWeight(), MW, engine=engine)
+    while len(times) < K:
+        start = time.perf_counter()
+        result = next(stream, None)
+        times.append(time.perf_counter() - start)
+        if result is None:
+            times.pop()
+            break
+    return times
+
+
+def run_benchmark(table, repeats: int = 3) -> dict:
+    """Time both engines, check equivalence, and build the perf record."""
+    scratch = min(_time_run(table, "scratch") for _ in range(repeats))
+    incremental = min(_time_run(table, "incremental") for _ in range(repeats))
+    picks_scratch = brs(table, SizeWeight(), K, MW, engine="scratch")
+    picks_lazy = brs(table, SizeWeight(), K, MW, engine="incremental")
+    identical = [p.rule for p in picks_scratch.picks] == [
+        p.rule for p in picks_lazy.picks
+    ] and [p.marginal for p in picks_scratch.picks] == [
+        p.marginal for p in picks_lazy.picks
+    ]
+    per_pick = _per_pick_times(table, "incremental")
+    later = per_pick[1:] or [0.0]
+    stats = picks_lazy.stats
+    return {
+        "workload": {
+            "dataset": "census",
+            "rows": table.n_rows,
+            "columns": N_COLUMNS,
+            "k": K,
+            "mw": MW,
+            "weighting": "size",
+            "repeats": repeats,
+        },
+        "seed_engine_seconds": round(scratch, 6),
+        "incremental_engine_seconds": round(incremental, 6),
+        "speedup": round(scratch / incremental, 3),
+        "first_pick_seconds": round(per_pick[0], 6),
+        "later_pick_mean_seconds": round(sum(later) / len(later), 6),
+        "later_vs_first_ratio": round((sum(later) / len(later)) / per_pick[0], 4),
+        "identical_rule_lists": identical,
+        "incremental_stats": {
+            "rows_scanned": stats.rows_scanned,
+            "candidates_generated": stats.candidates_generated,
+            "cache_hits": stats.cache_hits,
+            "lazy_skips": stats.lazy_skips,
+        },
+        "scratch_stats": {
+            "rows_scanned": picks_scratch.stats.rows_scanned,
+            "candidates_generated": picks_scratch.stats.candidates_generated,
+        },
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def write_record(record: dict) -> None:
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+
+def check_record(record: dict) -> None:
+    assert record["identical_rule_lists"], "engines disagreed on the rule list"
+    assert record["speedup"] >= MIN_SPEEDUP, (
+        f"incremental engine speedup {record['speedup']:.2f}x is below the "
+        f"{MIN_SPEEDUP}x floor "
+        f"({record['seed_engine_seconds']:.3f}s vs "
+        f"{record['incremental_engine_seconds']:.3f}s)"
+    )
+    # Later picks must be much cheaper than the cache-building first pick.
+    assert record["later_pick_mean_seconds"] < record["first_pick_seconds"]
+
+
+@pytest.mark.smoke
+def test_incremental_engine_speedup(census):
+    """Smoke target: ≥3× on brs(k=10), identical rules, record emitted."""
+    record = run_benchmark(census, repeats=1)
+    write_record(record)
+    print()
+    print(
+        f"BX incremental search: seed {record['seed_engine_seconds']*1000:.0f} ms, "
+        f"incremental {record['incremental_engine_seconds']*1000:.0f} ms "
+        f"({record['speedup']:.1f}x); first pick "
+        f"{record['first_pick_seconds']*1000:.1f} ms, later picks "
+        f"{record['later_pick_mean_seconds']*1000:.2f} ms"
+    )
+    check_record(record)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="single repeat (fast CI smoke run)"
+    )
+    args = parser.parse_args()
+    table = generate_census(CENSUS_ROWS, n_columns=N_COLUMNS)
+    record = run_benchmark(table, repeats=1 if args.smoke else 3)
+    write_record(record)
+    print(json.dumps(record, indent=2))
+    check_record(record)
+    print(f"\nperf record written to {RECORD_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,13 @@ import pytest
 from repro.datasets import generate_census, generate_marketing, generate_retail
 from repro.experiments import MARKETING_7_COLUMNS
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "smoke: fast benchmark subset (<60 s) that emits a BENCH_*.json perf record",
+    )
+
 #: Census rows used by the benchmark suite (full paper scale is 2.5M;
 #: this keeps a full benchmark run in minutes while preserving shapes).
 CENSUS_BENCH_ROWS = 100_000

@@ -8,6 +8,23 @@ procedure — start empty, add the best marginal rule ``k`` times — is a
 rule-list of size ``k+1`` as produced by the greedy, which Section 6.1
 exploits to stream rules to the user; :func:`brs_iter` exposes exactly
 that stream.
+
+**Engines.**  By default (``engine="incremental"``) the ``k`` marginal
+searches run through a :class:`~repro.core.search_cache.SearchContext`,
+which persists candidate counts, weights, and covered-row sets across
+picks and re-evaluates marginals CELF-style (Leskovec et al.'s lazy
+greedy): submodularity makes any previously computed marginal an upper
+bound on the current one, so picks after the first only touch the few
+heap-top candidates whose stale bound is still competitive, instead of
+re-running the whole a-priori search.  The selected rules are provably
+identical to ``engine="scratch"`` (one cold
+:func:`~repro.core.marginal.find_best_marginal_rule` per pick) — the
+lazy heap settles on the same argmax under the same tie-breaking order,
+and pruned-subtree bounds are re-checked against the current ``top``
+before a search concludes (see :mod:`repro.core.search_cache` for the
+full argument).  Callers may pass an existing ``context`` to amortise
+the cache across multiple BRS runs — the interactive session layer does
+this for repeated expansions of the same drill-down node.
 """
 
 from __future__ import annotations
@@ -21,6 +38,7 @@ import numpy as np
 from repro.core.marginal import MarginalResult, SearchStats, find_best_marginal_rule
 from repro.core.rule import Rule, cover_mask
 from repro.core.scoring import RuleList
+from repro.core.search_cache import SearchContext
 from repro.core.weights import WeightFunction
 from repro.table.table import Table
 
@@ -59,6 +77,8 @@ def brs_iter(
     max_rule_size: int | None = None,
     prune: bool = True,
     initial_top: np.ndarray | None = None,
+    context: SearchContext | None = None,
+    engine: str = "incremental",
 ) -> Iterator[MarginalResult]:
     """Yield greedy picks one at a time (the Section 6.1 streaming mode).
 
@@ -71,28 +91,54 @@ def brs_iter(
     sub-table": children then only earn credit for weight *above* the
     parent's (this is what makes the Table 3 expansion produce
     cookies/CA-1/WA-5 rather than re-listing the Walmart rule itself).
+
+    ``engine`` selects ``"incremental"`` (cached, CELF lazy greedy —
+    the default) or ``"scratch"`` (one cold Algorithm 2 run per pick);
+    both produce identical picks.  ``context`` supplies an existing
+    :class:`~repro.core.search_cache.SearchContext` to reuse across
+    runs (implies the incremental engine); it must have been built for
+    the same table, weight function, and search parameters.  Invalid
+    engines/contexts raise here, not at first iteration.
     """
-    n = table.n_rows
-    top = (
-        np.zeros(n, dtype=np.float64)
-        if initial_top is None
-        else initial_top.astype(np.float64).copy()
-    )
-    while True:
-        result = find_best_marginal_rule(
-            table,
-            wf,
-            top,
-            mw,
-            measures=measures,
-            max_rule_size=max_rule_size,
-            prune=prune,
+    if engine not in ("incremental", "scratch"):
+        raise ValueError(f"unknown search engine {engine!r}")
+    if context is not None:
+        context.check_compatible(table, wf, mw, measures, max_rule_size, prune)
+    elif engine == "incremental":
+        context = SearchContext(
+            table, wf, mw, measures=measures, max_rule_size=max_rule_size, prune=prune
         )
-        if result is None:
-            return
-        mask = cover_mask(result.rule, table)
-        np.maximum(top, np.where(mask, result.weight, 0.0), out=top)
-        yield result
+
+    def picks() -> Iterator[MarginalResult]:
+        top = (
+            np.zeros(table.n_rows, dtype=np.float64)
+            if initial_top is None
+            else initial_top.astype(np.float64).copy()
+        )
+        while True:
+            if context is not None:
+                result = context.find_best(top)
+            else:
+                result = find_best_marginal_rule(
+                    table,
+                    wf,
+                    top,
+                    mw,
+                    measures=measures,
+                    max_rule_size=max_rule_size,
+                    prune=prune,
+                )
+            if result is None:
+                return
+            if context is not None and context.last_rows is not None:
+                rows = context.last_rows
+                top[rows] = np.maximum(top[rows], result.weight)
+            else:
+                mask = cover_mask(result.rule, table)
+                top[mask] = np.maximum(top[mask], result.weight)
+            yield result
+
+    return picks()
 
 
 def brs(
@@ -105,6 +151,8 @@ def brs(
     max_rule_size: int | None = None,
     prune: bool = True,
     initial_top: np.ndarray | None = None,
+    context: SearchContext | None = None,
+    engine: str = "incremental",
 ) -> BRSResult:
     """Greedily select up to ``k`` rules maximising ``Score`` (Problem 3).
 
@@ -129,6 +177,10 @@ def brs(
     initial_top:
         Optional seed for the per-tuple selected-weight state (see
         :func:`brs_iter`).
+    context, engine:
+        Search-engine selection (see :func:`brs_iter`): the cached
+        CELF engine by default, ``engine="scratch"`` for one cold
+        search per pick, or an existing context to reuse its cache.
     """
     picks: list[MarginalResult] = []
     stats = SearchStats()
@@ -144,6 +196,8 @@ def brs(
         max_rule_size=max_rule_size,
         prune=prune,
         initial_top=initial_top,
+        context=context,
+        engine=engine,
     ):
         picks.append(result)
         stats.merge(result.stats)
@@ -164,6 +218,8 @@ def brs_time_limited(
     max_rule_size: int | None = None,
     prune: bool = True,
     initial_top: np.ndarray | None = None,
+    context: SearchContext | None = None,
+    engine: str = "incremental",
 ) -> BRSResult:
     """Keep adding rules until a wall-clock budget runs out (§6.1).
 
@@ -173,6 +229,8 @@ def brs_time_limited(
     budget are exactly the prefix a larger ``k`` would have produced.
     At least one search is always attempted (a summary with zero rules
     helps nobody); ``max_rules`` optionally caps the count as well.
+    The incremental engine stretches the budget: later searches cost a
+    few heap re-evaluations instead of full table passes.
     """
     if time_limit_seconds <= 0:
         raise ValueError("time_limit_seconds must be positive")
@@ -187,6 +245,8 @@ def brs_time_limited(
         max_rule_size=max_rule_size,
         prune=prune,
         initial_top=initial_top,
+        context=context,
+        engine=engine,
     ):
         picks.append(result)
         stats.merge(result.stats)

@@ -20,6 +20,17 @@ Section 3.1:
 The functions operate on whatever :class:`~repro.table.Table` they are
 given — the interactive session layer passes in samples and rescales
 counts.
+
+Each drill-down accepts (and returns, via
+:attr:`DrillDownResult.context`) a
+:class:`~repro.core.search_cache.SearchContext` so repeated expansions
+of the same node — e.g. expand, collapse, expand again in a session —
+reuse the cached candidate lattice instead of re-filtering the table
+and re-running the search from scratch.  A supplied context is reused
+only when its tag (operation kind, parent rule, column, measure,
+weight function, and search parameters) and source table match;
+otherwise a fresh one is built, so callers may pass a stale context
+safely.
 """
 
 from __future__ import annotations
@@ -33,6 +44,7 @@ from repro.errors import RuleError
 from repro.core.marginal import SearchStats
 from repro.core.rule import Rule, cover_mask
 from repro.core.scoring import RuleList, tuple_measures
+from repro.core.search_cache import SearchContext
 from repro.core.weights import (
     ColumnIndicatorWeight,
     MergedWeight,
@@ -51,12 +63,16 @@ class DrillDownResult:
     ``rule_list`` holds the weight-sorted super-rules of the clicked
     rule with their Count/MCount on the mined table; ``subtable_rows``
     is ``|T_{r'}|``; ``stats`` aggregates the BRS search work.
+    ``context`` is the incremental-search state used — pass it back to
+    the same drill-down call to reuse the cached candidate lattice
+    (None when the scratch engine was requested).
     """
 
     parent: Rule
     rule_list: RuleList
     subtable_rows: int
     stats: SearchStats
+    context: SearchContext | None = None
 
     @property
     def rules(self) -> tuple[Rule, ...]:
@@ -80,6 +96,17 @@ def _merge_with_parent(rules: tuple[Rule, ...], parent: Rule) -> list[Rule]:
     return merged
 
 
+def _context_reusable(context: SearchContext | None, table: Table, tag: tuple) -> bool:
+    """True when ``context`` was built for exactly this drill-down.
+
+    ``tag`` equality compares the operation kind, parent rule, column,
+    measure, weight function (by identity), and search parameters;
+    ``source`` identity ties the context to the mined table object, so
+    a sampled session whose sample was swapped rebuilds automatically.
+    """
+    return context is not None and context.source is table and context.tag == tag
+
+
 def rule_drilldown(
     table: Table,
     parent: Rule,
@@ -90,6 +117,8 @@ def rule_drilldown(
     measure: str | None = None,
     max_rule_size: int | None = None,
     prune: bool = True,
+    context: SearchContext | None = None,
+    engine: str = "incremental",
 ) -> DrillDownResult:
     """Expand ``parent`` into its best rule-list of ``k`` super-rules.
 
@@ -98,13 +127,29 @@ def rule_drilldown(
     parent-merged weight function, then display the merged rules.
 
     Parameters mirror :func:`repro.core.brs.brs`; ``measure`` selects
-    Sum aggregation over a numeric column instead of Count.
+    Sum aggregation over a numeric column instead of Count.  Passing
+    the ``context`` from a previous identical call (any ``k``) skips
+    the sub-table filtering and reuses the cached candidate lattice.
     """
     if len(parent) != table.n_columns:
         raise RuleError("parent rule arity does not match the table")
-    subtable = table.filter(cover_mask(parent, table)) if not parent.is_trivial else table
-    lifted = MergedWeight(wf, parent) if not parent.is_trivial else wf
-    measures = tuple_measures(subtable, measure)
+    tag = ("rule", parent, None, measure, wf, float(mw), max_rule_size, prune)
+    if _context_reusable(context, table, tag):
+        subtable = context.table
+        lifted = context.wf
+        measures = context.measures
+    else:
+        subtable = table.filter(cover_mask(parent, table)) if not parent.is_trivial else table
+        lifted = MergedWeight(wf, parent) if not parent.is_trivial else wf
+        measures = tuple_measures(subtable, measure)
+        context = None
+        if engine == "incremental":
+            context = SearchContext(
+                subtable, lifted, mw, measures=measures,
+                max_rule_size=max_rule_size, prune=prune,
+            )
+            context.source = table
+            context.tag = tag
     # Seed the greedy with the parent already covering the sub-table at
     # its own weight: children earn credit only for the weight they add
     # beyond the parent, which is what the paper's Table 3 expansion
@@ -119,6 +164,8 @@ def rule_drilldown(
         max_rule_size=max_rule_size,
         prune=prune,
         initial_top=seed,
+        context=context,
+        engine=engine,
     )
     merged = _merge_with_parent(result.rules, parent)
     rule_list = RuleList(merged, subtable, wf, measures)
@@ -127,6 +174,7 @@ def rule_drilldown(
         rule_list=rule_list,
         subtable_rows=subtable.n_rows,
         stats=result.stats,
+        context=context,
     )
 
 
@@ -141,12 +189,15 @@ def star_drilldown(
     measure: str | None = None,
     max_rule_size: int | None = None,
     prune: bool = True,
+    context: SearchContext | None = None,
+    engine: str = "incremental",
 ) -> DrillDownResult:
     """Expand the ``?`` in ``column`` of ``parent`` (Section 2.3).
 
     Implements the [Star drill down] reduction: like a rule drill-down,
     but the weight function zeroes rules leaving ``column`` starred, so
-    every returned rule instantiates it.
+    every returned rule instantiates it.  ``context`` reuse works as in
+    :func:`rule_drilldown`.
     """
     if isinstance(column, str):
         column = table.schema.index_of(column)
@@ -157,10 +208,24 @@ def star_drilldown(
         )
     if not parent.is_star(column):
         raise RuleError(f"parent rule already instantiates column {column}")
-    subtable = table.filter(cover_mask(parent, table)) if not parent.is_trivial else table
-    lifted: WeightFunction = MergedWeight(wf, parent) if not parent.is_trivial else wf
-    constrained = StarConstrainedWeight(lifted, column)
-    measures = tuple_measures(subtable, measure)
+    tag = ("star", parent, column, measure, wf, float(mw), max_rule_size, prune)
+    if _context_reusable(context, table, tag):
+        subtable = context.table
+        constrained = context.wf
+        measures = context.measures
+    else:
+        subtable = table.filter(cover_mask(parent, table)) if not parent.is_trivial else table
+        lifted: WeightFunction = MergedWeight(wf, parent) if not parent.is_trivial else wf
+        constrained = StarConstrainedWeight(lifted, column)
+        measures = tuple_measures(subtable, measure)
+        context = None
+        if engine == "incremental":
+            context = SearchContext(
+                subtable, constrained, mw, measures=measures,
+                max_rule_size=max_rule_size, prune=prune,
+            )
+            context.source = table
+            context.tag = tag
     result = brs(
         subtable,
         constrained,
@@ -169,6 +234,8 @@ def star_drilldown(
         measures=measures,
         max_rule_size=max_rule_size,
         prune=prune,
+        context=context,
+        engine=engine,
     )
     merged = _merge_with_parent(result.rules, parent)
     rule_list = RuleList(merged, subtable, wf, measures)
@@ -177,6 +244,7 @@ def star_drilldown(
         rule_list=rule_list,
         subtable_rows=subtable.n_rows,
         stats=result.stats,
+        context=context,
     )
 
 

@@ -152,7 +152,7 @@ def top_weights(
     for rule in rules:
         w = wf.weight(rule)
         mask = cover_mask(rule, table)
-        np.maximum(top, np.where(mask, w, 0.0), out=top)
+        top[mask] = np.maximum(top[mask], w)
     return top
 
 
@@ -197,13 +197,23 @@ class RuleList:
         wf: WeightFunction,
         measures: np.ndarray | None = None,
     ):
+        # One cover mask per rule yields both Count (aggregate over the
+        # mask) and MCount (aggregate over the not-yet-covered part).
         ordered = sort_rules_by_weight(rules, wf)
-        mcounts = marginal_counts(ordered, table, measures)
+        covered = np.zeros(table.n_rows, dtype=bool)
         entries: list[ScoredRule] = []
         total = 0.0
-        for rule, mcount in zip(ordered, mcounts):
+        for rule in ordered:
+            mask = cover_mask(rule, table)
+            fresh = mask & ~covered
+            if measures is None:
+                c = float(mask.sum())
+                mcount = float(fresh.sum())
+            else:
+                c = float(measures[mask].sum())
+                mcount = float(measures[fresh].sum())
+            covered |= mask
             w = wf.weight(rule)
-            c = aggregate(rule, table, measures)
             entries.append(ScoredRule(rule, w, c, mcount))
             total += w * mcount
         self._entries = tuple(entries)

@@ -8,6 +8,16 @@ on simulated disk — routes every expansion through the
 :class:`~repro.sampling.handler.SampleHandler`, scaling displayed
 counts by the sample's ``N_s`` and pre-fetching samples for the newly
 displayed leaves in the background.
+
+Expansions run on the incremental search engine; an in-memory session
+additionally keeps the :class:`~repro.core.search_cache.SearchContext`
+of every node it has expanded, so re-expanding a node (say after a
+collapse, or with a larger ``k``) reuses the cached candidate lattice
+instead of re-filtering and re-mining the sub-table.  Sampled (disk)
+sessions do not retain contexts — they would pin evicted sample tables
+past the handler's memory budget, and a swapped sample invalidates
+them anyway.  :meth:`DrillDownSession.clear_search_cache` drops the
+retained ones to reclaim memory.
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ import numpy as np
 from repro.core.drilldown import rule_drilldown, star_drilldown, traditional_drilldown
 from repro.core.rule import Rule
 from repro.core.scoring import ScoredRule
+from repro.core.search_cache import SearchContext
 from repro.core.weights import SizeWeight, WeightFunction
 from repro.errors import SessionError
 from repro.sampling.handler import SampleHandler
@@ -126,6 +137,13 @@ class DrillDownSession:
         )
         self._nodes: dict[Rule, SessionNode] = {self.root.rule: self.root}
         self.history: list[ExpansionRecord] = []
+        # Incremental-search state per expanded node, keyed by
+        # (kind, rule, column); survives collapse so re-expansion is
+        # nearly free (see repro.core.search_cache).  Only in-memory
+        # sessions retain contexts: in a sampled session they would pin
+        # evicted sample tables and their row caches, bypassing the
+        # SampleHandler's memory budget.
+        self._search_contexts: dict[tuple, "SearchContext"] = {}
 
     # -- lookup -----------------------------------------------------------------
 
@@ -233,7 +251,13 @@ class DrillDownSession:
         io_before = self._disk.io_stats.simulated_seconds if self._disk else 0.0
         start = time.perf_counter()
         mined, scale, method, sample_size = self._acquire(rule)
-        result = rule_drilldown(mined, rule, self.wf, k, self.mw, measure=self.measure)
+        cache_key = ("rule", rule, None)
+        result = rule_drilldown(
+            mined, rule, self.wf, k, self.mw, measure=self.measure,
+            context=self._search_contexts.get(cache_key),
+        )
+        if result.context is not None and self.handler is None:
+            self._search_contexts[cache_key] = result.context
         children = self._attach(node, result.rule_list.entries, scale, "rule")
         wall = time.perf_counter() - start
         self._record(rule, "rule", k, wall, method, sample_size, scale, io_before)
@@ -249,7 +273,13 @@ class DrillDownSession:
         io_before = self._disk.io_stats.simulated_seconds if self._disk else 0.0
         start = time.perf_counter()
         mined, scale, method, sample_size = self._acquire(rule)
-        result = star_drilldown(mined, rule, column, self.wf, k, self.mw, measure=self.measure)
+        cache_key = ("star", rule, column)
+        result = star_drilldown(
+            mined, rule, column, self.wf, k, self.mw, measure=self.measure,
+            context=self._search_contexts.get(cache_key),
+        )
+        if result.context is not None and self.handler is None:
+            self._search_contexts[cache_key] = result.context
         children = self._attach(node, result.rule_list.entries, scale, "star")
         wall = time.perf_counter() - start
         self._record(rule, "star", k, wall, method, sample_size, scale, io_before)
@@ -287,6 +317,15 @@ class DrillDownSession:
 
         forget(node)
         node.expanded_via = None
+
+    def clear_search_cache(self) -> None:
+        """Drop all retained incremental-search contexts.
+
+        Contexts are kept across :meth:`collapse` precisely so that
+        re-expanding a node is nearly free; call this to reclaim their
+        memory (cached candidate row sets) in a long session.
+        """
+        self._search_contexts.clear()
 
     def refresh_exact_counts(self) -> dict[Rule, float]:
         """Replace displayed estimated counts with exact counts (§4.3).
