@@ -1,0 +1,150 @@
+"""Parallel first-pick counting: serial vs shared-memory worker pool.
+
+PR 1's incremental engine made picks 2..k nearly free, leaving the
+*first* pick's level-wise a-priori counting as the interactive-latency
+bottleneck (§6.1's sub-second bar).  This benchmark times the first
+greedy pick on the census 100k workload under the serial engine and
+under :class:`repro.core.CountingPool` backends with 2 and 4 workers,
+and checks that the parallel engine's full k=10 rule list is identical
+to the serial one.
+
+A JSON perf record is written next to this file
+(``BENCH_parallel_counting.json``).  The ≥1.5× four-worker speedup
+floor is asserted only on machines with at least four CPU cores —
+on smaller boxes (CI containers are often single-core) the record
+still captures the measured ratio, with ``speedup_asserted: false``;
+rule-list equivalence is asserted unconditionally.  Run via pytest
+(``pytest benchmarks/bench_parallel_counting.py -m smoke``) or
+directly::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_counting.py [--smoke]
+
+Both modes finish well under a minute; ``--smoke`` runs one repeat
+instead of three.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import CountingPool, SizeWeight, brs, brs_iter
+from repro.datasets import generate_census
+
+RECORD_PATH = Path(__file__).resolve().parent / "BENCH_parallel_counting.json"
+CENSUS_ROWS = 100_000
+N_COLUMNS = 7
+K = 10
+MW = 5.0
+WORKER_COUNTS = (2, 4)
+MIN_SPEEDUP = 1.5  # four-worker floor, asserted when >= 4 cores exist
+
+
+def _first_pick_seconds(table, wf, pool, repeats: int) -> float:
+    """Best-of-``repeats`` latency of the first greedy pick."""
+    best = float("inf")
+    for _ in range(repeats):
+        stream = brs_iter(table, wf, MW, pool=pool)
+        start = time.perf_counter()
+        next(stream)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmark(table, repeats: int = 3) -> dict:
+    """Time serial vs 2/4-worker first picks and check equivalence."""
+    wf = SizeWeight()
+    serial_first = _first_pick_seconds(table, wf, None, repeats)
+    serial_run = brs(table, wf, K, MW)
+    workers: dict[str, dict] = {}
+    identical = True
+    for n in WORKER_COUNTS:
+        with CountingPool(n) as pool:
+            # Warm-up: fork the workers and export the table once, so
+            # the measured first pick reflects the steady state a
+            # session or serving tier runs in.
+            _first_pick_seconds(table, wf, pool, 1)
+            first = _first_pick_seconds(table, wf, pool, repeats)
+            run = brs(table, wf, K, MW, pool=pool)
+        same = [p.rule for p in run.picks] == [p.rule for p in serial_run.picks] and [
+            p.marginal for p in run.picks
+        ] == [p.marginal for p in serial_run.picks]
+        identical = identical and same
+        workers[str(n)] = {
+            "first_pick_seconds": round(first, 6),
+            "speedup": round(serial_first / first, 3),
+            "identical_rule_lists": same,
+        }
+    cpu_count = os.cpu_count() or 1
+    return {
+        "workload": {
+            "dataset": "census",
+            "rows": table.n_rows,
+            "columns": N_COLUMNS,
+            "k": K,
+            "mw": MW,
+            "weighting": "size",
+            "repeats": repeats,
+        },
+        "cpu_count": cpu_count,
+        "serial_first_pick_seconds": round(serial_first, 6),
+        "workers": workers,
+        "identical_rule_lists": identical,
+        "speedup_asserted": cpu_count >= max(WORKER_COUNTS),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def write_record(record: dict) -> None:
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+
+def check_record(record: dict) -> None:
+    assert record["identical_rule_lists"], "parallel engine disagreed on the rule list"
+    if record["speedup_asserted"]:
+        speedup = record["workers"][str(max(WORKER_COUNTS))]["speedup"]
+        assert speedup >= MIN_SPEEDUP, (
+            f"4-worker first-pick speedup {speedup:.2f}x is below the "
+            f"{MIN_SPEEDUP}x floor on a {record['cpu_count']}-core machine"
+        )
+
+
+@pytest.mark.smoke
+def test_parallel_counting_speedup(census):
+    """Smoke target: identical rules; ≥1.5× with 4 workers on ≥4 cores."""
+    record = run_benchmark(census, repeats=1)
+    write_record(record)
+    print()
+    line = ", ".join(
+        f"{n}w {w['first_pick_seconds']*1000:.0f} ms ({w['speedup']:.2f}x)"
+        for n, w in record["workers"].items()
+    )
+    print(
+        f"BX parallel counting: serial first pick "
+        f"{record['serial_first_pick_seconds']*1000:.0f} ms; {line}; "
+        f"{record['cpu_count']} cores"
+    )
+    check_record(record)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="single repeat (fast CI smoke run)"
+    )
+    args = parser.parse_args()
+    table = generate_census(CENSUS_ROWS, n_columns=N_COLUMNS)
+    record = run_benchmark(table, repeats=1 if args.smoke else 3)
+    write_record(record)
+    print(json.dumps(record, indent=2))
+    check_record(record)
+    print(f"\nperf record written to {RECORD_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,7 @@ from repro.core import (
     BitsWeight,
     CallableWeight,
     ColumnIndicatorWeight,
+    CountingPool,
     DrillDownResult,
     MergedWeight,
     ParametricWeight,
@@ -81,6 +82,7 @@ __all__ = [
     "ColumnIndicatorWeight",
     "ColumnKind",
     "ColumnSchema",
+    "CountingPool",
     "DiskTable",
     "DrillDownResult",
     "DrillDownSession",

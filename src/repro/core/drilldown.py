@@ -42,6 +42,7 @@ import numpy as np
 from repro.core.brs import BRSResult, brs
 from repro.errors import RuleError
 from repro.core.marginal import SearchStats
+from repro.core.parallel import CountingPool, resolve_pool
 from repro.core.rule import Rule, cover_mask
 from repro.core.scoring import RuleList, tuple_measures
 from repro.core.search_cache import SearchContext
@@ -119,6 +120,8 @@ def rule_drilldown(
     prune: bool = True,
     context: SearchContext | None = None,
     engine: str = "incremental",
+    n_workers: int | None = None,
+    pool: CountingPool | None = None,
 ) -> DrillDownResult:
     """Expand ``parent`` into its best rule-list of ``k`` super-rules.
 
@@ -130,9 +133,14 @@ def rule_drilldown(
     Sum aggregation over a numeric column instead of Count.  Passing
     the ``context`` from a previous identical call (any ``k``) skips
     the sub-table filtering and reuses the cached candidate lattice.
+    ``n_workers``/``pool`` select the shared-memory parallel counting
+    backend for the expansion's searches (serial when ``None``/``1``;
+    the mined rules are identical either way); a reused ``context``
+    keeps the backend it was built with.
     """
     if len(parent) != table.n_columns:
         raise RuleError("parent rule arity does not match the table")
+    resolved_pool = resolve_pool(pool, n_workers)
     tag = ("rule", parent, None, measure, wf, float(mw), max_rule_size, prune)
     if _context_reusable(context, table, tag):
         subtable = context.table
@@ -146,7 +154,7 @@ def rule_drilldown(
         if engine == "incremental":
             context = SearchContext(
                 subtable, lifted, mw, measures=measures,
-                max_rule_size=max_rule_size, prune=prune,
+                max_rule_size=max_rule_size, prune=prune, pool=resolved_pool,
             )
             context.source = table
             context.tag = tag
@@ -166,6 +174,7 @@ def rule_drilldown(
         initial_top=seed,
         context=context,
         engine=engine,
+        pool=resolved_pool,
     )
     merged = _merge_with_parent(result.rules, parent)
     rule_list = RuleList(merged, subtable, wf, measures)
@@ -191,12 +200,15 @@ def star_drilldown(
     prune: bool = True,
     context: SearchContext | None = None,
     engine: str = "incremental",
+    n_workers: int | None = None,
+    pool: CountingPool | None = None,
 ) -> DrillDownResult:
     """Expand the ``?`` in ``column`` of ``parent`` (Section 2.3).
 
     Implements the [Star drill down] reduction: like a rule drill-down,
     but the weight function zeroes rules leaving ``column`` starred, so
-    every returned rule instantiates it.  ``context`` reuse works as in
+    every returned rule instantiates it.  ``context`` reuse and the
+    ``n_workers``/``pool`` parallel-counting knobs work as in
     :func:`rule_drilldown`.
     """
     if isinstance(column, str):
@@ -208,6 +220,7 @@ def star_drilldown(
         )
     if not parent.is_star(column):
         raise RuleError(f"parent rule already instantiates column {column}")
+    resolved_pool = resolve_pool(pool, n_workers)
     tag = ("star", parent, column, measure, wf, float(mw), max_rule_size, prune)
     if _context_reusable(context, table, tag):
         subtable = context.table
@@ -222,7 +235,7 @@ def star_drilldown(
         if engine == "incremental":
             context = SearchContext(
                 subtable, constrained, mw, measures=measures,
-                max_rule_size=max_rule_size, prune=prune,
+                max_rule_size=max_rule_size, prune=prune, pool=resolved_pool,
             )
             context.source = table
             context.tag = tag
@@ -236,6 +249,7 @@ def star_drilldown(
         prune=prune,
         context=context,
         engine=engine,
+        pool=resolved_pool,
     )
     merged = _merge_with_parent(result.rules, parent)
     rule_list = RuleList(merged, subtable, wf, measures)

@@ -45,6 +45,23 @@ marginals CELF-style.  :class:`SearchStats` carries two counters for
 it: ``cache_hits`` (marginal re-evaluations served from cached row
 sets) and ``lazy_skips`` (cached candidates a search never had to
 touch, the CELF saving).
+
+**The counting-backend seam.**  The per-(parent, column) bincount pair
+is factored into :func:`repro.core.parallel.count_extensions_kernel`,
+the one counting primitive shared by this module, the incremental
+engine, and the worker processes of the shared-memory counting pool
+(:mod:`repro.core.parallel`).  A :class:`_Searcher` given a
+``backend`` (via the public ``pool=``/``n_workers=`` knobs) collects
+each level's (parent, column) tasks and counts them as one batch —
+sharded across workers over a shared immutable code-array region —
+instead of inline; tasks are never split below a whole (parent,
+column) pair, so every bincount accumulates in the serial float order
+and the per-candidate Counts/MarginalValues are bit-identical.  The
+batched pass consults the pruning threshold ``H`` at the start of the
+pass rather than continuously, which can only prune *less*; since the
+bound argument holds for any valid ``H``, the selected rules are
+provably unchanged.  Value-dependent (slow-path) weight functions
+cannot ship a scalar weight to the workers and always count serially.
 """
 
 from __future__ import annotations
@@ -55,6 +72,12 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.errors import RuleError
+from repro.core.parallel import (
+    CountTask,
+    CountingPool,
+    count_extensions_kernel,
+    resolve_pool,
+)
 from repro.core.rule import Rule
 from repro.core.weights import (
     ColumnSetWeight,
@@ -74,6 +97,23 @@ _Key = tuple[tuple[int, int], ...]
 def _key_columns(key: _Key, cat_positions: Sequence[int]) -> tuple[int, ...]:
     """Table-column indexes instantiated by a candidate key."""
     return tuple(cat_positions[pos] for pos, _ in key)
+
+
+def _extension_weight(
+    fast_weight: Callable[[tuple[int, ...]], float],
+    cat_positions: Sequence[int],
+    parent_key: _Key,
+    pos: int,
+) -> float:
+    """Fast-path weight shared by every value extension of one task.
+
+    One definition for both engines (and hence the counting backend's
+    task construction) — the bit-identical guarantee requires the
+    weight fed to :func:`repro.core.parallel.count_extensions_kernel`
+    to be computed identically everywhere.
+    """
+    columns = _key_columns(parent_key, cat_positions) + (cat_positions[pos],)
+    return fast_weight(tuple(sorted(columns)))
 
 
 def _key_rule(key: _Key, table: Table, cat_positions: Sequence[int]) -> Rule:
@@ -200,6 +240,7 @@ class _Searcher:
         measures: np.ndarray | None,
         max_rule_size: int | None,
         prune: bool,
+        pool: CountingPool | None = None,
     ):
         self.table = table
         self.wf = wf
@@ -208,7 +249,10 @@ class _Searcher:
         n = table.n_rows
         if top.shape != (n,):
             raise RuleError("top-weight array length must equal table rows")
-        self.top = top
+        # Normalised once so the serial kernel, the local-fallback
+        # kernel, and the float64 shared-memory segment all see the
+        # same values bit for bit (no-op for float64 input).
+        self.top = np.asarray(top, dtype=np.float64)
         self.measures = (
             np.ones(n, dtype=np.float64) if measures is None else measures.astype(np.float64)
         )
@@ -223,6 +267,11 @@ class _Searcher:
         limit = len(self.cat_positions)
         self.max_rule_size = limit if max_rule_size is None else min(max_rule_size, limit)
         self.fast_weight = _column_set_weight(wf)
+        backend = None
+        if pool is not None and self.fast_weight is not None:
+            # Slow-path weights cannot ship a scalar weight to workers.
+            backend = pool.backend_for(table, self.measures)
+        self.backend = backend
         self.stats = SearchStats()
         # C of Algorithm 2: every counted candidate, keyed canonically.
         self.counted: dict[_Key, _Entry] = {}
@@ -297,14 +346,47 @@ class _Searcher:
 
     # -- passes -----------------------------------------------------------------
 
+    def _ext_weight(self, parent_key: _Key, pos: int) -> float:
+        """Fast-path weight shared by every value extension of a task."""
+        return _extension_weight(self.fast_weight, self.cat_positions, parent_key, pos)
+
+    def _entries_of(
+        self,
+        parent_key: _Key,
+        pos: int,
+        weight: float,
+        supported: np.ndarray,
+        counts: np.ndarray,
+        marginals: np.ndarray,
+    ) -> list[tuple[_Key, _Entry]]:
+        """Decode one counted (parent, column) task into candidate entries."""
+        return [
+            (
+                parent_key + ((pos, int(supported[i])),),
+                _Entry(weight, float(counts[i]), float(marginals[i]), True),
+            )
+            for i in range(supported.size)
+        ]
+
     def _count_extensions(
         self, parent_key: _Key, parent_rows: np.ndarray, pos: int
     ) -> list[tuple[_Key, _Entry]]:
         """Count all value extensions of ``parent_key`` on column ``pos``.
 
         Two weighted bincounts over the parent's covered rows yield the
-        Count and MarginalValue of every candidate ``parent ∧ (pos=v)``.
+        Count and MarginalValue of every candidate ``parent ∧ (pos=v)``
+        (the fast path runs through the shared
+        :func:`~repro.core.parallel.count_extensions_kernel`).
         """
+        n_values = self.distinct[pos]
+        self.stats.rows_scanned += parent_rows.size
+        if self.fast_weight is not None:
+            weight = self._ext_weight(parent_key, pos)
+            rows = None if parent_rows.size == self.table.n_rows else parent_rows
+            supported, counts, marginals = count_extensions_kernel(
+                self.codes[pos], self.measures, self.top, rows, n_values, weight
+            )
+            return self._entries_of(parent_key, pos, weight, supported, counts, marginals)
         if parent_rows.size == self.table.n_rows:  # trivial parent: skip the gathers
             codes = self.codes[pos]
             measures = self.measures
@@ -313,29 +395,16 @@ class _Searcher:
             codes = self.codes[pos][parent_rows]
             measures = self.measures[parent_rows]
             top = self.top[parent_rows]
-        n_values = self.distinct[pos]
         counts = np.bincount(codes, weights=measures, minlength=n_values)
-        self.stats.rows_scanned += parent_rows.size
         out: list[tuple[_Key, _Entry]] = []
-        if self.fast_weight is not None:
-            columns = self._table_columns(parent_key) + (self.cat_positions[pos],)
-            weight = self.fast_weight(tuple(sorted(columns)))
-            gains = np.maximum(weight - top, 0.0) * measures
-            marginals = np.bincount(codes, weights=gains, minlength=n_values)
-            for code in np.nonzero(counts > 0)[0]:
-                key = parent_key + ((pos, int(code)),)
-                out.append(
-                    (key, _Entry(weight, float(counts[code]), float(marginals[code]), True))
-                )
-        else:
-            for code in np.nonzero(counts > 0)[0]:
-                key = parent_key + ((pos, int(code)),)
-                weight = self._weight_of(key)
-                covered = codes == code
-                marginal = float(
-                    (np.maximum(weight - top[covered], 0.0) * measures[covered]).sum()
-                )
-                out.append((key, _Entry(weight, float(counts[code]), marginal, True)))
+        for code in np.nonzero(counts > 0)[0]:
+            key = parent_key + ((pos, int(code)),)
+            weight = self._weight_of(key)
+            covered = codes == code
+            marginal = float(
+                (np.maximum(weight - top[covered], 0.0) * measures[covered]).sum()
+            )
+            out.append((key, _Entry(weight, float(counts[code]), marginal, True)))
         return out
 
     def _first_pass(self) -> list[tuple[_Key, np.ndarray]]:
@@ -343,14 +412,28 @@ class _Searcher:
 
         Survivors carry the row array of their (trivial) parent — the
         full-table arange — from which their own covered rows derive
-        lazily if they are ever extended.
+        lazily if they are ever extended.  With a counting backend, the
+        per-column full-table tasks are dispatched as one batch.
         """
         self.stats.passes += 1
         survivors: list[tuple[_Key, np.ndarray]] = []
         empty: _Key = ()
         dtype = np.int32 if self.table.n_rows < 2**31 else np.int64
         all_rows = np.arange(self.table.n_rows, dtype=dtype)
-        for pos in range(len(self.cat_positions)):
+        n_cat = len(self.cat_positions)
+        if self.backend is not None:
+            specs = [
+                (pos, self.distinct[pos], self._ext_weight(empty, pos))
+                for pos in range(n_cat)
+            ]
+            results = self.backend.count_columns(specs)
+            for pos, _n_values, weight in specs:
+                self.stats.rows_scanned += self.table.n_rows
+                for key, entry in self._entries_of(empty, pos, weight, *results[pos]):
+                    self._offer(key, entry)
+                    survivors.append((key, all_rows))
+            return survivors
+        for pos in range(n_cat):
             for key, entry in self._count_extensions(empty, all_rows, pos):
                 self._offer(key, entry)
                 survivors.append((key, all_rows))
@@ -383,8 +466,16 @@ class _Searcher:
         that does get extended materialises its covered rows from the
         rows its own parent propagated down (see :meth:`_rows_of`) —
         pruned parents never pay for theirs.
+
+        With a counting backend the whole level is counted as one
+        batch: parents are prune-checked against the threshold as of
+        the start of the pass (sound — see the module docstring), their
+        (parent, column) tasks fan out across the pool, and the results
+        are offered in the serial order.
         """
         self.stats.passes += 1
+        if self.backend is not None:
+            return self._next_pass_batched(frontier)
         survivors: list[tuple[_Key, np.ndarray]] = []
         n_cat = len(self.cat_positions)
         for parent_key, grandparent_rows in frontier:
@@ -413,7 +504,51 @@ class _Searcher:
                         survivors.append((key, parent_rows))
         return survivors
 
+    def _next_pass_batched(
+        self, frontier: list[tuple[_Key, np.ndarray]]
+    ) -> list[tuple[_Key, np.ndarray]]:
+        """Backend variant of :meth:`_next_pass`: one batch per level."""
+        survivors: list[tuple[_Key, np.ndarray]] = []
+        n_cat = len(self.cat_positions)
+        tasks: list[CountTask] = []
+        pending: list[tuple[_Key, np.ndarray, int, float, int]] = []
+        for parent_key, grandparent_rows in frontier:
+            entry = self.counted[parent_key]
+            if not entry.extendable:
+                continue
+            if self.prune:
+                parent_bound = entry.marginal + entry.count * max(self.mw - entry.weight, 0.0)
+                if parent_bound < self.threshold:
+                    entry.extendable = False
+                    self.stats.parents_pruned += 1
+                    continue
+            last_pos = parent_key[-1][0]
+            if last_pos + 1 >= n_cat:
+                continue
+            parent_rows = self._rows_of(parent_key, grandparent_rows)
+            self.stats.parents_extended += 1
+            rows_arg = None if parent_rows.size == self.table.n_rows else parent_rows
+            for pos in range(last_pos + 1, n_cat):
+                weight = self._ext_weight(parent_key, pos)
+                task_id = len(tasks)
+                tasks.append(CountTask(task_id, pos, self.distinct[pos], weight, rows_arg))
+                pending.append((parent_key, parent_rows, pos, weight, task_id))
+        results = self.backend.count_batch(tasks) if tasks else {}
+        for parent_key, parent_rows, pos, weight, task_id in pending:
+            self.stats.rows_scanned += parent_rows.size
+            for key, child in self._entries_of(parent_key, pos, weight, *results[task_id]):
+                self._offer(key, child)
+                if child.extendable and self.prune:
+                    if self._upper_bound(key) < self.threshold:
+                        child.extendable = False
+                        self.stats.parents_pruned += 1
+                if child.extendable:
+                    survivors.append((key, parent_rows))
+        return survivors
+
     def run(self) -> MarginalResult | None:
+        if self.backend is not None:
+            self.backend.set_top(self.top)
         frontier = self._first_pass()
         size = 1
         while frontier and size < self.max_rule_size:
@@ -441,6 +576,8 @@ def find_best_marginal_rule(
     measures: np.ndarray | None = None,
     max_rule_size: int | None = None,
     prune: bool = True,
+    n_workers: int | None = None,
+    pool: CountingPool | None = None,
 ) -> MarginalResult | None:
     """Return the rule of weight ≤ ``mw`` with highest marginal value.
 
@@ -468,8 +605,29 @@ def find_best_marginal_rule(
     prune:
         Disable to measure the value of the a-priori bound (ablation);
         the result is unchanged, only more candidates are explored.
+    n_workers:
+        Parallel counting: ``None`` or ``1`` runs serially (the
+        default), ``0`` uses every core, ``>= 2`` shards the level-wise
+        counting passes over the process-wide shared-memory worker pool
+        (:mod:`repro.core.parallel`).  The selected rule is identical
+        either way; small tables and value-dependent weight functions
+        silently fall back to serial counting.
+    pool:
+        An explicit :class:`~repro.core.parallel.CountingPool` to count
+        through (overrides ``n_workers``); lets callers control worker
+        lifecycle and share one pool — and one shared-memory table
+        export — across searches.
 
     Returns ``None`` when no rule adds positive marginal value.
     """
-    searcher = _Searcher(table, wf, top, mw, measures, max_rule_size, prune)
+    searcher = _Searcher(
+        table,
+        wf,
+        top,
+        mw,
+        measures,
+        max_rule_size,
+        prune,
+        pool=resolve_pool(pool, n_workers),
+    )
     return searcher.run()

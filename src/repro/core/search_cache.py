@@ -52,6 +52,17 @@ also agrees.  The two engines therefore produce identical rule
 sequences — the equivalence tests in ``tests/core/test_incremental.py``
 assert this across weight functions, measures, pruning, and size caps.
 
+**Parallel counting.**  The context's counting passes — the size-1
+build (the only full-table passes) and every frontier expansion — run
+through the backend seam of :mod:`repro.core.parallel` when the
+context is given a ``pool``/``n_workers``: tasks fan out over a
+persistent worker pool reading the table's code arrays from a shared
+immutable memory region, with per-task results bit-identical to the
+serial kernel (a task is one whole (parent, column) bincount pair and
+is never split).  The CELF loop itself stays serial — it is already
+nearly free.  Slow-path (value-dependent) weight functions and small
+tables fall back to serial counting automatically.
+
 **Lifecycle.**  A context is bound to one (table, weight function,
 ``mw``, measures, ``max_rule_size``, ``prune``) configuration — it
 validates compatibility and refuses anything else.  It is cheap when
@@ -76,8 +87,15 @@ from repro.core.marginal import (
     MarginalResult,
     SearchStats,
     _column_set_weight,
+    _extension_weight,
     _key_columns,
     _key_rule,
+)
+from repro.core.parallel import (
+    CountTask,
+    CountingPool,
+    count_extensions_kernel,
+    resolve_pool,
 )
 from repro.core.rule import Rule
 from repro.core.weights import WeightFunction
@@ -125,6 +143,15 @@ class SearchContext:
     ``prune=False`` reproduces the exploration of the unpruned ablation:
     the first search expands the full supported lattice (once — later
     searches reuse it).
+
+    ``n_workers``/``pool`` select the parallel counting backend exactly
+    as in :func:`~repro.core.marginal.find_best_marginal_rule`:
+    ``n_workers`` of ``None``/``1`` counts serially, ``0`` uses every
+    core, ``>= 2`` shards counting passes over the shared-memory worker
+    pool; an explicit ``pool`` overrides ``n_workers`` and ties this
+    context's table export to that pool's lifetime.  The backend
+    changes how fast candidates are counted, never which candidates
+    win — contexts with and without one are interchangeable.
     """
 
     def __init__(
@@ -136,6 +163,8 @@ class SearchContext:
         measures: np.ndarray | None = None,
         max_rule_size: int | None = None,
         prune: bool = True,
+        n_workers: int | None = None,
+        pool: CountingPool | None = None,
     ):
         self.table = table
         self.wf = wf
@@ -159,6 +188,13 @@ class SearchContext:
         self.max_rule_size = limit if max_rule_size is None else min(max_rule_size, limit)
         self._requested_max_rule_size = max_rule_size
         self.fast_weight = _column_set_weight(wf)
+        backend = None
+        if self.fast_weight is not None:
+            # Slow-path weights cannot ship a scalar weight to workers.
+            resolved = resolve_pool(pool, n_workers)
+            if resolved is not None:
+                backend = resolved.backend_for(table, self.measures)
+        self.backend = backend
         self._row_dtype = np.int32 if n < 2**31 else np.int64
         self._cands: dict[_Key, _Candidate] = {}
         # Value heap: (-marginal, size, key); expansion heap: (-bound, size, key).
@@ -251,6 +287,49 @@ class SearchContext:
 
     # -- lattice generation ----------------------------------------------------
 
+    def _ext_weight(self, parent_key: _Key, pos: int) -> float:
+        """Fast-path weight shared by every value extension of a task."""
+        return _extension_weight(self.fast_weight, self.cat_positions, parent_key, pos)
+
+    def _insert_children(
+        self,
+        parent_key: _Key,
+        parent_rows: np.ndarray,
+        pos: int,
+        weight: float,
+        supported: np.ndarray,
+        counts: np.ndarray,
+        marginals: np.ndarray,
+        stats: SearchStats,
+    ) -> None:
+        """Cache one counted (parent, column) task's candidates (fast path)."""
+        size = len(parent_key) + 1
+        for i in range(supported.size):
+            key = parent_key + ((pos, int(supported[i])),)
+            stats.candidates_generated += 1
+            if weight > self.mw:
+                continue
+            stats.candidates_eligible += 1
+            marginal = float(marginals[i])
+            expandable = size < self.max_rule_size and pos + 1 < self._n_cat
+            cand = _Candidate(
+                key=key,
+                weight=weight,
+                count=float(counts[i]),
+                marginal=marginal,
+                epoch=self._epoch,
+                heap_m=marginal,
+                heap_ub=0.0,
+                expandable=expandable,
+                parent_rows=parent_rows,
+            )
+            self._cands[key] = cand
+            self._generated_this_epoch += 1
+            heapq.heappush(self._vheap, (-marginal, size, key))
+            if expandable:
+                cand.heap_ub = self._bound(cand)
+                heapq.heappush(self._xheap, (-cand.heap_ub, size, key))
+
     def _generate(self, parent_key: _Key, parent_rows: np.ndarray, pos: int, stats: SearchStats) -> None:
         """Count and cache all value extensions of a parent on one column.
 
@@ -262,11 +341,27 @@ class SearchContext:
         neither can any super-rule, so the from-scratch searcher never
         extends them either.
 
-        The counting arithmetic must stay in lockstep with
-        ``_Searcher._count_extensions`` in :mod:`repro.core.marginal` —
-        the engines' bit-identical guarantee depends on it, and the
-        equivalence suite (``tests/core/test_incremental.py``) pins it.
+        The counting arithmetic runs through the shared
+        :func:`~repro.core.parallel.count_extensions_kernel` on the
+        fast path, keeping it in lockstep with
+        ``_Searcher._count_extensions`` in :mod:`repro.core.marginal`
+        *and* with the worker processes — the engines' bit-identical
+        guarantee depends on it, and the equivalence suites
+        (``tests/core/test_incremental.py``,
+        ``tests/core/test_parallel.py``) pin it.
         """
+        n_values = self.distinct[pos]
+        stats.rows_scanned += parent_rows.size
+        if self.fast_weight is not None:
+            weight = self._ext_weight(parent_key, pos)
+            rows = None if parent_rows.size == self.table.n_rows else parent_rows
+            supported, counts, marginals = count_extensions_kernel(
+                self.codes[pos], self.measures, self._top, rows, n_values, weight
+            )
+            self._insert_children(
+                parent_key, parent_rows, pos, weight, supported, counts, marginals, stats
+            )
+            return
         if parent_rows.size == self.table.n_rows:  # trivial parent: skip the gathers
             codes = self.codes[pos]
             measures = self.measures
@@ -275,31 +370,17 @@ class SearchContext:
             codes = self.codes[pos][parent_rows]
             measures = self.measures[parent_rows]
             top = self._top[parent_rows]
-        n_values = self.distinct[pos]
         counts = np.bincount(codes, weights=measures, minlength=n_values)
-        stats.rows_scanned += parent_rows.size
         supported = np.nonzero(counts > 0)[0]
-        if supported.size == 0:
-            return
-        fast_weight = marginals = None
-        if self.fast_weight is not None:
-            columns = self._table_columns(parent_key) + (self.cat_positions[pos],)
-            fast_weight = self.fast_weight(tuple(sorted(columns)))
-            gains = np.maximum(fast_weight - top, 0.0) * measures
-            marginals = np.bincount(codes, weights=gains, minlength=n_values)
         size = len(parent_key) + 1
         for code in supported:
             key = parent_key + ((pos, int(code)),)
             stats.candidates_generated += 1
-            if fast_weight is not None:
-                weight = fast_weight
-                marginal = float(marginals[code])
-            else:
-                weight = self._weight_of(key)
-                covered = codes == code
-                marginal = float(
-                    (np.maximum(weight - top[covered], 0.0) * measures[covered]).sum()
-                )
+            weight = self._weight_of(key)
+            covered = codes == code
+            marginal = float(
+                (np.maximum(weight - top[covered], 0.0) * measures[covered]).sum()
+            )
             if weight > self.mw:
                 continue
             stats.candidates_eligible += 1
@@ -323,20 +404,59 @@ class SearchContext:
                 heapq.heappush(self._xheap, (-cand.heap_ub, size, key))
 
     def _build(self, stats: SearchStats) -> None:
-        """Generate the size-1 level (the only full-table passes ever made)."""
+        """Generate the size-1 level (the only full-table passes ever made).
+
+        With a counting backend, the per-column full-table passes — the
+        dominant first-pick cost on large tables — are dispatched to
+        the worker pool as one batch.
+        """
         all_rows = np.arange(self.table.n_rows, dtype=self._row_dtype)
-        for pos in range(self._n_cat):
-            self._generate((), all_rows, pos, stats)
+        if self.backend is not None:
+            specs = [
+                (pos, self.distinct[pos], self._ext_weight((), pos))
+                for pos in range(self._n_cat)
+            ]
+            results = self.backend.count_columns(specs)
+            for pos, _n_values, weight in specs:
+                stats.rows_scanned += self.table.n_rows
+                self._insert_children((), all_rows, pos, weight, *results[pos], stats)
+        else:
+            for pos in range(self._n_cat):
+                self._generate((), all_rows, pos, stats)
         stats.passes += 1
         self._built = True
 
     def _expand(self, cand: _Candidate, stats: SearchStats) -> None:
-        """Generate all extensions of a cached candidate from its rows."""
+        """Generate all extensions of a cached candidate from its rows.
+
+        With a counting backend, the per-column tasks of this candidate
+        form one batch (small tasks still run locally — the backend
+        decides per task).
+        """
         stats.parents_extended += 1
         rows = self._rows(cand, stats)
         last_pos = cand.key[-1][0]
-        for pos in range(last_pos + 1, self._n_cat):
-            self._generate(cand.key, rows, pos, stats)
+        if self.backend is not None:
+            rows_arg = None if rows.size == self.table.n_rows else rows
+            specs = [
+                (pos, self._ext_weight(cand.key, pos))
+                for pos in range(last_pos + 1, self._n_cat)
+            ]
+            if specs:
+                results = self.backend.count_batch(
+                    [
+                        CountTask(i, pos, self.distinct[pos], weight, rows_arg)
+                        for i, (pos, weight) in enumerate(specs)
+                    ]
+                )
+                for i, (pos, weight) in enumerate(specs):
+                    stats.rows_scanned += rows.size
+                    self._insert_children(
+                        cand.key, rows, pos, weight, *results[i], stats
+                    )
+        else:
+            for pos in range(last_pos + 1, self._n_cat):
+                self._generate(cand.key, rows, pos, stats)
         cand.expanded = True
 
     # -- per-pick search -------------------------------------------------------
@@ -459,6 +579,11 @@ class SearchContext:
         """
         if top.shape != (self.table.n_rows,):
             raise RuleError("top-weight array length must equal table rows")
+        # Normalised once so the serial kernel, the local-fallback
+        # kernel, and the float64 shared-memory segment all see the
+        # same values bit for bit (no-op for float64 input, preserving
+        # the identity comparison against _last_top below).
+        top = np.asarray(top, dtype=np.float64)
         stats = SearchStats()
         stats.passes += 1
         monotone = (
@@ -468,6 +593,8 @@ class SearchContext:
         )
         self._top = top
         self._last_top = top
+        if self.backend is not None:
+            self.backend.set_top(top)
         self._epoch += 1
         self._refreshed = 0
         self._generated_this_epoch = 0

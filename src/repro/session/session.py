@@ -18,6 +18,12 @@ sessions do not retain contexts — they would pin evicted sample tables
 past the handler's memory budget, and a swapped sample invalidates
 them anyway.  :meth:`DrillDownSession.clear_search_cache` drops the
 retained ones to reclaim memory.
+
+Sessions built with ``n_workers >= 2`` (or a shared ``pool=``) mine
+their expansions through the shared-memory parallel counting backend
+(:mod:`repro.core.parallel`); :meth:`DrillDownSession.close` — or the
+session's context-manager exit — releases the pool's workers and
+shared-memory exports.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.drilldown import rule_drilldown, star_drilldown, traditional_drilldown
+from repro.core.parallel import CountingPool
 from repro.core.rule import Rule
 from repro.core.scoring import ScoredRule
 from repro.core.search_cache import SearchContext
@@ -92,6 +99,18 @@ class DrillDownSession:
         SampleHandler settings (disk sources only).
     prefetch:
         Pre-fetch samples for new leaves after each expansion (§4.3).
+    n_workers:
+        Parallel counting for expansions: ``None`` or ``1`` (the
+        default) mines serially; ``0`` uses every core; ``>= 2`` spins
+        up a session-owned shared-memory
+        :class:`~repro.core.parallel.CountingPool` of that many
+        workers, released by :meth:`close` (the session is also a
+        context manager).  Expansions are identical either way.
+    pool:
+        An existing :class:`~repro.core.parallel.CountingPool` to share
+        (e.g. one pool serving many sessions — the multi-tenant
+        pattern).  Overrides ``n_workers``; a shared pool is *not*
+        closed by :meth:`close`.
     """
 
     def __init__(
@@ -107,12 +126,23 @@ class DrillDownSession:
         allocator: str = "dp",
         rng: np.random.Generator | None = None,
         prefetch: bool = True,
+        n_workers: int | None = None,
+        pool: CountingPool | None = None,
     ):
         self.wf = wf or SizeWeight()
         self.k = k
         self.mw = mw
         self.measure = measure
         self.prefetch_enabled = prefetch
+        if pool is not None:
+            self._pool: CountingPool | None = pool
+            self._owns_pool = False
+        elif n_workers is not None and n_workers != 1:
+            self._pool = CountingPool(n_workers)
+            self._owns_pool = True
+        else:
+            self._pool = None
+            self._owns_pool = False
         if isinstance(source, DiskTable):
             self._disk: DiskTable | None = source
             self._table: Table | None = None
@@ -254,7 +284,7 @@ class DrillDownSession:
         cache_key = ("rule", rule, None)
         result = rule_drilldown(
             mined, rule, self.wf, k, self.mw, measure=self.measure,
-            context=self._search_contexts.get(cache_key),
+            context=self._search_contexts.get(cache_key), pool=self._pool,
         )
         if result.context is not None and self.handler is None:
             self._search_contexts[cache_key] = result.context
@@ -276,7 +306,7 @@ class DrillDownSession:
         cache_key = ("star", rule, column)
         result = star_drilldown(
             mined, rule, column, self.wf, k, self.mw, measure=self.measure,
-            context=self._search_contexts.get(cache_key),
+            context=self._search_contexts.get(cache_key), pool=self._pool,
         )
         if result.context is not None and self.handler is None:
             self._search_contexts[cache_key] = result.context
@@ -326,6 +356,30 @@ class DrillDownSession:
         memory (cached candidate row sets) in a long session.
         """
         self._search_contexts.clear()
+
+    @property
+    def pool(self) -> CountingPool | None:
+        """The parallel counting pool serving this session (None = serial)."""
+        return self._pool
+
+    def close(self) -> None:
+        """Release session resources: search contexts and, if this
+        session created its own :class:`~repro.core.parallel.CountingPool`
+        (the ``n_workers`` constructor knob), the pool's workers and
+        shared-memory table exports.  A pool passed in via ``pool=`` is
+        shared and left running.  The session remains usable afterwards
+        (expansions simply run serially).
+        """
+        self.clear_search_cache()
+        if self._pool is not None and self._owns_pool:
+            self._pool.close()
+        self._pool = None
+
+    def __enter__(self) -> "DrillDownSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def refresh_exact_counts(self) -> dict[Rule, float]:
         """Replace displayed estimated counts with exact counts (§4.3).

@@ -99,6 +99,11 @@ class CategoricalColumn:
         """Number of dictionary entries (``|c|`` in the paper)."""
         return len(self._values)
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the code array (shared-memory sizing helper)."""
+        return int(self._codes.nbytes)
+
     def decode(self, code: int) -> Any:
         """Return the raw value for ``code``."""
         return self._values[code]
