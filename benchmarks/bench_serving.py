@@ -1,0 +1,199 @@
+"""Multi-tenant serving throughput: 1 vs 8 tenants over one shared export.
+
+The serving tier's claim is not raw speed but *shape*: many tenants on
+one :class:`~repro.serving.DrillDownServer` share one shared-memory
+table export and — when their configurations match — one cached
+candidate lattice (:class:`~repro.serving.ContextStore`), so the tier's
+aggregate work grows far slower than tenant count.  This benchmark
+drives 1 and 8 concurrent tenants (threads) through one server over
+one census export, each tenant expanding the root and then its first
+child, with the context store on and off, and records
+throughput/latency per scenario.
+
+Asserted (structurally — latency numbers are machine-dependent and
+merely recorded):
+
+* every tenant's rule lists are identical to a standalone session's;
+* the catalog's table keeps exactly one pool export throughout;
+* with sharing on, tenants after the first hit the context store.
+
+A JSON perf record is written next to this file
+(``BENCH_serving.json``).  Run via pytest
+(``pytest benchmarks/bench_serving.py -m smoke``) or directly::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
+
+``--smoke`` shrinks the census table (30k rows instead of 60k).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.parallel import CountingPool
+from repro.datasets import generate_census
+from repro.serving import DrillDownServer
+from repro.session import DrillDownSession
+
+RECORD_PATH = Path(__file__).resolve().parent / "BENCH_serving.json"
+CENSUS_ROWS = 60_000
+SMOKE_ROWS = 30_000
+N_COLUMNS = 6
+K = 4
+MW = 5.0
+TENANT_COUNTS = (1, 8)
+N_WORKERS = 2
+
+
+def _expected_rules(table) -> tuple[list, list]:
+    """The standalone two-level expansion every tenant must reproduce."""
+    session = DrillDownSession(table, k=K, mw=MW)
+    level1 = session.expand(session.root.rule)
+    level2 = session.expand(level1[0].rule)
+    return [c.rule for c in level1], [c.rule for c in level2]
+
+
+def _drive_tenants(server, n_tenants: int) -> dict:
+    """Run every tenant's two-expansion workload on its own thread."""
+    latencies: list[float] = []
+    results: dict[int, tuple[list, list]] = {}
+    errors: list[Exception] = []
+    lock = threading.Lock()
+
+    def tenant_run(i: int) -> None:
+        try:
+            sid = server.create_session("census", tenant=f"tenant-{i}", k=K, mw=MW)
+            start = time.perf_counter()
+            level1 = server.expand(sid)
+            mid = time.perf_counter()
+            level2 = server.expand(sid, level1[0].rule)
+            done = time.perf_counter()
+            with lock:
+                latencies.extend((mid - start, done - mid))
+                results[i] = ([c.rule for c in level1], [c.rule for c in level2])
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=tenant_run, args=(i,)) for i in range(n_tenants)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    latencies.sort()
+    expansions = 2 * n_tenants
+    return {
+        "tenants": n_tenants,
+        "expansions": expansions,
+        "wall_seconds": round(elapsed, 6),
+        "throughput_expansions_per_s": round(expansions / elapsed, 3),
+        "mean_latency_seconds": round(sum(latencies) / len(latencies), 6),
+        "p95_latency_seconds": round(latencies[int(0.95 * (len(latencies) - 1))], 6),
+        "_results": results,
+    }
+
+
+def run_benchmark(rows: int) -> dict:
+    table = generate_census(rows, n_columns=N_COLUMNS)
+    expected = _expected_rules(table)
+    scenarios = []
+    identical = True
+    for share_contexts in (False, True):
+        for n_tenants in TENANT_COUNTS:
+            pool = CountingPool(N_WORKERS)
+            with DrillDownServer(pool=pool, share_contexts=share_contexts) as server:
+                server.register_table("census", table)
+                # Warm-up tenant: forks the workers and (with sharing on)
+                # publishes the two context prototypes, so the timed run
+                # measures the steady state a long-lived tier serves from.
+                _drive_tenants(server, 1)
+                warm_hits = 0 if server.contexts is None else server.contexts.hits
+                scenario = _drive_tenants(server, n_tenants)
+                results = scenario.pop("_results")
+                identical = identical and all(r == expected for r in results.values())
+                scenario["share_contexts"] = share_contexts
+                scenario["exports_for_table"] = pool.export_count(table)
+                scenario["context_hits"] = (
+                    None
+                    if server.contexts is None
+                    else server.contexts.hits - warm_hits
+                )
+                scenarios.append(scenario)
+            pool.close()
+    return {
+        "workload": {
+            "dataset": "census",
+            "rows": rows,
+            "columns": N_COLUMNS,
+            "k": K,
+            "mw": MW,
+            "weighting": "size",
+            "expansions_per_tenant": 2,
+            "pool_workers": N_WORKERS,
+        },
+        "cpu_count": os.cpu_count() or 1,
+        "scenarios": scenarios,
+        "identical_rule_lists": identical,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def write_record(record: dict) -> None:
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+
+def check_record(record: dict) -> None:
+    assert record["identical_rule_lists"], "a tenant diverged from the standalone session"
+    for scenario in record["scenarios"]:
+        assert scenario["exports_for_table"] == 1, (
+            f"expected exactly one pool export for the shared table, "
+            f"found {scenario['exports_for_table']}"
+        )
+        if scenario["share_contexts"]:
+            # Steady state: every timed expansion leases a prototype.
+            assert scenario["context_hits"] == scenario["expansions"], (
+                "sharing enabled but timed expansions missed the context store"
+            )
+
+
+@pytest.mark.smoke
+def test_serving_throughput():
+    """Smoke: 1 vs 8 tenants, store on/off — identical rules, shared state."""
+    record = run_benchmark(SMOKE_ROWS)
+    write_record(record)
+    print()
+    for scenario in record["scenarios"]:
+        print(
+            f"BX serving: {scenario['tenants']} tenant(s), "
+            f"store={'on' if scenario['share_contexts'] else 'off'}: "
+            f"{scenario['throughput_expansions_per_s']:.1f} exp/s, "
+            f"mean {scenario['mean_latency_seconds']*1000:.0f} ms"
+        )
+    check_record(record)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="smaller table (fast CI smoke run)"
+    )
+    args = parser.parse_args()
+    record = run_benchmark(SMOKE_ROWS if args.smoke else CENSUS_ROWS)
+    write_record(record)
+    print(json.dumps(record, indent=2))
+    check_record(record)
+    print(f"\nperf record written to {RECORD_PATH}")
+
+
+if __name__ == "__main__":
+    main()

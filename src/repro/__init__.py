@@ -20,6 +20,8 @@ The public surface is organised as:
 * :mod:`repro.sampling` — reservoir sampling, the SampleHandler, and
   the sample-memory allocation solvers;
 * :mod:`repro.session` / :mod:`repro.ui` — the interactive prototype;
+* :mod:`repro.serving` — the multi-tenant serving tier (catalog,
+  session registry, context sharing, fair scheduling, HTTP front end);
 * :mod:`repro.datasets` — synthetic stand-ins for the paper's data;
 * :mod:`repro.baselines`, :mod:`repro.hardness`,
   :mod:`repro.experiments` — evaluation machinery.
@@ -55,6 +57,7 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.sampling import Sample, SampleHandler
+from repro.serving import DrillDownServer
 from repro.session import DrillDownSession
 from repro.storage import DiskTable
 from repro.table import (
@@ -85,6 +88,7 @@ __all__ = [
     "CountingPool",
     "DiskTable",
     "DrillDownResult",
+    "DrillDownServer",
     "DrillDownSession",
     "Interval",
     "MergedWeight",

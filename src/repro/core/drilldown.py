@@ -54,7 +54,39 @@ from repro.core.weights import (
 )
 from repro.table.table import Table
 
-__all__ = ["DrillDownResult", "rule_drilldown", "star_drilldown", "traditional_drilldown"]
+__all__ = [
+    "DrillDownResult",
+    "drilldown_tag",
+    "rule_drilldown",
+    "star_drilldown",
+    "traditional_drilldown",
+]
+
+
+def drilldown_tag(
+    kind: str,
+    parent: Rule,
+    column: int | None,
+    *,
+    measure: str | None,
+    wf: WeightFunction,
+    mw: float,
+    max_rule_size: int | None = None,
+    prune: bool = True,
+) -> tuple:
+    """The identity key of one drill-down configuration.
+
+    Two drill-downs whose tags compare equal are served by the same
+    :class:`~repro.core.search_cache.SearchContext` (given the same
+    mined table).  The weight function participates by identity —
+    callers that want cross-session sharing must share ``wf``
+    instances, which is what :class:`repro.serving.DrillDownServer`'s
+    weight registry does.  The drill-down functions build their
+    internal tags through this helper, so external keying (the
+    session's cache, the serving tier's
+    :class:`~repro.serving.ContextStore`) cannot drift from them.
+    """
+    return (kind, parent, column, measure, wf, float(mw), max_rule_size, prune)
 
 
 @dataclass(frozen=True)
@@ -122,6 +154,7 @@ def rule_drilldown(
     engine: str = "incremental",
     n_workers: int | None = None,
     pool: CountingPool | None = None,
+    tenant: object = None,
 ) -> DrillDownResult:
     """Expand ``parent`` into its best rule-list of ``k`` super-rules.
 
@@ -141,7 +174,10 @@ def rule_drilldown(
     if len(parent) != table.n_columns:
         raise RuleError("parent rule arity does not match the table")
     resolved_pool = resolve_pool(pool, n_workers)
-    tag = ("rule", parent, None, measure, wf, float(mw), max_rule_size, prune)
+    tag = drilldown_tag(
+        "rule", parent, None, measure=measure, wf=wf, mw=mw,
+        max_rule_size=max_rule_size, prune=prune,
+    )
     if _context_reusable(context, table, tag):
         subtable = context.table
         lifted = context.wf
@@ -155,6 +191,7 @@ def rule_drilldown(
             context = SearchContext(
                 subtable, lifted, mw, measures=measures,
                 max_rule_size=max_rule_size, prune=prune, pool=resolved_pool,
+                tenant=tenant,
             )
             context.source = table
             context.tag = tag
@@ -202,6 +239,7 @@ def star_drilldown(
     engine: str = "incremental",
     n_workers: int | None = None,
     pool: CountingPool | None = None,
+    tenant: object = None,
 ) -> DrillDownResult:
     """Expand the ``?`` in ``column`` of ``parent`` (Section 2.3).
 
@@ -221,7 +259,10 @@ def star_drilldown(
     if not parent.is_star(column):
         raise RuleError(f"parent rule already instantiates column {column}")
     resolved_pool = resolve_pool(pool, n_workers)
-    tag = ("star", parent, column, measure, wf, float(mw), max_rule_size, prune)
+    tag = drilldown_tag(
+        "star", parent, column, measure=measure, wf=wf, mw=mw,
+        max_rule_size=max_rule_size, prune=prune,
+    )
     if _context_reusable(context, table, tag):
         subtable = context.table
         constrained = context.wf
@@ -236,6 +277,7 @@ def star_drilldown(
             context = SearchContext(
                 subtable, constrained, mw, measures=measures,
                 max_rule_size=max_rule_size, prune=prune, pool=resolved_pool,
+                tenant=tenant,
             )
             context.source = table
             context.tag = tag

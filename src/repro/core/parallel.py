@@ -58,15 +58,41 @@ flight), batches with fewer than two shippable tasks, platforms without
 ``multiprocessing.shared_memory``, value-dependent (slow-path) weight
 functions, and pools that failed to start or have been closed.
 
-Lifecycle
----------
+Lifecycle and ownership
+-----------------------
 
 A :class:`CountingPool` owns its executor and every exported segment;
 :meth:`CountingPool.close` (also a context-manager exit, also run at
 interpreter exit) terminates the workers and unlinks the segments.
 Exports are keyed per table and freed early when the table is garbage
-collected.  :class:`~repro.session.session.DrillDownSession` ties a
-pool to the session and releases it in ``close()``.
+collected.  Whoever *creates* a pool closes it — nobody else:
+
+* a :class:`~repro.session.session.DrillDownSession` built with
+  ``n_workers >= 2`` owns its pool and releases it in ``close()``
+  (deferred until any in-flight expansion drains);
+* a session handed a shared ``pool=`` only borrows it — its ``close()``
+  leaves the pool (and every export other sessions may be counting
+  against) untouched;
+* in the multi-tenant serving tier, the
+  :class:`~repro.serving.TableCatalog` owns the pool: tables register
+  once, export once, and stay exported until the catalog (not any
+  individual tenant session) is closed.
+
+Fair scheduling hook
+--------------------
+
+Setting :attr:`CountingPool.scheduler` installs a dispatch gate on the
+pool's task queue: every batch a backend ships to the workers first
+enters ``scheduler.dispatch_turn(tenant)`` (a context manager), where
+``tenant`` is the label given to :meth:`CountingPool.backend_for`.
+:class:`repro.serving.FairScheduler` implements round-robin turns
+across tenants, so one tenant's deep drill-down queues behind — not
+ahead of — everyone else's next batch.  The gate wraps only batch
+*submission* (publish ``top``, queue the buckets): it is released
+before worker results are awaited, so tenants' batches compute
+concurrently and only their entry into the work queue is ordered.
+Serial fallback counting never waits on it, and with no scheduler
+installed (the default) the hook costs one attribute read.
 """
 
 from __future__ import annotations
@@ -76,8 +102,9 @@ import os
 import threading
 import weakref
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
@@ -305,7 +332,9 @@ class CountingBackend:
 
     ``tasks_dispatched``/``tasks_local`` count where work actually ran,
     which the tests and the parallel-counting benchmark use to assert
-    the pool was (or was not) exercised.
+    the pool was (or was not) exercised.  ``tenant`` labels this
+    backend's dispatched batches for the pool's optional fair
+    :attr:`~CountingPool.scheduler`; it never affects results.
     """
 
     pool: "CountingPool"
@@ -313,6 +342,7 @@ class CountingBackend:
     codes: list[np.ndarray]
     measures: np.ndarray
     top: np.ndarray | None = None
+    tenant: Any = None
     tasks_dispatched: int = 0
     tasks_local: int = 0
     batches: int = 0
@@ -386,34 +416,48 @@ class CountingBackend:
             return results
         shipped = {t.task_id for t in remote}
         local = [t for t in tasks if t.task_id not in shipped]
+        scheduler = self.pool.scheduler
         with self.export.lock:
-            self.export.publish_top(self.top, (id(self), self._top_version))
-            futures = []
-            try:
-                for bucket in self.pool._pack(remote, full_cost):
-                    rows_arrays: list[np.ndarray] = []
-                    rows_index: dict[int, int] = {}
-                    payload = []
-                    for t in bucket:
-                        if t.rows is None:
-                            idx = None
-                        else:
-                            idx = rows_index.get(id(t.rows))
-                            if idx is None:
-                                idx = len(rows_arrays)
-                                rows_index[id(t.rows)] = idx
-                                rows_arrays.append(t.rows)
-                        payload.append((t.task_id, t.pos, t.n_values, t.weight, idx))
-                    futures.append(
-                        executor.submit(
-                            _worker_count, self.export.meta, rows_arrays, payload
-                        )
-                    )
-                self.tasks_dispatched += len(remote)
-            except Exception:  # pool broke between batches: go serial
-                self.pool._mark_broken()
+            # The fair-dispatch turn covers only *submission*: once this
+            # backend's buckets are queued (in round-robin order across
+            # tenants), the turn is released so other tenants — notably
+            # ones on other tables, whose export locks are free — can
+            # queue theirs while these compute.  The export lock is
+            # taken first, so a backend waiting for it never holds the
+            # turn hostage.
+            gate = (
+                scheduler.dispatch_turn(self.tenant)
+                if scheduler is not None
+                else nullcontext()
+            )
+            with gate:
+                self.export.publish_top(self.top, (id(self), self._top_version))
                 futures = []
-                local = list(tasks)
+                try:
+                    for bucket in self.pool._pack(remote, full_cost):
+                        rows_arrays: list[np.ndarray] = []
+                        rows_index: dict[int, int] = {}
+                        payload = []
+                        for t in bucket:
+                            if t.rows is None:
+                                idx = None
+                            else:
+                                idx = rows_index.get(id(t.rows))
+                                if idx is None:
+                                    idx = len(rows_arrays)
+                                    rows_index[id(t.rows)] = idx
+                                    rows_arrays.append(t.rows)
+                            payload.append((t.task_id, t.pos, t.n_values, t.weight, idx))
+                        futures.append(
+                            executor.submit(
+                                _worker_count, self.export.meta, rows_arrays, payload
+                            )
+                        )
+                    self.tasks_dispatched += len(remote)
+                except Exception:  # pool broke between batches: go serial
+                    self.pool._mark_broken()
+                    futures = []
+                    local = list(tasks)
             for task in local:  # overlaps with the in-flight futures
                 results[task.task_id] = self._count_local(task)
             failed: list[CountTask] = []
@@ -471,6 +515,11 @@ class CountingPool:
         self._executor = None
         self._broken = False
         self.closed = False
+        #: Optional fair-dispatch gate (see "Fair scheduling hook" in the
+        #: module docstring).  Anything with a ``dispatch_turn(tenant)``
+        #: context-manager method works; the serving tier installs a
+        #: :class:`repro.serving.FairScheduler`.
+        self.scheduler = None
         # Both keyed by id(table): Table defines __eq__ without
         # __hash__, so identity keys it.  _exports maps to the table's
         # [(measures, export), ...] list; _finalizers holds the
@@ -521,7 +570,7 @@ class CountingPool:
     # -- table exports ---------------------------------------------------------
 
     def backend_for(
-        self, table: "Table", measures: np.ndarray | None = None
+        self, table: "Table", measures: np.ndarray | None = None, *, tenant: Any = None
     ) -> CountingBackend | None:
         """Return a counting backend for ``table``, or ``None`` for serial.
 
@@ -530,7 +579,8 @@ class CountingPool:
         table has no categorical columns.  The table's shared-memory
         export is created on first request and reused for subsequent
         backends with the same measures (compared by identity, then
-        value).
+        value).  ``tenant`` labels the backend's batches for the
+        optional fair :attr:`scheduler`.
         """
         if not self.usable or table.n_rows < self.min_table_rows:
             return None
@@ -561,8 +611,20 @@ class CountingPool:
                 )
         codes = list(table.categorical_code_arrays())
         return CountingBackend(
-            pool=self, export=export, codes=codes, measures=export.measures
+            pool=self, export=export, codes=codes, measures=export.measures,
+            tenant=tenant,
         )
+
+    def export_count(self, table: "Table | None" = None) -> int:
+        """Live shared-memory exports — for ``table`` only, when given.
+
+        The public accessor the serving tier's stats and the benchmarks
+        use to assert the register-once/export-once invariant (one
+        export per (table, measures) pair, shared by every backend).
+        """
+        if table is None:
+            return sum(len(entries) for entries in self._exports.values())
+        return len(self._exports.get(id(table), []))
 
     def _drop_table(self, key: int) -> None:
         """Unlink a dead table's segments (weakref finalizer target)."""

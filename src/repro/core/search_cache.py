@@ -63,21 +63,38 @@ is never split).  The CELF loop itself stays serial — it is already
 nearly free.  Slow-path (value-dependent) weight functions and small
 tables fall back to serial counting automatically.
 
-**Lifecycle.**  A context is bound to one (table, weight function,
-``mw``, measures, ``max_rule_size``, ``prune``) configuration — it
-validates compatibility and refuses anything else.  It is cheap when
-idle (it holds int32 row arrays totalling the rows scanned by the
-generating passes) and can be dropped at any time; the next search
-simply rebuilds from scratch.  The drill-down layer
+**Lifecycle and ownership.**  A context is bound to one (table, weight
+function, ``mw``, measures, ``max_rule_size``, ``prune``)
+configuration — it validates compatibility and refuses anything else.
+It is cheap when idle (it holds int32 row arrays totalling the rows
+scanned by the generating passes) and can be dropped at any time; the
+next search simply rebuilds from scratch.  The drill-down layer
 (:mod:`repro.core.drilldown`) tags contexts with their originating
 (source table, parent rule, …) so an interactive session can reuse the
 context when the same node is expanded again, e.g. after a collapse.
+
+A context is owned by exactly one caller at a time — its heaps and
+epoch counters mutate on every search, so it must never be shared
+between concurrently searching sessions.  Cross-session reuse goes
+through :meth:`SearchContext.clone` instead (the seam the multi-tenant
+:class:`~repro.serving.ContextStore` is built on): a clone copies the
+per-candidate mutable state but shares the immutable payload — the
+table, code arrays, measures, and every materialised covered-row
+array, none of which is ever written in place — so cloning costs
+O(candidates) with no table pass, and the clone's searches cannot
+corrupt (or be corrupted by) the original.  The clone inherits the
+prototype's ``_last_top`` watermark, so its first search correctly
+resets the CELF bounds when its seed ``top`` is lower than the top the
+prototype last searched under.  A context never owns its counting
+pool: the ``pool=`` knob only borrows a backend, and whoever created
+the pool (a session via ``n_workers=``, or a serving
+:class:`~repro.serving.TableCatalog`) closes it.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
 import numpy as np
@@ -152,6 +169,9 @@ class SearchContext:
     context's table export to that pool's lifetime.  The backend
     changes how fast candidates are counted, never which candidates
     win — contexts with and without one are interchangeable.
+    ``tenant`` labels the backend's dispatched batches for the pool's
+    optional :class:`~repro.serving.FairScheduler` (fair round-robin
+    across tenants); it has no effect on results.
     """
 
     def __init__(
@@ -165,11 +185,13 @@ class SearchContext:
         prune: bool = True,
         n_workers: int | None = None,
         pool: CountingPool | None = None,
+        tenant: Any = None,
     ):
         self.table = table
         self.wf = wf
         self.mw = float(mw)
         self.prune = prune
+        self.tenant = tenant
         n = table.n_rows
         self._measures_given = measures is not None
         self.measures = (
@@ -193,7 +215,7 @@ class SearchContext:
             # Slow-path weights cannot ship a scalar weight to workers.
             resolved = resolve_pool(pool, n_workers)
             if resolved is not None:
-                backend = resolved.backend_for(table, self.measures)
+                backend = resolved.backend_for(table, self.measures, tenant=tenant)
         self.backend = backend
         self._row_dtype = np.int32 if n < 2**31 else np.int64
         self._cands: dict[_Key, _Candidate] = {}
@@ -245,6 +267,83 @@ class SearchContext:
             np.asarray(measures, dtype=np.float64), self.measures
         ):
             raise RuleError("search context was built with different measures")
+
+    # -- cloning (cross-session sharing seam) ----------------------------------
+
+    def clone(
+        self,
+        *,
+        pool: CountingPool | None = None,
+        tenant: Any = None,
+    ) -> "SearchContext":
+        """Return an independent context sharing this one's cached lattice.
+
+        The clone is safe to search concurrently with (and mutate
+        independently of) the original: per-candidate mutable state
+        (marginals, epochs, heap mirrors, expansion flags) is copied,
+        while the immutable payload — the table, code arrays, measures,
+        and every covered-row index array, none of which is ever
+        written in place — is shared by reference.  Cloning therefore
+        costs O(cached candidates) and *no* table pass: a clone starts
+        with ``_built`` state, so its first search skips the full-table
+        size-1 passes and only lazily re-tightens the CELF bounds
+        (:meth:`_reset_bounds` fires automatically when the clone's
+        seed ``top`` is below the prototype's last-searched ``top``,
+        which the clone inherits as its monotonicity watermark).
+
+        ``pool``/``tenant`` select the clone's counting backend — a
+        clone never inherits the prototype's backend object, because a
+        backend's staged ``top`` is single-owner state.  With
+        ``pool=None`` the clone counts serially.
+
+        This is the seam :class:`repro.serving.ContextStore` shares
+        read-compatible contexts across tenant sessions on: the store
+        keeps a frozen clone as the prototype and leases a fresh clone
+        per session (copy-on-first-expand), so tenants can never
+        corrupt each other's search state.
+        """
+        new = object.__new__(SearchContext)
+        # Immutable configuration and payload: shared by reference.
+        new.table = self.table
+        new.wf = self.wf
+        new.mw = self.mw
+        new.prune = self.prune
+        new.tenant = tenant
+        new._measures_given = self._measures_given
+        new.measures = self.measures
+        new.cat_positions = self.cat_positions
+        new.codes = self.codes
+        new.distinct = self.distinct
+        new._n_cat = self._n_cat
+        new.max_rule_size = self.max_rule_size
+        new._requested_max_rule_size = self._requested_max_rule_size
+        new.fast_weight = self.fast_weight
+        new._row_dtype = self._row_dtype
+        backend = None
+        if self.fast_weight is not None:
+            resolved = resolve_pool(pool, None)
+            if resolved is not None:
+                backend = resolved.backend_for(self.table, self.measures, tenant=tenant)
+        new.backend = backend
+        # Mutable per-candidate state: copied (row arrays shared — they
+        # are only ever replaced, never mutated in place).
+        new._cands = {key: replace(cand) for key, cand in self._cands.items()}
+        new._vheap = list(self._vheap)
+        new._xheap = list(self._xheap)
+        new._built = self._built
+        new._epoch = self._epoch
+        new._refreshed = 0
+        new._generated_this_epoch = 0
+        new._top = None
+        # The monotonicity watermark: find_best compares its top against
+        # this and resets the CELF bounds when the new top is lower —
+        # exactly what a fresh greedy run through a leased clone needs.
+        new._last_top = self._last_top
+        new.total_stats = SearchStats()
+        new.last_rows = None
+        new.source = self.source
+        new.tag = self.tag
+        return new
 
     # -- weights / rules -------------------------------------------------------
 
@@ -495,9 +594,23 @@ class SearchContext:
             cand.marginal = 0.0  # max(W - top, 0) is identically zero
         else:
             rows = self._rows(cand, stats)
-            cand.marginal = float(
-                (np.maximum(cand.weight - self._top[rows], 0.0) * self.measures[rows]).sum()
-            )
+            gains = np.maximum(cand.weight - self._top[rows], 0.0) * self.measures[rows]
+            if self.fast_weight is not None:
+                # Accumulate sequentially in row order — bit-identical to
+                # the counting kernel's bincount, so a marginal computed
+                # here equals the one a counting pass (this context's
+                # build, a sibling clone's, or the scratch engine's)
+                # produces.  numpy's pairwise .sum() differs in the last
+                # ulp, enough to flip near-ties between engines.
+                cand.marginal = float(
+                    np.bincount(
+                        np.zeros(rows.size, dtype=np.intp), weights=gains, minlength=1
+                    )[0]
+                )
+            else:
+                # Slow-path candidates are generated with a pairwise sum
+                # (see _generate); stay in lockstep with that.
+                cand.marginal = float(gains.sum())
             stats.rows_scanned += rows.size
         stats.cache_hits += 1
         cand.epoch = self._epoch

@@ -61,3 +61,61 @@ class SessionError(ReproError):
     Examples: expanding a rule that is not displayed, collapsing a rule
     that has no children, drilling down on a non-star cell.
     """
+
+
+class SessionClosedError(SessionError):
+    """A closed :class:`~repro.session.DrillDownSession` was used.
+
+    Raised by every mutating session operation (expand, collapse,
+    refresh) after :meth:`~repro.session.DrillDownSession.close` — which
+    the multi-tenant registry may call at any time, including while an
+    expansion is in flight on another thread.  Read-only accessors keep
+    working so a client can still render the last displayed tree.
+    """
+
+
+class ServingError(ReproError):
+    """Base class for multi-tenant serving-tier errors (:mod:`repro.serving`)."""
+
+
+class UnknownTableError(ServingError):
+    """A table name is not registered in the :class:`~repro.serving.TableCatalog`."""
+
+
+class UnknownSessionError(ServingError):
+    """A session id is not (or no longer) in the :class:`~repro.serving.SessionRegistry`.
+
+    Raised both for ids that never existed and for sessions that were
+    expired (TTL) or evicted (LRU) — from the client's point of view the
+    session is simply gone and must be recreated.
+    """
+
+
+class TenantBudgetError(ServingError):
+    """A tenant's token budget cannot cover a requested expansion.
+
+    The serving tier's typed throttle signal: raised *immediately*
+    instead of queueing the work, so an over-budget tenant gets a clear
+    retry-able error (HTTP 429 on the wire) rather than a hang.
+    ``retry_after`` estimates the seconds until the bucket has refilled
+    enough, or is ``None`` when the budget does not refill.
+    """
+
+    def __init__(
+        self,
+        tenant: object,
+        requested: float,
+        available: float,
+        retry_after: float | None = None,
+    ):
+        self.tenant = tenant
+        self.requested = requested
+        self.available = available
+        self.retry_after = retry_after
+        message = (
+            f"tenant {tenant!r} requested {requested:g} tokens "
+            f"but only {available:g} are available"
+        )
+        if retry_after is not None:
+            message += f" (retry in ~{retry_after:.1f}s)"
+        super().__init__(message)

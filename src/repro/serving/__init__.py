@@ -1,0 +1,41 @@
+"""Multi-tenant serving tier: one process, many tenants, one export.
+
+The per-session machinery (incremental
+:class:`~repro.core.search_cache.SearchContext`, shared-memory
+:class:`~repro.core.parallel.CountingPool`) already lets many sessions
+mine one immutable table export; this package is the tier that
+multiplexes *tenants* on top of it:
+
+* :class:`TableCatalog` — register immutable tables once, export each
+  to the shared pool a single time;
+* :class:`SessionRegistry` — create/lookup/expire
+  :class:`~repro.session.DrillDownSession`\\ s per tenant (TTL + LRU,
+  eviction-safe ``close()``);
+* :class:`ContextStore` — share read-compatible search contexts across
+  sessions with identical (table, weighting, ``mw``) configurations,
+  copy-on-first-expand;
+* :class:`FairScheduler` — per-tenant token budgets and round-robin
+  dispatch on the pool's task queue;
+* :class:`DrillDownServer` — the facade composing all of the above,
+  with a stdlib HTTP front end in :mod:`repro.serving.http`.
+
+See docs/SERVING.md for topology, tenancy semantics, budget knobs, and
+a curl walkthrough.
+"""
+
+from repro.serving.catalog import TableCatalog
+from repro.serving.contexts import ContextStore
+from repro.serving.registry import SessionEntry, SessionRegistry
+from repro.serving.scheduler import FairScheduler, TenantBudget
+from repro.serving.server import WEIGHT_FUNCTIONS, DrillDownServer
+
+__all__ = [
+    "ContextStore",
+    "DrillDownServer",
+    "FairScheduler",
+    "SessionEntry",
+    "SessionRegistry",
+    "TableCatalog",
+    "TenantBudget",
+    "WEIGHT_FUNCTIONS",
+]

@@ -1,0 +1,169 @@
+"""The table catalog: register immutable tables once, export them once.
+
+A :class:`TableCatalog` is the serving tier's source of truth for
+tables.  Tenants refer to tables by name; the catalog holds the
+:class:`~repro.table.Table` objects (keeping them — and therefore
+their shared-memory exports — alive for as long as they are served)
+and owns the one :class:`~repro.core.parallel.CountingPool` every
+tenant session counts through.
+
+Registration is the only moment a table's data moves: with a usable
+pool, :meth:`TableCatalog.register` eagerly places the table's
+dictionary-encoded code arrays and measures into the pool's shared
+immutable region, so the first tenant's first expansion pays no export
+cost and the hundredth tenant shares the same bytes.  Tables are
+immutable (`Table` has no mutating API), which is what makes one
+export safe to serve to everyone.
+
+Ownership: the catalog owns a pool it *created* (``n_workers=``) and
+closes it — terminating workers and unlinking every export — in
+:meth:`TableCatalog.close`; a pool passed in via ``pool=`` is borrowed
+and left running.  Individual sessions never close the catalog's pool
+(see :mod:`repro.session.session`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+from repro.core.parallel import CountingPool
+from repro.errors import ServingError, UnknownTableError
+from repro.table.table import Table
+
+__all__ = ["TableCatalog"]
+
+
+class TableCatalog:
+    """Named registry of immutable tables over one shared counting pool.
+
+    Parameters
+    ----------
+    pool:
+        An existing :class:`~repro.core.parallel.CountingPool` to serve
+        every registered table through (borrowed — not closed by
+        :meth:`close`).
+    n_workers:
+        When no ``pool`` is given: ``None``/``1`` serves serially (no
+        pool, no exports), ``0`` builds a catalog-owned pool over every
+        core, ``>= 2`` over that many workers.  A catalog-owned pool is
+        closed by :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        *,
+        pool: CountingPool | None = None,
+        n_workers: int | None = None,
+    ):
+        if pool is not None:
+            self._pool: CountingPool | None = pool
+            self._owns_pool = False
+        elif n_workers is not None and n_workers != 1:
+            # Not resolve_pool(): that returns the process-wide shared
+            # default pool, and a catalog wants sole ownership.
+            self._pool = CountingPool(n_workers)
+            self._owns_pool = True
+        else:
+            self._pool = None
+            self._owns_pool = False
+        self._tables: dict[str, Table] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, name: str, table: Table) -> Table:
+        """Register ``table`` under ``name`` and export it to the pool.
+
+        Idempotent for the same object (re-registering the identical
+        table is a no-op returning it); a *different* table under an
+        existing name raises :class:`~repro.errors.ServingError` —
+        served tables are immutable, replacement would invalidate every
+        tenant's displayed counts.  The shared-memory export (when a
+        usable pool exists and the table is large enough to benefit)
+        happens here, once, so no tenant pays it later.
+        """
+        if not name:
+            raise ServingError("table name must be non-empty")
+        with self._lock:
+            if self._closed:
+                raise ServingError("table catalog is closed")
+            existing = self._tables.get(name)
+            if existing is not None:
+                if existing is table:
+                    return table
+                raise ServingError(
+                    f"table {name!r} is already registered with different data; "
+                    "served tables are immutable — register under a new name"
+                )
+            self._tables[name] = table
+        if self._pool is not None:
+            # Eager export: backend_for creates (or reuses) the table's
+            # shared region; the backend object itself is discarded.
+            self._pool.backend_for(table)
+        return table
+
+    def unregister(self, name: str) -> None:
+        """Forget ``name``.  The export is unlinked once the table is
+        garbage collected (the pool holds only a weak finalizer), so
+        sessions still mining it are unaffected."""
+        with self._lock:
+            self._tables.pop(name, None)
+
+    # -- lookup ------------------------------------------------------------------
+
+    def get(self, name: str) -> Table:
+        """The table registered under ``name``.
+
+        Raises :class:`~repro.errors.UnknownTableError` otherwise.
+        """
+        with self._lock:
+            try:
+                return self._tables[name]
+            except KeyError:
+                raise UnknownTableError(f"no table registered as {name!r}") from None
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._tables))
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._tables
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tables)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    @property
+    def pool(self) -> CountingPool | None:
+        """The shared counting pool (``None`` = this catalog serves serially)."""
+        return self._pool
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop every table and close a catalog-owned pool (workers +
+        exports).  A borrowed pool is left running.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._tables.clear()
+        if self._pool is not None and self._owns_pool:
+            self._pool.close()
+        self._pool = None
+
+    def __enter__(self) -> "TableCatalog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"TableCatalog(tables={len(self._tables)}, pool={self._pool!r}, {state})"

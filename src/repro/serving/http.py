@@ -1,0 +1,354 @@
+"""Stdlib-only HTTP front end for the multi-tenant serving tier.
+
+A thin JSON shim over :class:`~repro.serving.DrillDownServer` built on
+``http.server`` — zero dependencies beyond the standard library, good
+enough for interactive exploration and integration tests, and honest
+about it (see docs/SERVING.md for when to put a real ASGI gateway in
+front instead).  The handler is threaded
+(:class:`http.server.ThreadingHTTPServer`), which is exactly the
+concurrency the tier is built for: per-session locks serialise one
+tenant's clicks, the shared pool and fair scheduler interleave
+different tenants' counting.
+
+Endpoints (all bodies JSON)::
+
+    GET    /healthz                      liveness probe
+    GET    /stats                        tier-wide counters
+    GET    /tables                       registered table names
+    POST   /tables                       {"name", "dataset"} or
+                                         {"name", "columns", "rows"[, "numeric"]}
+    POST   /sessions                     {"table"[, "tenant", "wf", "k", "mw",
+                                         "measure"]} -> {"session_id", ...}
+    GET    /sessions/<id>                displayed tree as nested JSON
+    DELETE /sessions/<id>                close the session
+    POST   /sessions/<id>/expand         {"rule"[, "k"]} -> {"children": [...]}
+    POST   /sessions/<id>/expand_star    {"rule", "column"[, "k"]}
+    POST   /sessions/<id>/collapse       {"rule"}
+    GET    /sessions/<id>/render         {"text": dotted table}
+
+Rules travel as one JSON array entry per column with ``null`` for the
+``?`` wildcard — ``["Walmart", null, null]`` — so a table whose data
+contains JSON ``null`` values is not addressable over the wire (use
+the programmatic facade for that).
+
+Error mapping: unknown table/session -> 404, closed session -> 409,
+exhausted tenant budget -> 429 (with ``retry_after`` when the bucket
+refills), any other :class:`~repro.errors.ReproError` or malformed
+body -> 400, everything else -> 500.  The body always carries
+``{"error": <exception class>, "message": ...}``.
+
+Run it::
+
+    PYTHONPATH=src python -m repro.serving.http --port 8080 --workers 2
+
+and walk through docs/SERVING.md with curl.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.core.rule import STAR, Rule, Wildcard
+from repro.datasets import generate_census, generate_marketing, generate_retail
+from repro.errors import (
+    ReproError,
+    SessionClosedError,
+    TenantBudgetError,
+    UnknownSessionError,
+    UnknownTableError,
+)
+from repro.serving.server import DrillDownServer
+from repro.session.session import SessionNode
+from repro.table.schema import ColumnKind, ColumnSchema, Schema
+from repro.table.table import Table
+
+__all__ = [
+    "make_handler",
+    "node_to_wire",
+    "rule_from_wire",
+    "rule_to_wire",
+    "serve",
+]
+
+#: Datasets registrable by name over the wire (generated server-side,
+#: so the walkthrough needs no data upload).
+_DATASETS = {
+    "retail": generate_retail,
+    "marketing": generate_marketing,
+    "census": lambda: generate_census(50_000, n_columns=7),
+}
+
+
+# -- wire format ----------------------------------------------------------------
+
+
+def rule_to_wire(rule: Rule) -> list:
+    """One JSON entry per column; ``?`` becomes ``null``."""
+    return [None if isinstance(v, Wildcard) else v for v in rule]
+
+
+def rule_from_wire(values: Any, n_columns: int) -> Rule:
+    """Decode a wire rule (``null`` = wildcard) against a column count."""
+    if not isinstance(values, list) or len(values) != n_columns:
+        raise ReproError(
+            f"rule must be a JSON array of {n_columns} values (null = wildcard)"
+        )
+    return Rule([STAR if v is None else v for v in values])
+
+
+def node_to_wire(node: SessionNode, *, deep: bool = False) -> dict:
+    """A displayed node (optionally its whole subtree) as plain JSON."""
+    out = {
+        "rule": rule_to_wire(node.rule),
+        "count": node.count,
+        "weight": node.weight,
+        "depth": node.depth,
+        "expanded": node.is_expanded,
+        "expanded_via": node.expanded_via,
+    }
+    if deep:
+        out["children"] = [node_to_wire(c, deep=True) for c in node.children]
+    return out
+
+
+def _table_from_body(body: dict) -> Table:
+    dataset = body.get("dataset")
+    if dataset is not None:
+        try:
+            factory = _DATASETS[dataset]
+        except KeyError:
+            raise ReproError(
+                f"unknown dataset {dataset!r}; one of {sorted(_DATASETS)}"
+            ) from None
+        return factory()
+    columns = body.get("columns")
+    rows = body.get("rows")
+    if not columns or rows is None:
+        raise ReproError(
+            'register a table with {"name", "dataset"} or {"name", "columns", "rows"}'
+        )
+    numeric = set(body.get("numeric", ()))
+    schema = Schema(
+        [
+            ColumnSchema(
+                name, ColumnKind.NUMERIC if name in numeric else ColumnKind.CATEGORICAL
+            )
+            for name in columns
+        ]
+    )
+    return Table.from_rows(schema, rows)
+
+
+# -- the handler ----------------------------------------------------------------
+
+_SESSION_PATH = re.compile(r"^/sessions/([^/]+)(?:/(expand|expand_star|collapse|render))?$")
+
+
+def make_handler(server: DrillDownServer, *, quiet: bool = True) -> type:
+    """A request-handler class bound to one :class:`DrillDownServer`."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        tier = server
+
+        # -- plumbing -----------------------------------------------------------
+
+        def log_message(self, fmt: str, *args) -> None:  # noqa: D102
+            if not quiet:
+                super().log_message(fmt, *args)
+
+        def _json(
+            self, status: int, payload: dict, headers: dict | None = None
+        ) -> None:
+            body = json.dumps(payload, default=str).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for key, value in (headers or {}).items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _body(self) -> dict:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length == 0:
+                return {}
+            try:
+                parsed = json.loads(self.rfile.read(length))
+            except json.JSONDecodeError as exc:
+                raise ReproError(f"request body is not valid JSON: {exc}") from None
+            if not isinstance(parsed, dict):
+                raise ReproError("request body must be a JSON object")
+            return parsed
+
+        def _fail(self, exc: Exception) -> None:
+            if isinstance(exc, (UnknownTableError, UnknownSessionError)):
+                status = 404
+            elif isinstance(exc, SessionClosedError):
+                status = 409
+            elif isinstance(exc, TenantBudgetError):
+                status = 429
+            elif isinstance(exc, (ReproError, KeyError, TypeError, ValueError)):
+                status = 400
+            else:  # pragma: no cover - defensive
+                status = 500
+            payload = {"error": type(exc).__name__, "message": str(exc)}
+            headers = None
+            if isinstance(exc, TenantBudgetError):
+                payload["retry_after"] = exc.retry_after
+                if exc.retry_after is not None:
+                    headers = {"Retry-After": str(max(1, int(exc.retry_after + 1)))}
+            self._json(status, payload, headers)
+
+        def _session_rule(self, session_id: str, body: dict) -> Rule:
+            session = self.tier.session(session_id)
+            return rule_from_wire(body.get("rule"), len(session.root.rule))
+
+        # -- verbs --------------------------------------------------------------
+
+        def do_GET(self) -> None:  # noqa: N802
+            try:
+                if self.path == "/healthz":
+                    return self._json(200, {"ok": True})
+                if self.path == "/stats":
+                    return self._json(200, self.tier.stats())
+                if self.path == "/tables":
+                    return self._json(200, {"tables": list(self.tier.tables())})
+                match = _SESSION_PATH.match(self.path)
+                if match and match.group(2) == "render":
+                    return self._json(200, {"text": self.tier.render(match.group(1))})
+                if match and match.group(2) is None:
+                    root = self.tier.tree(match.group(1))
+                    return self._json(200, {"tree": node_to_wire(root, deep=True)})
+                return self._json(404, {"error": "NotFound", "message": self.path})
+            except Exception as exc:
+                self._fail(exc)
+
+        def do_POST(self) -> None:  # noqa: N802
+            try:
+                body = self._body()
+                if self.path == "/tables":
+                    name = body.get("name")
+                    if not name:
+                        raise ReproError('table registration needs a "name"')
+                    table = self.tier.register_table(name, _table_from_body(body))
+                    return self._json(
+                        201,
+                        {"name": name, "rows": table.n_rows,
+                         "columns": list(table.column_names)},
+                    )
+                if self.path == "/sessions":
+                    session_id = self.tier.create_session(
+                        body["table"],
+                        tenant=body.get("tenant", "default"),
+                        wf=body.get("wf", "size"),
+                        k=int(body.get("k", 3)),
+                        mw=float(body.get("mw", 5.0)),
+                        measure=body.get("measure"),
+                    )
+                    session = self.tier.session(session_id)
+                    return self._json(
+                        201,
+                        {
+                            "session_id": session_id,
+                            "table": body["table"],
+                            "columns": list(session.column_names),
+                            "root": node_to_wire(session.root),
+                        },
+                    )
+                match = _SESSION_PATH.match(self.path)
+                if match and match.group(2) in ("expand", "expand_star", "collapse"):
+                    session_id, op = match.group(1), match.group(2)
+                    rule = self._session_rule(session_id, body)
+                    if op == "expand":
+                        children = self.tier.expand(
+                            session_id, rule, k=body.get("k")
+                        )
+                    elif op == "expand_star":
+                        children = self.tier.expand_star(
+                            session_id, rule, body["column"], k=body.get("k")
+                        )
+                    else:
+                        self.tier.collapse(session_id, rule)
+                        return self._json(200, {"collapsed": rule_to_wire(rule)})
+                    return self._json(
+                        200, {"children": [node_to_wire(c) for c in children]}
+                    )
+                return self._json(404, {"error": "NotFound", "message": self.path})
+            except Exception as exc:
+                self._fail(exc)
+
+        def do_DELETE(self) -> None:  # noqa: N802
+            try:
+                match = _SESSION_PATH.match(self.path)
+                if match and match.group(2) is None:
+                    closed = self.tier.close_session(match.group(1))
+                    return self._json(200, {"closed": closed})
+                return self._json(404, {"error": "NotFound", "message": self.path})
+            except Exception as exc:
+                self._fail(exc)
+
+    return Handler
+
+
+def serve(
+    server: DrillDownServer,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """Bind the HTTP front end; the caller drives ``serve_forever()``.
+
+    ``port=0`` binds an ephemeral port (tests); read it back from
+    ``httpd.server_address``.  Shutting down the HTTP layer does *not*
+    close the tier — call ``server.close()`` separately.
+    """
+    httpd = ThreadingHTTPServer((host, port), make_handler(server, quiet=quiet))
+    httpd.daemon_threads = True
+    return httpd
+
+
+def main(argv: list[str] | None = None) -> None:
+    """``python -m repro.serving.http``: stand up a serving tier."""
+    parser = argparse.ArgumentParser(description="smart drill-down serving tier")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="counting-pool workers (default: serial)")
+    parser.add_argument("--max-sessions", type=int, default=64)
+    parser.add_argument("--ttl", type=float, default=900.0,
+                        help="idle session TTL in seconds (default 900)")
+    parser.add_argument("--budget", type=float, default=None,
+                        help="per-tenant token budget in source rows (default: unmetered)")
+    parser.add_argument("--refill", type=float, default=0.0,
+                        help="budget tokens refilled per second")
+    parser.add_argument("--verbose", action="store_true", help="log requests")
+    args = parser.parse_args(argv)
+
+    tier = DrillDownServer(
+        n_workers=args.workers,
+        max_sessions=args.max_sessions,
+        ttl_seconds=args.ttl,
+        tenant_budget=args.budget,
+        refill_per_second=args.refill,
+    )
+    httpd = serve(tier, host=args.host, port=args.port, quiet=not args.verbose)
+    host, port = httpd.server_address[:2]
+    print(f"serving smart drill-down on http://{host}:{port} "
+          f"(workers={args.workers or 1}, ttl={args.ttl}s)")
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        httpd.shutdown()
+        tier.close()
+
+
+if __name__ == "__main__":
+    main()

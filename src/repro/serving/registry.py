@@ -1,0 +1,210 @@
+"""The session registry: per-tenant session lifecycle with TTL + LRU.
+
+A long-running drill-down service accumulates sessions faster than
+clients close them — browsers navigate away, notebooks die, load
+balancers retry.  The :class:`SessionRegistry` bounds that:
+
+* **TTL expiry** — a session idle longer than ``ttl_seconds`` (no
+  lookup, no expansion) is closed and forgotten; the next request for
+  its id raises :class:`~repro.errors.UnknownSessionError`, telling
+  the client to recreate it.  Expiry is piggy-backed on every registry
+  operation (no reaper thread) and can be forced with
+  :meth:`evict_expired`.
+* **LRU capacity eviction** — ``max_sessions`` caps live sessions;
+  admitting one more closes the least-recently-used first.
+
+Eviction calls :meth:`DrillDownSession.close`, which is idempotent and
+safe while an expansion is in flight (see
+:mod:`repro.session.session`); a closed tenant mid-expand gets its
+result back, and the *next* call raises
+:class:`~repro.errors.SessionClosedError` / ``UnknownSessionError``.
+Closing a session never touches the catalog's shared pool or its
+exports — sessions only borrow them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ServingError, UnknownSessionError
+from repro.session.session import DrillDownSession
+
+__all__ = ["SessionEntry", "SessionRegistry"]
+
+
+@dataclass
+class SessionEntry:
+    """One registered session with its tenancy and recency metadata."""
+
+    session_id: str
+    tenant: str
+    session: DrillDownSession
+    created_at: float
+    last_used: float
+    expansions: int = 0
+    #: Serialises operations on this session (sessions are not
+    #: re-entrant; the HTTP front end is threaded).
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class SessionRegistry:
+    """Create/lookup/expire :class:`DrillDownSession`s per tenant.
+
+    Parameters
+    ----------
+    max_sessions:
+        Live-session cap; ``None`` is unbounded.  Admission beyond the
+        cap closes the least-recently-used session.
+    ttl_seconds:
+        Idle lifetime; ``None`` disables expiry.
+    clock:
+        Injectable monotonic clock for deterministic TTL tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_sessions: int | None = None,
+        ttl_seconds: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_sessions is not None and max_sessions < 1:
+            raise ServingError("max_sessions must be at least 1")
+        self.max_sessions = max_sessions
+        self.ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[str, SessionEntry]" = OrderedDict()
+        self._ids = itertools.count(1)
+        self.ttl_evictions = 0
+        self.lru_evictions = 0
+
+    # -- admission ---------------------------------------------------------------
+
+    def add(self, session: DrillDownSession, *, tenant: str = "default") -> SessionEntry:
+        """Register ``session``; may LRU-evict to make room.
+
+        Returns the entry carrying the generated ``session_id``.
+        """
+        now = self._clock()
+        with self._lock:
+            self._expire_locked(now)
+            while self.max_sessions is not None and len(self._entries) >= self.max_sessions:
+                _, victim = self._entries.popitem(last=False)
+                self.lru_evictions += 1
+                victim.session.close()
+            entry = SessionEntry(
+                session_id=f"sess-{next(self._ids):06d}",
+                tenant=tenant,
+                session=session,
+                created_at=now,
+                last_used=now,
+            )
+            self._entries[entry.session_id] = entry
+            return entry
+
+    # -- lookup ------------------------------------------------------------------
+
+    def entry(self, session_id: str) -> SessionEntry:
+        """The live entry for ``session_id``, touched for LRU/TTL.
+
+        Raises :class:`~repro.errors.UnknownSessionError` for ids that
+        never existed, were closed, or have expired/been evicted.
+        """
+        now = self._clock()
+        with self._lock:
+            self._expire_locked(now)
+            entry = self._entries.get(session_id)
+            if entry is None:
+                raise UnknownSessionError(
+                    f"no live session {session_id!r} (unknown, closed, expired, "
+                    "or evicted — create a new session)"
+                )
+            entry.last_used = now
+            self._entries.move_to_end(session_id)
+            return entry
+
+    def get(self, session_id: str) -> DrillDownSession:
+        """The live session for ``session_id`` (see :meth:`entry`)."""
+        return self.entry(session_id).session
+
+    def session_ids(self, *, tenant: str | None = None) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(
+                sid
+                for sid, entry in self._entries.items()
+                if tenant is None or entry.tenant == tenant
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, session_id: object) -> bool:
+        with self._lock:
+            return session_id in self._entries
+
+    # -- expiry / eviction -------------------------------------------------------
+
+    def _expire_locked(self, now: float) -> list[str]:
+        if self.ttl_seconds is None:
+            return []
+        expired = [
+            sid
+            for sid, entry in self._entries.items()
+            if now - entry.last_used > self.ttl_seconds
+        ]
+        for sid in expired:
+            entry = self._entries.pop(sid)
+            self.ttl_evictions += 1
+            entry.session.close()
+        return expired
+
+    def evict_expired(self) -> list[str]:
+        """Close every TTL-expired session now; returns the evicted ids."""
+        with self._lock:
+            return self._expire_locked(self._clock())
+
+    def close(self, session_id: str) -> bool:
+        """Close and forget one session; ``False`` if it was not live."""
+        with self._lock:
+            entry = self._entries.pop(session_id, None)
+        if entry is None:
+            return False
+        entry.session.close()
+        return True
+
+    def close_all(self) -> None:
+        """Close every live session (service shutdown)."""
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+        for entry in entries:
+            entry.session.close()
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            tenants: dict[str, int] = {}
+            for entry in self._entries.values():
+                tenants[entry.tenant] = tenants.get(entry.tenant, 0) + 1
+            return {
+                "sessions": len(self._entries),
+                "per_tenant": tenants,
+                "ttl_evictions": self.ttl_evictions,
+                "lru_evictions": self.lru_evictions,
+                "max_sessions": self.max_sessions,
+                "ttl_seconds": self.ttl_seconds,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionRegistry(sessions={len(self._entries)}, "
+            f"max={self.max_sessions}, ttl={self.ttl_seconds})"
+        )

@@ -1,0 +1,352 @@
+"""The multi-tenant serving facade: one object, the whole tier.
+
+:class:`DrillDownServer` composes the serving subsystem —
+
+* a :class:`~repro.serving.TableCatalog` (tables registered once,
+  exported once, one shared :class:`~repro.core.parallel.CountingPool`),
+* a :class:`~repro.serving.SessionRegistry` (TTL + LRU session
+  lifecycle per tenant),
+* a :class:`~repro.serving.ContextStore` (cross-session reuse of
+  identical candidate lattices, copy-on-first-expand),
+* a :class:`~repro.serving.FairScheduler` (per-tenant token budgets,
+  round-robin batch dispatch on the pool) —
+
+behind a programmatic API mirroring the single-user
+:class:`~repro.session.DrillDownSession` (expand / expand_star /
+collapse / render), addressed by session id.  The stdlib HTTP front
+end (:mod:`repro.serving.http`) is a thin JSON shim over exactly this
+facade, so anything reachable over the wire is reachable — and tested —
+in process.
+
+Results are identical to standalone sessions: the catalog, store, and
+scheduler only change *where bytes live* and *when work runs*, never
+which rules win (pinned by ``tests/serving/test_server.py``).
+
+Weight functions are resolved through a per-server registry
+(``"size"``, ``"bits"``, ``"size_minus_one"``), so every tenant asking
+for the same weighting shares one instance — the identity the
+:class:`ContextStore` keys on.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from typing import Callable
+
+from repro.core.parallel import CountingPool
+from repro.core.rule import Rule
+from repro.core.weights import BitsWeight, SizeMinusOneWeight, SizeWeight, WeightFunction
+from repro.errors import ServingError
+from repro.serving.catalog import TableCatalog
+from repro.serving.contexts import ContextStore
+from repro.serving.registry import SessionRegistry
+from repro.serving.scheduler import FairScheduler
+from repro.session.session import DrillDownSession, SessionNode
+from repro.table.table import Table
+
+__all__ = ["DrillDownServer", "WEIGHT_FUNCTIONS"]
+
+#: Weight functions creatable by name over the wire.  Factories take
+#: the served table — Bits weighting derives per-column bit counts
+#: from the table's dictionary sizes (§2.2).
+WEIGHT_FUNCTIONS: dict[str, Callable[[Table], WeightFunction]] = {
+    "size": lambda table: SizeWeight(),
+    "bits": BitsWeight.for_table,
+    "size_minus_one": lambda table: SizeMinusOneWeight(),
+}
+
+
+class DrillDownServer:
+    """A multi-tenant smart drill-down service in one process.
+
+    Parameters
+    ----------
+    pool, n_workers:
+        The shared counting pool, forwarded to
+        :class:`~repro.serving.TableCatalog` (an explicit ``pool`` is
+        borrowed; ``n_workers >= 2`` builds a catalog-owned one;
+        default serves serially).
+    max_sessions, ttl_seconds:
+        Session-registry knobs (LRU capacity, idle expiry).
+    tenant_budget, refill_per_second:
+        Default per-tenant token budget, denominated in *source rows
+        per expansion*; ``None`` never throttles.  Override per tenant
+        via ``server.scheduler.set_budget``.
+    share_contexts:
+        ``True`` (default) shares contexts through a server-owned
+        :class:`ContextStore`, bounded by ``max_context_prototypes``;
+        a :class:`ContextStore` instance is used as-is (bring your own
+        cap); ``False`` gives every session private contexts only (the
+        benchmark's ablation knob).
+    max_context_prototypes:
+        LRU cap on the server-owned context store; ``None`` is
+        unbounded (the store is still bounded per table and dropped on
+        ``unregister_table``).
+    clock:
+        Injectable monotonic clock shared by the registry and
+        scheduler (tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        pool: CountingPool | None = None,
+        n_workers: int | None = None,
+        max_sessions: int | None = 64,
+        ttl_seconds: float | None = None,
+        tenant_budget: float | None = None,
+        refill_per_second: float = 0.0,
+        share_contexts: bool | ContextStore = True,
+        max_context_prototypes: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.catalog = TableCatalog(pool=pool, n_workers=n_workers)
+        self.registry = SessionRegistry(
+            max_sessions=max_sessions, ttl_seconds=ttl_seconds, clock=clock
+        )
+        if isinstance(share_contexts, ContextStore):
+            self.contexts: ContextStore | None = share_contexts
+        elif share_contexts:
+            self.contexts = ContextStore(max_prototypes=max_context_prototypes)
+        else:
+            self.contexts = None
+        self.scheduler = FairScheduler(
+            default_budget=tenant_budget,
+            default_refill_per_second=refill_per_second,
+            clock=clock,
+        )
+        if self.catalog.pool is not None:
+            self.catalog.pool.scheduler = self.scheduler
+        self._weights: dict[tuple[str, int], tuple[Table, WeightFunction]] = {}
+        self._weights_lock = threading.Lock()
+        self._closed = False
+        self.started_at = time.time()
+
+    # -- tables ------------------------------------------------------------------
+
+    def register_table(self, name: str, table: Table) -> Table:
+        """Register (and export, once) a table for every tenant to mine."""
+        return self.catalog.register(name, table)
+
+    def unregister_table(self, name: str) -> None:
+        """Forget a table; drop its context prototypes and weight cache."""
+        try:
+            table = self.catalog.get(name)
+        except ServingError:
+            return
+        self.catalog.unregister(name)
+        if self.contexts is not None:
+            self.contexts.drop_table(table)
+        with self._weights_lock:
+            for key in [k for k, (held, _wf) in self._weights.items() if held is table]:
+                del self._weights[key]
+
+    def tables(self) -> tuple[str, ...]:
+        return self.catalog.names()
+
+    # -- weight registry ---------------------------------------------------------
+
+    def weight(self, spec: str | WeightFunction, table: Table) -> WeightFunction:
+        """Resolve a weighting name to this server's shared instance.
+
+        Sharing instances is load-bearing: the
+        :class:`~repro.serving.ContextStore` keys weight functions by
+        identity, so ``"size"`` must mean the *same* ``SizeWeight``
+        object for every tenant on a table.  Instances are cached per
+        ``(name, table)`` — Bits weighting is genuinely table-derived,
+        and the context store never shares across tables anyway.  A
+        :class:`WeightFunction` instance passes through unchanged
+        (shared only if the caller reuses it).
+        """
+        if isinstance(spec, WeightFunction):
+            return spec
+        try:
+            factory = WEIGHT_FUNCTIONS[spec]
+        except KeyError:
+            raise ServingError(
+                f"unknown weight function {spec!r}; one of {sorted(WEIGHT_FUNCTIONS)}"
+            ) from None
+        key = (spec, id(table))
+        with self._weights_lock:
+            # The entry keeps a strong reference to its table: id() keys
+            # alone could be silently recycled by a new table allocated
+            # at a dead table's address.  Entries are purged by
+            # :meth:`unregister_table`.
+            entry = self._weights.get(key)
+            if entry is None or entry[0] is not table:
+                entry = self._weights[key] = (table, factory(table))
+            return entry[1]
+
+    # -- sessions ----------------------------------------------------------------
+
+    def create_session(
+        self,
+        table: str,
+        *,
+        tenant: str = "default",
+        wf: str | WeightFunction = "size",
+        k: int = 3,
+        mw: float = 5.0,
+        measure: str | None = None,
+    ) -> str:
+        """Open a drill-down session for ``tenant`` over a catalog table.
+
+        The session borrows the catalog's pool (one export serves every
+        tenant) and, when enabled, the shared context store.  Returns
+        the session id clients address every later call with.
+        """
+        if self._closed:
+            raise ServingError("server is closed")
+        source = self.catalog.get(table)
+        session = DrillDownSession(
+            source,
+            wf=self.weight(wf, source),
+            k=k,
+            mw=mw,
+            measure=measure,
+            pool=self.catalog.pool,
+            context_store=self.contexts,
+            tenant=tenant,
+        )
+        return self.registry.add(session, tenant=tenant).session_id
+
+    def session(self, session_id: str) -> DrillDownSession:
+        """The live session for ``session_id`` (touches TTL/LRU)."""
+        return self.registry.get(session_id)
+
+    def close_session(self, session_id: str) -> bool:
+        return self.registry.close(session_id)
+
+    # -- operations --------------------------------------------------------------
+
+    def _run_expansion(self, session_id: str, operation) -> list[SessionNode]:
+        """Meter and serialise one expansion on one session.
+
+        One expansion costs its source's row count in tokens — an upper
+        bound on the rows one counting pass scans, charged *before* any
+        work runs so throttling can never hang mid-search.  An
+        expansion rejected before doing table work (rule not displayed,
+        session closed underneath us, ...) refunds the charge — failed
+        requests must not burn a tenant's budget.
+        """
+        entry = self.registry.entry(session_id)
+        cost = float(entry.session.source_rows)
+        self.scheduler.charge(entry.tenant, cost)
+        try:
+            with entry.lock:
+                children = operation(entry.session)
+        except Exception:
+            self.scheduler.refund(entry.tenant, cost)
+            raise
+        entry.expansions += 1
+        return children
+
+    def expand(
+        self, session_id: str, rule: Rule | None = None, *, k: int | None = None
+    ) -> list[SessionNode]:
+        """Smart drill-down on ``rule`` (default: the root) for one tenant."""
+        return self._run_expansion(
+            session_id,
+            lambda session: session.expand(
+                rule if rule is not None else session.root.rule, k=k
+            ),
+        )
+
+    def expand_star(
+        self,
+        session_id: str,
+        rule: Rule,
+        column: int | str,
+        *,
+        k: int | None = None,
+    ) -> list[SessionNode]:
+        """Star drill-down on a ``?`` cell for one tenant."""
+        return self._run_expansion(
+            session_id, lambda session: session.expand_star(rule, column, k=k)
+        )
+
+    def expand_traditional(
+        self,
+        session_id: str,
+        rule: Rule,
+        column: int | str,
+        *,
+        k: int | None = None,
+    ) -> list[SessionNode]:
+        """Classic OLAP drill-down for one tenant (metered like the others)."""
+        return self._run_expansion(
+            session_id, lambda session: session.expand_traditional(rule, column, k=k)
+        )
+
+    def collapse(self, session_id: str, rule: Rule) -> None:
+        """Roll-up: free (no token charge) — it touches no table data."""
+        entry = self.registry.entry(session_id)
+        with entry.lock:
+            entry.session.collapse(rule)
+
+    def displayed(self, session_id: str) -> list[SessionNode]:
+        entry = self.registry.entry(session_id)
+        with entry.lock:
+            return entry.session.displayed()
+
+    def tree(self, session_id: str) -> SessionNode:
+        """A consistent deep snapshot of the session's displayed tree.
+
+        Taken under the per-session lock and deep-copied, so a reader
+        polling the tree while another of the tenant's requests is
+        mid-expand can never observe (or retain) a half-attached
+        subtree.  The HTTP front end serialises this snapshot.
+        """
+        entry = self.registry.entry(session_id)
+        with entry.lock:
+            return copy.deepcopy(entry.session.root)
+
+    def render(self, session_id: str, *, sort_display_by_count: bool = False) -> str:
+        """The session's displayed tree as the paper's dotted table."""
+        entry = self.registry.entry(session_id)
+        with entry.lock:
+            return entry.session.to_text(sort_display_by_count=sort_display_by_count)
+
+    # -- introspection / lifecycle -----------------------------------------------
+
+    def stats(self) -> dict:
+        pool = self.catalog.pool
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "tables": list(self.tables()),
+            "registry": self.registry.stats(),
+            "scheduler": self.scheduler.stats(),
+            "contexts": None if self.contexts is None else self.contexts.stats(),
+            "pool": None
+            if pool is None
+            else {
+                "n_workers": pool.n_workers,
+                "usable": pool.usable,
+                "exports": pool.export_count(),
+            },
+        }
+
+    def close(self) -> None:
+        """Shut the tier down: every session, then the catalog (and its
+        pool + exports, when catalog-owned).  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.registry.close_all()
+        if self.contexts is not None:
+            self.contexts.clear()
+        self.catalog.close()
+
+    def __enter__(self) -> "DrillDownServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DrillDownServer(tables={len(self.catalog)}, "
+            f"sessions={len(self.registry)}, closed={self._closed})"
+        )

@@ -21,26 +21,56 @@ retained ones to reclaim memory.
 
 Sessions built with ``n_workers >= 2`` (or a shared ``pool=``) mine
 their expansions through the shared-memory parallel counting backend
-(:mod:`repro.core.parallel`); :meth:`DrillDownSession.close` — or the
-session's context-manager exit — releases the pool's workers and
-shared-memory exports.
+(:mod:`repro.core.parallel`).
+
+**Ownership and lifecycle.**  Who closes what:
+
+* A session built with ``n_workers >= 2`` *owns* its
+  :class:`~repro.core.parallel.CountingPool` and releases the workers
+  and shared-memory exports in :meth:`DrillDownSession.close` (or the
+  context-manager exit).  A pool passed in via ``pool=`` — the
+  multi-tenant pattern, where a
+  :class:`~repro.serving.TableCatalog` owns one pool for every
+  tenant — is only borrowed and is never closed by the session.
+* Search contexts retained by the session (``_search_contexts``) are
+  session-owned and dropped on close.  When a ``context_store=`` is
+  supplied (the serving tier's
+  :class:`~repro.serving.ContextStore`), the session additionally
+  *leases* clones of contexts published by other sessions with an
+  identical drill-down configuration and publishes its own freshly
+  built ones back; leased clones are still private to this session —
+  the store only ever hands out copies, so sessions cannot corrupt
+  each other.
+* :meth:`close` is idempotent and safe to call from another thread —
+  e.g. a registry evicting this session — while an expansion is in
+  flight: the in-flight operation completes (an owned pool's release
+  is deferred until it drains), and every *later* mutating call
+  raises :class:`~repro.errors.SessionClosedError`.  ``on_close=``
+  registers a callback fired exactly once on the first close, which
+  the serving registry uses for eviction bookkeeping.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.core.drilldown import rule_drilldown, star_drilldown, traditional_drilldown
+from repro.core.drilldown import (
+    drilldown_tag,
+    rule_drilldown,
+    star_drilldown,
+    traditional_drilldown,
+)
 from repro.core.parallel import CountingPool
 from repro.core.rule import Rule
 from repro.core.scoring import ScoredRule
 from repro.core.search_cache import SearchContext
 from repro.core.weights import SizeWeight, WeightFunction
-from repro.errors import SessionError
+from repro.errors import SessionClosedError, SessionError
 from repro.sampling.handler import SampleHandler
 from repro.storage.disk import DiskTable
 from repro.table.table import Table
@@ -111,6 +141,22 @@ class DrillDownSession:
         (e.g. one pool serving many sessions — the multi-tenant
         pattern).  Overrides ``n_workers``; a shared pool is *not*
         closed by :meth:`close`.
+    context_store:
+        Optional cross-session :class:`~repro.serving.ContextStore`.
+        In-memory sessions then lease cached candidate lattices built
+        by other sessions with an identical (table, weighting, ``mw``,
+        measure) configuration — skipping the full-table first-pick
+        passes — and publish their own fresh contexts back.  Leases
+        are private clones; results are identical with or without a
+        store.
+    tenant:
+        Opaque tenant label forwarded to the counting backend so a
+        shared pool's :class:`~repro.serving.FairScheduler` (when
+        installed) can round-robin dispatch across tenants.
+    on_close:
+        Callback invoked exactly once, with this session, when the
+        session transitions to closed (explicit :meth:`close`, context
+        exit, or registry eviction).
     """
 
     def __init__(
@@ -128,12 +174,22 @@ class DrillDownSession:
         prefetch: bool = True,
         n_workers: int | None = None,
         pool: CountingPool | None = None,
+        context_store: Any = None,
+        tenant: Any = None,
+        on_close: Callable[["DrillDownSession"], None] | None = None,
     ):
         self.wf = wf or SizeWeight()
         self.k = k
         self.mw = mw
         self.measure = measure
         self.prefetch_enabled = prefetch
+        self.tenant = tenant
+        self._context_store = context_store
+        self._on_close = on_close
+        self._closed = False
+        self._state_lock = threading.Lock()
+        self._inflight = 0
+        self._deferred_pool: CountingPool | None = None
         if pool is not None:
             self._pool: CountingPool | None = pool
             self._owns_pool = False
@@ -207,7 +263,72 @@ class DrillDownSession:
         """Displayed nodes with no children (drill-down candidates)."""
         return [n for n in self.displayed() if not n.children]
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (mutating calls now raise)."""
+        return self._closed
+
+    @property
+    def source_rows(self) -> int:
+        """Rows in the session's source (table or simulated disk).
+
+        The serving tier's :class:`~repro.serving.FairScheduler` uses
+        this as the token cost of one expansion.
+        """
+        if self._table is not None:
+            return self._table.n_rows
+        assert self._disk is not None
+        return self._disk.n_rows
+
     # -- expansion machinery ------------------------------------------------------
+
+    def _begin_op(self) -> None:
+        """Enter a mutating operation; reject it on a closed session."""
+        with self._state_lock:
+            if self._closed:
+                raise SessionClosedError("session is closed")
+            self._inflight += 1
+
+    def _end_op(self) -> None:
+        """Leave a mutating operation; run any close deferred behind it."""
+        release = None
+        with self._state_lock:
+            self._inflight -= 1
+            if self._closed and self._inflight == 0 and self._deferred_pool is not None:
+                release = self._deferred_pool
+                self._deferred_pool = None
+        if release is not None:
+            release.close()
+
+    def _lease_context(self, cache_key: tuple, tag: tuple) -> "SearchContext | None":
+        """A context for this expansion: session-owned first, then a store lease."""
+        context = self._search_contexts.get(cache_key)
+        if context is None and self._context_store is not None and self.handler is None:
+            context = self._context_store.lease(
+                self._table, tag, pool=self._pool, tenant=self.tenant
+            )
+        return context
+
+    def _retain_context(self, cache_key: tuple, tag: tuple, context: "SearchContext | None") -> None:
+        """Keep a fresh context for re-expansion and share it via the store."""
+        if context is None or self.handler is not None:
+            return
+        self._search_contexts[cache_key] = context
+        if self._context_store is not None:
+            self._context_store.publish(self._table, tag, context)
+
+    def _expandable_node(self, rule: Rule) -> SessionNode:
+        """The displayed, not-yet-expanded node for ``rule``.
+
+        Validated *before* any table work runs: an already-expanded (or
+        undisplayed) rule must fail here, not after a full mining pass —
+        the serving tier refunds a rejected expansion's budget charge on
+        the promise that rejection costs nothing.
+        """
+        node = self.node(rule)
+        if node.children:
+            raise SessionError(f"rule {rule} is already expanded; collapse it first")
+        return node
 
     def _acquire(self, rule: Rule) -> tuple[Table, float, str, int]:
         """Table to mine for ``rule``: a sample (scaled) or the full data."""
@@ -276,77 +397,103 @@ class DrillDownSession:
 
     def expand(self, rule: Rule, *, k: int | None = None) -> list[SessionNode]:
         """Smart drill-down on ``rule`` (click on a rule, §2.3)."""
-        node = self.node(rule)
-        k = k or self.k
-        io_before = self._disk.io_stats.simulated_seconds if self._disk else 0.0
-        start = time.perf_counter()
-        mined, scale, method, sample_size = self._acquire(rule)
-        cache_key = ("rule", rule, None)
-        result = rule_drilldown(
-            mined, rule, self.wf, k, self.mw, measure=self.measure,
-            context=self._search_contexts.get(cache_key), pool=self._pool,
-        )
-        if result.context is not None and self.handler is None:
-            self._search_contexts[cache_key] = result.context
-        children = self._attach(node, result.rule_list.entries, scale, "rule")
-        wall = time.perf_counter() - start
-        self._record(rule, "rule", k, wall, method, sample_size, scale, io_before)
-        self._prefetch(node)
-        return children
+        self._begin_op()
+        try:
+            node = self._expandable_node(rule)
+            k = k or self.k
+            io_before = self._disk.io_stats.simulated_seconds if self._disk else 0.0
+            start = time.perf_counter()
+            mined, scale, method, sample_size = self._acquire(rule)
+            cache_key = ("rule", rule, None)
+            tag = drilldown_tag(
+                "rule", rule, None, measure=self.measure, wf=self.wf, mw=self.mw
+            )
+            result = rule_drilldown(
+                mined, rule, self.wf, k, self.mw, measure=self.measure,
+                context=self._lease_context(cache_key, tag), pool=self._pool,
+                tenant=self.tenant,
+            )
+            self._retain_context(cache_key, tag, result.context)
+            children = self._attach(node, result.rule_list.entries, scale, "rule")
+            wall = time.perf_counter() - start
+            self._record(rule, "rule", k, wall, method, sample_size, scale, io_before)
+            self._prefetch(node)
+            return children
+        finally:
+            self._end_op()
 
     def expand_star(
         self, rule: Rule, column: int | str, *, k: int | None = None
     ) -> list[SessionNode]:
         """Smart drill-down on a ``?`` cell of ``rule`` (§2.3)."""
-        node = self.node(rule)
-        k = k or self.k
-        io_before = self._disk.io_stats.simulated_seconds if self._disk else 0.0
-        start = time.perf_counter()
-        mined, scale, method, sample_size = self._acquire(rule)
-        cache_key = ("star", rule, column)
-        result = star_drilldown(
-            mined, rule, column, self.wf, k, self.mw, measure=self.measure,
-            context=self._search_contexts.get(cache_key), pool=self._pool,
-        )
-        if result.context is not None and self.handler is None:
-            self._search_contexts[cache_key] = result.context
-        children = self._attach(node, result.rule_list.entries, scale, "star")
-        wall = time.perf_counter() - start
-        self._record(rule, "star", k, wall, method, sample_size, scale, io_before)
-        self._prefetch(node)
-        return children
+        self._begin_op()
+        try:
+            node = self._expandable_node(rule)
+            k = k or self.k
+            io_before = self._disk.io_stats.simulated_seconds if self._disk else 0.0
+            start = time.perf_counter()
+            mined, scale, method, sample_size = self._acquire(rule)
+            resolved_column = (
+                mined.schema.index_of(column) if isinstance(column, str) else column
+            )
+            cache_key = ("star", rule, resolved_column)
+            tag = drilldown_tag(
+                "star", rule, resolved_column,
+                measure=self.measure, wf=self.wf, mw=self.mw,
+            )
+            result = star_drilldown(
+                mined, rule, resolved_column, self.wf, k, self.mw, measure=self.measure,
+                context=self._lease_context(cache_key, tag), pool=self._pool,
+                tenant=self.tenant,
+            )
+            self._retain_context(cache_key, tag, result.context)
+            children = self._attach(node, result.rule_list.entries, scale, "star")
+            wall = time.perf_counter() - start
+            self._record(rule, "star", k, wall, method, sample_size, scale, io_before)
+            self._prefetch(node)
+            return children
+        finally:
+            self._end_op()
 
     def expand_traditional(
         self, rule: Rule, column: int | str, *, k: int | None = None
     ) -> list[SessionNode]:
         """Classic OLAP drill-down on one column (Figure 4)."""
-        node = self.node(rule)
-        io_before = self._disk.io_stats.simulated_seconds if self._disk else 0.0
-        start = time.perf_counter()
-        mined, scale, method, sample_size = self._acquire(rule)
-        result = traditional_drilldown(mined, rule, column, measure=self.measure, k=k)
-        children = self._attach(node, result.rule_list.entries, scale, "traditional")
-        wall = time.perf_counter() - start
-        self._record(
-            rule, "traditional", k or len(children), wall, method, sample_size, scale, io_before
-        )
-        self._prefetch(node)
-        return children
+        self._begin_op()
+        try:
+            node = self._expandable_node(rule)
+            io_before = self._disk.io_stats.simulated_seconds if self._disk else 0.0
+            start = time.perf_counter()
+            mined, scale, method, sample_size = self._acquire(rule)
+            result = traditional_drilldown(mined, rule, column, measure=self.measure, k=k)
+            children = self._attach(node, result.rule_list.entries, scale, "traditional")
+            wall = time.perf_counter() - start
+            self._record(
+                rule, "traditional", k or len(children), wall, method, sample_size, scale, io_before
+            )
+            self._prefetch(node)
+            return children
+        finally:
+            self._end_op()
 
     def collapse(self, rule: Rule) -> None:
         """Undo an expansion — the paper's roll-up equivalent (§2.3)."""
-        node = self.node(rule)
-        if not node.children:
-            raise SessionError(f"rule {rule} is not expanded")
+        self._begin_op()
+        try:
+            node = self.node(rule)
+            if not node.children:
+                raise SessionError(f"rule {rule} is not expanded")
 
-        def forget(n: SessionNode) -> None:
-            for child in n.children:
-                forget(child)
-                self._nodes.pop(child.rule, None)
-            n.children = []
+            def forget(n: SessionNode) -> None:
+                for child in n.children:
+                    forget(child)
+                    self._nodes.pop(child.rule, None)
+                n.children = []
 
-        forget(node)
-        node.expanded_via = None
+            forget(node)
+            node.expanded_via = None
+        finally:
+            self._end_op()
 
     def clear_search_cache(self) -> None:
         """Drop all retained incremental-search contexts.
@@ -363,17 +510,40 @@ class DrillDownSession:
         return self._pool
 
     def close(self) -> None:
-        """Release session resources: search contexts and, if this
-        session created its own :class:`~repro.core.parallel.CountingPool`
-        (the ``n_workers`` constructor knob), the pool's workers and
+        """Close the session: idempotent, thread-safe, eviction-safe.
+
+        Releases the retained search contexts and — if this session
+        created its own :class:`~repro.core.parallel.CountingPool` (the
+        ``n_workers`` constructor knob) — the pool's workers and
         shared-memory table exports.  A pool passed in via ``pool=`` is
-        shared and left running.  The session remains usable afterwards
-        (expansions simply run serially).
+        shared (typically catalog-owned) and left running, exports
+        intact, for the sessions still using it.
+
+        Safe to call any number of times and from any thread, including
+        a registry evicting this session while an expansion is in
+        flight on another thread: the in-flight operation completes
+        (an owned pool's release is deferred until it drains), the
+        ``on_close`` callback fires exactly once, and every subsequent
+        mutating call raises
+        :class:`~repro.errors.SessionClosedError`.  Read-only accessors
+        (:meth:`displayed`, :meth:`to_text`, ...) keep working on the
+        last displayed tree.
         """
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+            release = pool if (pool is not None and self._owns_pool) else None
+            if release is not None and self._inflight > 0:
+                self._deferred_pool = release  # drained by _end_op
+                release = None
         self.clear_search_cache()
-        if self._pool is not None and self._owns_pool:
-            self._pool.close()
-        self._pool = None
+        if release is not None:
+            release.close()
+        if self._on_close is not None:
+            callback, self._on_close = self._on_close, None
+            callback(self)
 
     def __enter__(self) -> "DrillDownSession":
         return self
@@ -389,6 +559,13 @@ class DrillDownSession:
         counts are recomputed directly.  Returns the per-rule deltas
         applied, so callers can surface "count corrected" feedback.
         """
+        self._begin_op()
+        try:
+            return self._refresh_exact_counts()
+        finally:
+            self._end_op()
+
+    def _refresh_exact_counts(self) -> dict[Rule, float]:
         nodes = [n for n in self.displayed() if not n.rule.is_trivial]
         deltas: dict[Rule, float] = {}
         if self.handler is not None:

@@ -1,0 +1,34 @@
+"""Shared fixtures for the serving-tier suite.
+
+``lite_pool`` is the workhorse: a real :class:`CountingPool` whose
+thresholds force *exports without worker dispatch* — shared-memory
+segments are created (so export lifecycle is genuinely exercised) but
+every counting task stays local, keeping the suite fast and
+deterministic on single-core CI boxes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parallel import CountingPool
+from repro.core.parallel import _shared_memory as shared_memory
+from repro.serving import DrillDownServer
+
+
+@pytest.fixture
+def lite_pool():
+    """A pool that exports tables but never ships tasks to workers."""
+    if shared_memory is None:  # pragma: no cover - exotic builds
+        pytest.skip("no shared_memory support")
+    pool = CountingPool(2, min_table_rows=1, min_task_rows=10**9)
+    yield pool
+    pool.close()
+
+
+@pytest.fixture
+def server(retail):
+    """A serving tier over the retail table, serial counting."""
+    with DrillDownServer() as tier:
+        tier.register_table("retail", retail)
+        yield tier

@@ -1,0 +1,81 @@
+"""TableCatalog: register once, export once, owned-pool lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServingError, UnknownTableError
+from repro.serving import TableCatalog
+
+
+class TestRegistration:
+    def test_register_and_get(self, retail):
+        catalog = TableCatalog()
+        assert catalog.register("retail", retail) is retail
+        assert catalog.get("retail") is retail
+        assert "retail" in catalog and catalog.names() == ("retail",)
+
+    def test_register_same_object_idempotent(self, retail):
+        catalog = TableCatalog()
+        catalog.register("retail", retail)
+        assert catalog.register("retail", retail) is retail
+        assert len(catalog) == 1
+
+    def test_register_different_table_rejected(self, retail, tiny_table):
+        catalog = TableCatalog()
+        catalog.register("retail", retail)
+        with pytest.raises(ServingError, match="immutable"):
+            catalog.register("retail", tiny_table)
+
+    def test_empty_name_rejected(self, retail):
+        with pytest.raises(ServingError):
+            TableCatalog().register("", retail)
+
+    def test_unknown_table(self):
+        with pytest.raises(UnknownTableError):
+            TableCatalog().get("nope")
+
+    def test_unregister(self, retail):
+        catalog = TableCatalog()
+        catalog.register("retail", retail)
+        catalog.unregister("retail")
+        assert "retail" not in catalog
+        catalog.unregister("retail")  # idempotent
+
+
+class TestExportOnce:
+    def test_register_exports_eagerly_and_once(self, retail, lite_pool):
+        catalog = TableCatalog(pool=lite_pool)
+        catalog.register("retail", retail)
+        assert lite_pool.export_count() == 1
+        # A second registration (another name, same table) adds nothing.
+        catalog.register("retail2", retail)
+        assert lite_pool.export_count() == 1
+        # Backends created later reuse the registration-time export.
+        a = lite_pool.backend_for(retail)
+        b = lite_pool.backend_for(retail)
+        assert a.export is b.export
+
+    def test_borrowed_pool_survives_catalog_close(self, retail, lite_pool):
+        catalog = TableCatalog(pool=lite_pool)
+        catalog.register("retail", retail)
+        catalog.close()
+        assert not lite_pool.closed
+        catalog.close()  # idempotent
+
+    def test_owned_pool_closed_with_catalog(self):
+        catalog = TableCatalog(n_workers=2)
+        pool = catalog.pool
+        assert pool is not None and not pool.closed
+        catalog.close()
+        assert pool.closed and catalog.pool is None
+
+    def test_serial_catalog_has_no_pool(self):
+        assert TableCatalog().pool is None
+        assert TableCatalog(n_workers=1).pool is None
+
+    def test_closed_catalog_rejects_registration(self, retail):
+        catalog = TableCatalog()
+        catalog.close()
+        with pytest.raises(ServingError):
+            catalog.register("retail", retail)

@@ -1,0 +1,159 @@
+"""The stdlib HTTP front end, driven exactly like the SERVING.md walkthrough."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serving import DrillDownServer
+from repro.serving.http import rule_from_wire, rule_to_wire, serve
+from repro.core.rule import STAR, Rule
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def http_tier(retail):
+    """A live threaded HTTP server on an ephemeral port."""
+    tier = DrillDownServer(tenant_budget=20_000)
+    tier.register_table("retail", retail)
+    httpd = serve(tier, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    yield f"http://{host}:{port}", tier
+    httpd.shutdown()
+    tier.close()
+
+
+def call(base: str, method: str, path: str, body: dict | None = None):
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestWireFormat:
+    def test_rule_roundtrip(self):
+        rule = Rule(["Walmart", STAR, "CA-1"])
+        assert rule_to_wire(rule) == ["Walmart", None, "CA-1"]
+        assert rule_from_wire(["Walmart", None, "CA-1"], 3) == rule
+
+    def test_bad_wire_rule(self):
+        with pytest.raises(ReproError):
+            rule_from_wire(["Walmart"], 3)
+        with pytest.raises(ReproError):
+            rule_from_wire("Walmart", 1)
+
+
+class TestEndpoints:
+    def test_health_stats_tables(self, http_tier):
+        base, _ = http_tier
+        assert call(base, "GET", "/healthz") == (200, {"ok": True})
+        status, stats = call(base, "GET", "/stats")
+        assert status == 200 and stats["tables"] == ["retail"]
+        assert call(base, "GET", "/tables")[1] == {"tables": ["retail"]}
+
+    def test_register_inline_table(self, http_tier):
+        base, _ = http_tier
+        status, body = call(base, "POST", "/tables", {
+            "name": "mini",
+            "columns": ["A", "B"],
+            "rows": [["a", "x"], ["a", "y"], ["b", "x"]],
+        })
+        assert status == 201 and body == {"name": "mini", "rows": 3, "columns": ["A", "B"]}
+
+    def test_register_needs_name_and_payload(self, http_tier):
+        base, _ = http_tier
+        assert call(base, "POST", "/tables", {"dataset": "retail"})[0] == 400
+        assert call(base, "POST", "/tables", {"name": "x"})[0] == 400
+        assert call(base, "POST", "/tables", {"name": "x", "dataset": "nope"})[0] == 400
+
+    def test_walkthrough(self, http_tier):
+        """The SERVING.md curl sequence, end to end."""
+        base, tier = http_tier
+        status, created = call(base, "POST", "/sessions",
+                               {"table": "retail", "tenant": "alice", "k": 3, "mw": 3.0})
+        assert status == 201
+        sid = created["session_id"]
+        assert created["columns"] == ["Store", "Product", "Region", "Sales"]
+        assert created["root"]["count"] == 6000
+
+        status, expanded = call(base, "POST", f"/sessions/{sid}/expand",
+                                {"rule": [None, None, None, None]})
+        assert status == 200
+        rules = [c["rule"] for c in expanded["children"]]
+        assert ["Walmart", None, None, None] in rules  # the paper's Table 2
+
+        status, level2 = call(base, "POST", f"/sessions/{sid}/expand",
+                              {"rule": ["Walmart", None, None, None]})
+        assert status == 200
+        assert ["Walmart", "cookies", None, None] in [
+            c["rule"] for c in level2["children"]
+        ]  # Table 3
+
+        status, tree = call(base, "GET", f"/sessions/{sid}")
+        assert status == 200 and len(tree["tree"]["children"]) == 3
+
+        status, rendered = call(base, "GET", f"/sessions/{sid}/render")
+        assert status == 200 and "Walmart" in rendered["text"]
+
+        status, collapsed = call(base, "POST", f"/sessions/{sid}/collapse",
+                                 {"rule": ["Walmart", None, None, None]})
+        assert status == 200
+
+        assert call(base, "DELETE", f"/sessions/{sid}") == (200, {"closed": True})
+        assert call(base, "POST", f"/sessions/{sid}/expand",
+                    {"rule": [None, None, None, None]})[0] == 404
+
+    def test_star_expansion(self, http_tier):
+        base, _ = http_tier
+        sid = call(base, "POST", "/sessions", {"table": "retail", "mw": 3.0})[1]["session_id"]
+        status, body = call(base, "POST", f"/sessions/{sid}/expand_star",
+                            {"rule": [None, None, None, None], "column": "Region"})
+        assert status == 200
+        assert all(c["rule"][2] is not None for c in body["children"])
+
+    def test_budget_throttles_with_429(self, http_tier):
+        base, _ = http_tier
+        sid = call(base, "POST", "/sessions",
+                   {"table": "retail", "tenant": "greedy"})[1]["session_id"]
+        statuses = []
+        for _ in range(4):  # 4 x 6000 rows > the 20k budget
+            status, body = call(base, "POST", f"/sessions/{sid}/expand",
+                                {"rule": [None, None, None, None]})
+            statuses.append(status)
+            if status == 200:
+                call(base, "POST", f"/sessions/{sid}/collapse",
+                     {"rule": [None, None, None, None]})
+        assert statuses.count(200) == 3
+        assert statuses[-1] == 429
+        status, error = call(base, "POST", f"/sessions/{sid}/expand",
+                             {"rule": [None, None, None, None]})
+        assert status == 429 and error["error"] == "TenantBudgetError"
+
+    def test_error_mapping(self, http_tier):
+        base, _ = http_tier
+        # Unknown session -> 404.
+        assert call(base, "GET", "/sessions/sess-424242")[0] == 404
+        # Unknown table -> 404.
+        assert call(base, "POST", "/sessions", {"table": "nope"})[0] == 404
+        # Malformed rule -> 400.
+        sid = call(base, "POST", "/sessions", {"table": "retail"})[1]["session_id"]
+        assert call(base, "POST", f"/sessions/{sid}/expand", {"rule": ["x"]})[0] == 400
+        # Unknown path -> 404; non-JSON body -> 400.
+        assert call(base, "GET", "/nope")[0] == 404
+        request = urllib.request.Request(
+            base + "/sessions", data=b"not json", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=30)
+        assert info.value.code == 400

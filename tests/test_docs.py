@@ -6,10 +6,19 @@ fails the run on the first broken one.  External URLs and pure anchors
 are out of scope (no network in CI); links into code are checked as
 paths, so renaming a module or test suite without updating the docs
 fails here.
+
+Code rots too: every ```` ```python ```` fence in the same documents
+must at least *parse* (``ast.parse``), so an API rename that breaks a
+documented snippet's syntax — or a snippet pasted with shell prompts —
+fails the run.  Semantics are covered separately where it matters most
+(``test_readme_quickstart_runs`` executes the README quickstart;
+``tests/serving/test_http.py`` drives the SERVING.md walkthrough's
+endpoints).
 """
 
 from __future__ import annotations
 
+import ast
 import re
 from pathlib import Path
 
@@ -22,6 +31,9 @@ DOC_GLOBS = ["README.md", "docs/*.md"]
 
 #: ``[text](target)`` — good enough for the plain markdown used here.
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Fenced code blocks tagged as python.
+_PYTHON_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
 
 def _doc_files() -> list[Path]:
@@ -42,7 +54,12 @@ def _relative_links(doc: Path) -> list[str]:
 
 def test_expected_docs_exist():
     """The documentation surface this repo promises is present."""
-    for name in ("README.md", "docs/ARCHITECTURE.md", "docs/EXPERIMENTS.md"):
+    for name in (
+        "README.md",
+        "docs/ARCHITECTURE.md",
+        "docs/EXPERIMENTS.md",
+        "docs/SERVING.md",
+    ):
         assert (REPO_ROOT / name).is_file(), f"missing documentation file: {name}"
     assert _doc_files(), "doc globs matched nothing — check DOC_GLOBS"
 
@@ -59,6 +76,34 @@ def test_relative_links_resolve(doc: Path):
         if not resolved.exists():
             broken.append(link)
     assert not broken, f"dead relative links in {doc.name}: {broken}"
+
+
+@pytest.mark.parametrize("doc", _doc_files(), ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_python_snippets_parse(doc: Path):
+    """Every ```python fence is syntactically valid Python."""
+    broken = []
+    for i, snippet in enumerate(_PYTHON_FENCE.findall(doc.read_text())):
+        try:
+            ast.parse(snippet)
+        except SyntaxError as exc:
+            broken.append(f"fence #{i + 1}: {exc}")
+    assert not broken, f"unparseable python snippets in {doc.name}: {broken}"
+
+
+def test_serving_walkthrough_documented():
+    """SERVING.md keeps the parts the serving tests drive: the HTTP
+    endpoints and the budget/eviction knobs."""
+    text = (REPO_ROOT / "docs" / "SERVING.md").read_text()
+    for needle in (
+        "repro.serving.http",
+        "/sessions",
+        "/tables",
+        "expand_star",
+        "tenant_budget",
+        "ttl_seconds",
+        "TenantBudgetError",
+    ):
+        assert needle in text, f"SERVING.md no longer documents {needle!r}"
 
 
 def test_readme_quickstart_runs():
