@@ -1,0 +1,169 @@
+"""Session durability smoke: checkpoint + warm-restart latency vs tree size.
+
+A durable serving tier pays two new costs: writing a session's
+snapshot (the reaper's periodic dirty sweep and the shutdown
+checkpoint) and restoring it on warm restart (decode + tree replay +
+registry admission — *no re-mining*; that is the point).  Both should
+scale with the displayed tree, not the table: the snapshot stores the
+rule tree **U** and the expansion history, never rows or candidate
+lattices.  This benchmark grows one session's tree through 1, 2, 4,
+and 8 expansions over a census table and records, per size:
+
+* ``checkpoint_seconds`` — one forced :meth:`DrillDownServer.checkpoint`
+  (snapshot under the entry lock + atomic file replace);
+* ``snapshot_bytes`` — the on-disk size of the JSON-lines snapshot;
+* ``restart_seconds`` — constructing a fresh ``DrillDownServer`` over
+  the same ``persist_dir`` and re-registering the table, which admits
+  the restored session.
+
+Asserted (structurally — latencies are machine-dependent, recorded
+only): every restored session's rendered tree is bit-identical to the
+pre-restart render, every restart restores exactly one session, and
+snapshots grow with the displayed node count.
+
+A JSON perf record is written next to this file
+(``BENCH_persistence.json``).  Run via pytest
+(``pytest benchmarks/bench_persistence.py -m smoke``) or directly::
+
+    PYTHONPATH=src python benchmarks/bench_persistence.py [--smoke]
+
+``--smoke`` shrinks the census table (8k rows instead of 20k).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import generate_census
+from repro.serving import DrillDownServer
+
+RECORD_PATH = Path(__file__).resolve().parent / "BENCH_persistence.json"
+CENSUS_ROWS = 20_000
+SMOKE_ROWS = 8_000
+N_COLUMNS = 6
+K = 4
+MW = 5.0
+TREE_EXPANSIONS = (1, 2, 4, 8)
+
+
+def _grow_tree(server: DrillDownServer, sid: str, n_expansions: int) -> int:
+    """Expand breadth-first until ``n_expansions`` drill-downs ran."""
+    children = server.expand(sid)
+    frontier = [c.rule for c in children]
+    done = 1
+    while done < n_expansions and frontier:
+        rule = frontier.pop(0)
+        frontier.extend(c.rule for c in server.expand(sid, rule))
+        done += 1
+    return done
+
+
+def run_benchmark(rows: int) -> dict:
+    table = generate_census(rows, n_columns=N_COLUMNS)
+    scenarios = []
+    for n_expansions in TREE_EXPANSIONS:
+        with tempfile.TemporaryDirectory(prefix="bench-persist-") as persist_dir:
+            server = DrillDownServer(persist_dir=persist_dir)
+            server.register_table("census", table)
+            sid = server.create_session("census", tenant="bench", k=K, mw=MW)
+            ran = _grow_tree(server, sid, n_expansions)
+            displayed_nodes = len(server.session(sid).displayed())
+            text_before = server.render(sid)
+
+            start = time.perf_counter()
+            assert server.checkpoint(sid)
+            checkpoint_seconds = time.perf_counter() - start
+            snapshot_bytes = (Path(persist_dir) / f"{sid}.jsonl").stat().st_size
+            server.close()  # clean sessions: shutdown re-checkpoints nothing
+
+            start = time.perf_counter()
+            revived = DrillDownServer(persist_dir=persist_dir)
+            revived.register_table("census", table)
+            restart_seconds = time.perf_counter() - start
+            restored = revived.restored
+            identical = revived.render(sid) == text_before
+            revived.close()
+
+        scenarios.append(
+            {
+                "expansions": ran,
+                "displayed_nodes": displayed_nodes,
+                "checkpoint_seconds": round(checkpoint_seconds, 6),
+                "snapshot_bytes": snapshot_bytes,
+                "restart_seconds": round(restart_seconds, 6),
+                "restored_sessions": restored,
+                "identical_render": identical,
+            }
+        )
+    return {
+        "workload": {
+            "dataset": "census",
+            "rows": rows,
+            "columns": N_COLUMNS,
+            "k": K,
+            "mw": MW,
+            "weighting": "size",
+        },
+        "cpu_count": os.cpu_count() or 1,
+        "scenarios": scenarios,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def write_record(record: dict) -> None:
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+
+def check_record(record: dict) -> None:
+    scenarios = record["scenarios"]
+    for scenario in scenarios:
+        assert scenario["identical_render"], (
+            f"restored render diverged at {scenario['expansions']} expansions"
+        )
+        assert scenario["restored_sessions"] == 1
+        assert scenario["snapshot_bytes"] > 0
+    by_nodes = sorted(scenarios, key=lambda s: s["displayed_nodes"])
+    assert by_nodes[0]["snapshot_bytes"] <= by_nodes[-1]["snapshot_bytes"], (
+        "snapshot size should grow with the displayed tree"
+    )
+
+
+@pytest.mark.smoke
+def test_persistence_latency():
+    """Smoke: checkpoint/warm-restart round trips are bit-identical at
+    every tree size, and the record is written."""
+    record = run_benchmark(SMOKE_ROWS)
+    write_record(record)
+    print()
+    for scenario in record["scenarios"]:
+        print(
+            f"BX persistence: {scenario['displayed_nodes']:3d} nodes: "
+            f"checkpoint {scenario['checkpoint_seconds']*1000:.1f} ms, "
+            f"{scenario['snapshot_bytes']} B, "
+            f"restart {scenario['restart_seconds']*1000:.1f} ms"
+        )
+    check_record(record)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="smaller table (fast CI smoke run)"
+    )
+    args = parser.parse_args()
+    record = run_benchmark(SMOKE_ROWS if args.smoke else CENSUS_ROWS)
+    write_record(record)
+    print(json.dumps(record, indent=2))
+    check_record(record)
+    print(f"\nperf record written to {RECORD_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,15 +16,25 @@ multiplexes *tenants* on top of it:
   copy-on-first-expand;
 * :class:`FairScheduler` — per-tenant token budgets and round-robin
   dispatch on the pool's task queue;
+* :class:`SnapshotStore` + :class:`ReaperThread`
+  (:mod:`repro.serving.persistence`) — durable session trees
+  (versioned JSON-lines snapshots, atomic writes, warm restart) and
+  background TTL expiry/checkpointing independent of request traffic;
 * :class:`DrillDownServer` — the facade composing all of the above,
   with a stdlib HTTP front end in :mod:`repro.serving.http`.
 
-See docs/SERVING.md for topology, tenancy semantics, budget knobs, and
-a curl walkthrough.
+See docs/SERVING.md for topology, tenancy semantics, budget knobs,
+durability, and a curl walkthrough.
 """
 
 from repro.serving.catalog import TableCatalog
 from repro.serving.contexts import ContextStore
+from repro.serving.persistence import (
+    SNAPSHOT_VERSION,
+    ReaperThread,
+    SessionSnapshot,
+    SnapshotStore,
+)
 from repro.serving.registry import SessionEntry, SessionRegistry
 from repro.serving.scheduler import FairScheduler, TenantBudget
 from repro.serving.server import WEIGHT_FUNCTIONS, DrillDownServer
@@ -33,8 +43,12 @@ __all__ = [
     "ContextStore",
     "DrillDownServer",
     "FairScheduler",
+    "ReaperThread",
     "SessionEntry",
     "SessionRegistry",
+    "SessionSnapshot",
+    "SnapshotStore",
+    "SNAPSHOT_VERSION",
     "TableCatalog",
     "TenantBudget",
     "WEIGHT_FUNCTIONS",

@@ -41,7 +41,13 @@ Run it::
 
     PYTHONPATH=src python -m repro.serving.http --port 8080 --workers 2
 
-and walk through docs/SERVING.md with curl.
+and walk through docs/SERVING.md with curl.  Add
+``--persist-dir <dir>`` for durable sessions: trees are checkpointed
+in the background (``--checkpoint-interval``), idle sessions are
+expired by the background reaper (``--reaper-interval``) instead of on
+request traffic, shutdown checkpoints everything dirty, and a restart
+over the same directory restores every session under its original id
+(``/stats`` reports the ``persistence`` counters).
 """
 
 from __future__ import annotations
@@ -327,6 +333,15 @@ def main(argv: list[str] | None = None) -> None:
                         help="per-tenant token budget in source rows (default: unmetered)")
     parser.add_argument("--refill", type=float, default=0.0,
                         help="budget tokens refilled per second")
+    parser.add_argument("--persist-dir", default=None,
+                        help="directory for durable session snapshots "
+                             "(default: memory-only; sessions die with the process)")
+    parser.add_argument("--checkpoint-interval", type=float, default=30.0,
+                        help="seconds between dirty-session checkpoint sweeps "
+                             "(with --persist-dir; default 30)")
+    parser.add_argument("--reaper-interval", type=float, default=30.0,
+                        help="background TTL-reaper period in seconds; "
+                             "0 disables the thread (default 30)")
     parser.add_argument("--verbose", action="store_true", help="log requests")
     args = parser.parse_args(argv)
 
@@ -336,18 +351,27 @@ def main(argv: list[str] | None = None) -> None:
         ttl_seconds=args.ttl,
         tenant_budget=args.budget,
         refill_per_second=args.refill,
+        persist_dir=args.persist_dir,
+        checkpoint_interval=args.checkpoint_interval,
+        reaper_interval=args.reaper_interval or None,
     )
     httpd = serve(tier, host=args.host, port=args.port, quiet=not args.verbose)
     host, port = httpd.server_address[:2]
+    durability = f", persist={args.persist_dir}" if args.persist_dir else ""
     print(f"serving smart drill-down on http://{host}:{port} "
-          f"(workers={args.workers or 1}, ttl={args.ttl}s)")
+          f"(workers={args.workers or 1}, ttl={args.ttl}s{durability})")
     try:
         httpd.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         httpd.shutdown()
+        # Graceful: tier.close() stops the reaper and checkpoints every
+        # dirty session before closing it, so restarting over the same
+        # --persist-dir resumes each tenant's tree exactly here.
         tier.close()
+        if args.persist_dir:
+            print(f"checkpointed sessions to {args.persist_dir}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,517 @@
+"""Session durability: snapshot files, the store, and the reaper.
+
+The paper's smart drill-down is a *stateful* operator — the displayed
+rule tree **U** (§2.3) *is* the user's exploration.  A serving tier
+that loses every tree on restart forces each tenant to re-click (and
+the engine to re-mine) their way back; this module makes the tree
+durable server state instead:
+
+* a **versioned JSON-lines snapshot format** (:data:`SNAPSHOT_VERSION`)
+  carrying the tree, the expansion history, the ``wf``/``k``/``mw``/
+  ``measure`` configuration, the tenant, and recency metadata —
+  deliberately *not* search contexts, which are rebuilt (or re-leased
+  from the :class:`~repro.serving.ContextStore`) on the first expansion
+  after restore, with bit-identical results either way;
+* a :class:`SnapshotStore` — one file per session in a flat directory,
+  written atomically (temp file + ``os.replace``), with corrupt and
+  stale-version files *skipped and counted*, never fatal;
+* a :class:`ReaperThread` — the background loop the ROADMAP queued:
+  TTL expiry enforced on a timer instead of piggy-backing on request
+  traffic, plus periodic checkpointing of dirty sessions.
+
+The subsystem is wired together by
+:class:`~repro.serving.DrillDownServer` (``persist_dir=``,
+``checkpoint_interval=``, ``reaper_interval=``); see docs/SERVING.md
+§Durability for the operator's view.
+
+**Wire format.**  One ``<session-id>.jsonl`` file per session:
+
+.. code-block:: text
+
+    {"record": "meta", "version": 1, "session_id": ..., "table": ...,
+     "tenant": ..., "wf": "size", "k": 3, "mw": 5.0, "measure": null,
+     "columns": [...], "expansions": 2, "idle_seconds": 1.5,
+     "age_seconds": 40.2, "saved_at": <wall clock>}
+    {"record": "expansion", "rule": [...], "kind": "rule", ...}   # 0+
+    {"record": "tree", "root": {"rule": [...], "count": ..., ...}}
+
+The ``tree`` record is written last and doubles as the completeness
+terminator: a torn or truncated file has no tree and is skipped as
+corrupt.  Rule values are tagged arrays (``["*"]`` for the wildcard,
+``["s", "Walmart"]``, ``["i", 3]``, ``["f", 1.5]``, ``["b", true]``,
+``["n"]`` for a literal ``None`` value, ``["iv", lo, hi, closed]`` for
+bucketized :class:`~repro.table.bucketize.Interval`\\ s) so every
+value type a rule can hold round-trips exactly; counts and weights
+round-trip bit-exactly through JSON's ``repr``-based float encoding.
+
+Recency is persisted as *idle seconds* plus a wall-clock ``saved_at``
+(monotonic clocks do not survive a restart): on restore the idle age
+becomes ``idle_seconds`` plus the measured downtime, so a session that
+out-sleeps the TTL across a restart is reaped, not resurrected fresh.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.core.rule import STAR, Rule, Wildcard
+from repro.errors import SnapshotError
+from repro.table.bucketize import Interval
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "ReaperThread",
+    "SessionSnapshot",
+    "SnapshotStore",
+    "decode_rule",
+    "encode_rule",
+]
+
+#: Version stamped into every snapshot's meta record.  Readers skip
+#: (and count) any other version — old snapshots after a format change
+#: are stale data, not a crash.
+SNAPSHOT_VERSION = 1
+
+_SNAPSHOT_SUFFIX = ".jsonl"
+
+#: Session ids become file names; anything outside this alphabet is
+#: refused rather than escaped (ids are registry-generated anyway).
+_SAFE_ID = re.compile(r"[A-Za-z0-9._-]+")
+
+
+# -- value / rule encoding -------------------------------------------------------
+
+
+def _encode_value(value: Any) -> list:
+    """One rule value as a tagged JSON array (see module docstring)."""
+    if isinstance(value, Wildcard):
+        return ["*"]
+    if value is None:
+        return ["n"]
+    if isinstance(value, bool):
+        return ["b", value]
+    if isinstance(value, str):
+        return ["s", value]
+    if isinstance(value, int):
+        return ["i", int(value)]
+    if isinstance(value, float):
+        return ["f", float(value)]
+    if isinstance(value, Interval):
+        return ["iv", value.lo, value.hi, value.closed_right]
+    # Dictionary-encoded columns can surface numpy scalars; map them to
+    # their Python equivalents (equality and hashing agree, so decoded
+    # rules still match the table's values).
+    item = getattr(value, "item", None)
+    if callable(item):
+        return _encode_value(item())
+    raise SnapshotError(
+        f"rule value {value!r} ({type(value).__name__}) is not snapshot-serialisable"
+    )
+
+
+def _decode_value(encoded: Any) -> Any:
+    if not isinstance(encoded, list) or not encoded:
+        raise SnapshotError(f"malformed encoded rule value: {encoded!r}")
+    tag = encoded[0]
+    if tag == "*":
+        return STAR
+    if tag == "n":
+        return None
+    if tag in ("s", "b"):
+        return encoded[1]
+    if tag == "i":
+        return int(encoded[1])
+    if tag == "f":
+        return float(encoded[1])
+    if tag == "iv":
+        return Interval(float(encoded[1]), float(encoded[2]), bool(encoded[3]))
+    raise SnapshotError(f"unknown rule-value tag {tag!r}")
+
+
+def encode_rule(rule: Rule) -> list:
+    """A rule as one tagged JSON array per column."""
+    return [_encode_value(v) for v in rule]
+
+
+def decode_rule(encoded: Any) -> Rule:
+    """Invert :func:`encode_rule`."""
+    if not isinstance(encoded, list):
+        raise SnapshotError(f"malformed encoded rule: {encoded!r}")
+    return Rule([_decode_value(v) for v in encoded])
+
+
+def _encode_node(node_state: dict) -> dict:
+    return {
+        "rule": encode_rule(node_state["rule"]),
+        "count": node_state["count"],
+        "weight": node_state["weight"],
+        "depth": node_state["depth"],
+        "expanded_via": node_state["expanded_via"],
+        "children": [_encode_node(c) for c in node_state["children"]],
+    }
+
+
+def _decode_node(encoded: dict) -> dict:
+    return {
+        "rule": decode_rule(encoded["rule"]),
+        "count": float(encoded["count"]),
+        "weight": float(encoded["weight"]),
+        "depth": int(encoded["depth"]),
+        "expanded_via": encoded.get("expanded_via"),
+        "children": [_decode_node(c) for c in encoded.get("children", ())],
+    }
+
+
+def _encode_record(record_state: dict) -> dict:
+    out = dict(record_state)
+    out["rule"] = encode_rule(record_state["rule"])
+    out["record"] = "expansion"
+    return out
+
+
+def _decode_record(encoded: dict) -> dict:
+    out = {key: value for key, value in encoded.items() if key != "record"}
+    out["rule"] = decode_rule(encoded["rule"])
+    return out
+
+
+# -- the snapshot ----------------------------------------------------------------
+
+
+@dataclass
+class SessionSnapshot:
+    """One session's durable state, ready to write or just read.
+
+    ``state`` is exactly what
+    :meth:`~repro.session.DrillDownSession.snapshot` returned (rules
+    are live :class:`~repro.core.rule.Rule` objects; encoding happens
+    at the file boundary).  The remaining fields are the serving-tier
+    envelope: identity, configuration name, and recency.
+    """
+
+    session_id: str
+    table: str
+    tenant: str
+    wf_spec: str
+    state: dict
+    expansions: int = 0
+    #: Idle/age seconds *at snapshot time*; restore adds measured
+    #: downtime (wall clock) on top.
+    idle_seconds: float = 0.0
+    age_seconds: float = 0.0
+    saved_at: float = field(default_factory=time.time)
+
+
+# -- the store -------------------------------------------------------------------
+
+
+class SnapshotStore:
+    """Directory of per-session snapshot files with atomic replacement.
+
+    Layout: ``<root>/<session-id>.jsonl``, one file per session,
+    written to a temporary sibling and ``os.replace``\\ d into place so
+    a crash mid-checkpoint leaves the previous snapshot intact (never a
+    torn file under the real name).  Loading skips — and counts —
+    undecodable files (``skipped_corrupt``) and version mismatches
+    (``skipped_version``); a bad snapshot can cost one session's
+    restore, never the warm restart.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self.saved = 0
+        self.deleted = 0
+        self.skipped_corrupt = 0
+        self.skipped_version = 0
+
+    # -- paths -------------------------------------------------------------------
+
+    def _path(self, session_id: str) -> Path:
+        if not _SAFE_ID.fullmatch(session_id):
+            raise SnapshotError(f"unsafe session id for a file name: {session_id!r}")
+        return self.root / f"{session_id}{_SNAPSHOT_SUFFIX}"
+
+    def session_ids(self) -> tuple[str, ...]:
+        """Ids with a snapshot on disk (sorted; no decoding)."""
+        return tuple(
+            sorted(p.name[: -len(_SNAPSHOT_SUFFIX)] for p in self.root.glob(f"*{_SNAPSHOT_SUFFIX}"))
+        )
+
+    def __len__(self) -> int:
+        return len(self.session_ids())
+
+    def __contains__(self, session_id: object) -> bool:
+        return isinstance(session_id, str) and session_id in self.session_ids()
+
+    # -- write / delete ----------------------------------------------------------
+
+    def save(self, snapshot: SessionSnapshot) -> Path:
+        """Write ``snapshot`` atomically; returns the final path.
+
+        Raises :class:`~repro.errors.SnapshotError` when the state is
+        not representable (e.g. an exotic rule-value type).
+        """
+        path = self._path(snapshot.session_id)
+        state = snapshot.state
+        meta = {
+            "record": "meta",
+            "version": SNAPSHOT_VERSION,
+            "session_id": snapshot.session_id,
+            "table": snapshot.table,
+            "tenant": snapshot.tenant,
+            "wf": snapshot.wf_spec,
+            "k": state["k"],
+            "mw": state["mw"],
+            "measure": state["measure"],
+            "columns": list(state["columns"]),
+            "expansions": snapshot.expansions,
+            "idle_seconds": snapshot.idle_seconds,
+            "age_seconds": snapshot.age_seconds,
+            "saved_at": snapshot.saved_at,
+        }
+        lines = [json.dumps(meta)]
+        lines.extend(json.dumps(_encode_record(r)) for r in state["history"])
+        lines.append(json.dumps({"record": "tree", "root": _encode_node(state["tree"])}))
+        payload = "\n".join(lines) + "\n"
+        tmp = path.with_name(path.name + f".tmp-{os.getpid()}-{threading.get_ident()}")
+        try:
+            with open(tmp, "w") as handle:
+                handle.write(payload)
+                handle.flush()
+                # The atomicity promise ("a crash leaves the previous
+                # snapshot intact") needs the data on disk *before* the
+                # rename, or power loss can publish an empty file under
+                # the real name.
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                tmp.unlink()  # never leak .tmp files on a failed write
+            except OSError:
+                pass
+            raise
+        try:  # make the rename itself durable (best effort)
+            dir_fd = os.open(self.root, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        with self._lock:
+            self.saved += 1
+        return path
+
+    def delete(self, session_id: str) -> bool:
+        """Remove one session's snapshot (orphan cleanup on close)."""
+        try:
+            path = self._path(session_id)
+        except SnapshotError:
+            return False
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return False
+        with self._lock:
+            self.deleted += 1
+        return True
+
+    # -- read --------------------------------------------------------------------
+
+    def load(self, session_id: str) -> SessionSnapshot:
+        """Decode one snapshot; raises :class:`SnapshotError` on any defect."""
+        return self._decode(self._path(session_id))
+
+    def load_all(self) -> list[SessionSnapshot]:
+        """Every decodable current-version snapshot, least-recent first.
+
+        Undecodable files bump ``skipped_corrupt``; decodable files
+        with a different :data:`SNAPSHOT_VERSION` bump
+        ``skipped_version``.  Neither raises — restart must not be
+        blockable by one bad file.  The least-recent-first order lets
+        the caller admit sessions in faithful LRU order.
+        """
+        snapshots = []
+        for session_id in self.session_ids():
+            try:
+                snapshots.append(self.load(session_id))
+            except _StaleVersion:
+                with self._lock:
+                    self.skipped_version += 1
+            except Exception:
+                with self._lock:
+                    self.skipped_corrupt += 1
+        snapshots.sort(key=lambda s: s.saved_at - s.idle_seconds)
+        return snapshots
+
+    def _decode(self, path: Path) -> SessionSnapshot:
+        lines = [line for line in path.read_text().splitlines() if line.strip()]
+        if not lines:
+            raise SnapshotError(f"empty snapshot file {path.name}")
+        records = [json.loads(line) for line in lines]
+        meta, body = records[0], records[1:]
+        if meta.get("record") != "meta":
+            raise SnapshotError(f"{path.name}: first record is not the meta header")
+        if meta.get("version") != SNAPSHOT_VERSION:
+            raise _StaleVersion(
+                f"{path.name}: snapshot version {meta.get('version')!r}, "
+                f"reader speaks {SNAPSHOT_VERSION}"
+            )
+        if not body or body[-1].get("record") != "tree":
+            raise SnapshotError(f"{path.name}: truncated snapshot (no tree terminator)")
+        history = [_decode_record(r) for r in body[:-1] if r.get("record") == "expansion"]
+        if len(history) != len(body) - 1:
+            raise SnapshotError(f"{path.name}: unrecognised record kind in body")
+        state = {
+            "k": int(meta["k"]),
+            "mw": float(meta["mw"]),
+            "measure": meta["measure"],
+            "tenant": meta["tenant"],
+            "columns": list(meta["columns"]),
+            "tree": _decode_node(body[-1]["root"]),
+            "history": history,
+        }
+        return SessionSnapshot(
+            session_id=str(meta["session_id"]),
+            table=str(meta["table"]),
+            tenant=str(meta["tenant"]),
+            wf_spec=str(meta["wf"]),
+            state=state,
+            expansions=int(meta.get("expansions", 0)),
+            idle_seconds=float(meta.get("idle_seconds", 0.0)),
+            age_seconds=float(meta.get("age_seconds", 0.0)),
+            saved_at=float(meta.get("saved_at", 0.0)),
+        )
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "dir": str(self.root),
+                "snapshots": len(self),
+                "saved": self.saved,
+                "deleted": self.deleted,
+                "skipped_corrupt": self.skipped_corrupt,
+                "skipped_version": self.skipped_version,
+            }
+
+    def __repr__(self) -> str:
+        return f"SnapshotStore({str(self.root)!r}, snapshots={len(self)})"
+
+
+class _StaleVersion(SnapshotError):
+    """Internal: a decodable snapshot written by another format version."""
+
+
+# -- the reaper ------------------------------------------------------------------
+
+
+class ReaperThread(threading.Thread):
+    """Background TTL enforcement + periodic checkpointing.
+
+    Before this thread existed, idle sessions were only expired when
+    some other request happened to touch the registry — an abandoned
+    tier kept every session (and its retained contexts) alive forever.
+    The reaper calls ``reap`` (typically
+    :meth:`SessionRegistry.evict_expired`) every ``interval`` seconds
+    and ``checkpoint`` (typically
+    :meth:`DrillDownServer.checkpoint_all`, a dirty-sessions-only
+    sweep) every ``checkpoint_interval`` seconds, entirely independent
+    of request traffic.
+
+    Both callbacks are exception-isolated: a failing checkpoint (say,
+    a full disk) is counted in :attr:`errors` and the loop keeps
+    running — a reaper that dies silently is worse than no reaper.
+    :meth:`run_once` drives one tick synchronously for deterministic
+    tests; :meth:`stop` shuts the thread down promptly (it is also a
+    daemon, so it never blocks interpreter exit).
+    """
+
+    def __init__(
+        self,
+        *,
+        reap: Callable[[], Any],
+        checkpoint: Callable[[], Any] | None = None,
+        interval: float = 30.0,
+        checkpoint_interval: float | None = None,
+        name: str = "drilldown-reaper",
+    ):
+        super().__init__(name=name, daemon=True)
+        if interval <= 0:
+            raise SnapshotError("reaper interval must be > 0 seconds")
+        self._reap = reap
+        self._checkpoint = checkpoint
+        self.interval = float(interval)
+        self.checkpoint_interval = float(
+            interval if checkpoint_interval is None else checkpoint_interval
+        )
+        if self.checkpoint_interval <= 0:
+            raise SnapshotError("checkpoint interval must be > 0 seconds")
+        self._stop_event = threading.Event()
+        self.ticks = 0
+        self.reaped = 0
+        self.checkpointed = 0
+        self.errors = 0
+
+    def run(self) -> None:  # pragma: no cover - timing loop; run_once is tested
+        # The two duties keep independent due times: a
+        # checkpoint_interval shorter than the reap interval (the
+        # durability-first configuration) must fire at its own cadence,
+        # not once per reap tick.
+        reap_due = time.monotonic() + self.interval
+        checkpoint_due = time.monotonic() + self.checkpoint_interval
+        while True:
+            wait = min(reap_due, checkpoint_due) - time.monotonic()
+            if self._stop_event.wait(max(0.0, wait)):
+                return
+            now = time.monotonic()
+            do_reap = now >= reap_due
+            do_checkpoint = now >= checkpoint_due
+            self.run_once(reap=do_reap, checkpoint=do_checkpoint)
+            if do_reap:
+                reap_due = time.monotonic() + self.interval
+            if do_checkpoint:
+                checkpoint_due = time.monotonic() + self.checkpoint_interval
+
+    def run_once(self, *, reap: bool = True, checkpoint: bool = True) -> None:
+        """One reaper tick, synchronously (the thread's body; also tests)."""
+        self.ticks += 1
+        if reap:
+            try:
+                reaped = self._reap()
+                self.reaped += len(reaped) if reaped is not None else 0
+            except Exception:
+                self.errors += 1
+        if checkpoint and self._checkpoint is not None:
+            try:
+                done = self._checkpoint()
+                self.checkpointed += int(done) if done is not None else 0
+            except Exception:
+                self.errors += 1
+
+    def stop(self, *, timeout: float | None = 5.0) -> None:
+        """Signal the loop to exit and join it (no-op if never started)."""
+        self._stop_event.set()
+        if self.is_alive():
+            self.join(timeout=timeout)
+
+    def stats(self) -> dict:
+        return {
+            "alive": self.is_alive(),
+            "interval": self.interval,
+            "checkpoint_interval": self.checkpoint_interval,
+            "ticks": self.ticks,
+            "reaped": self.reaped,
+            "checkpointed": self.checkpointed,
+            "errors": self.errors,
+        }

@@ -7,9 +7,12 @@ balancers retry.  The :class:`SessionRegistry` bounds that:
 * **TTL expiry** — a session idle longer than ``ttl_seconds`` (no
   lookup, no expansion) is closed and forgotten; the next request for
   its id raises :class:`~repro.errors.UnknownSessionError`, telling
-  the client to recreate it.  Expiry is piggy-backed on every registry
-  operation (no reaper thread) and can be forced with
-  :meth:`evict_expired`.
+  the client to recreate it.  Expiry runs on every registry operation
+  and can be forced with :meth:`evict_expired` — which is what the
+  serving tier's background
+  :class:`~repro.serving.persistence.ReaperThread` calls on its
+  interval, so idle sessions die even when no request ever touches the
+  registry again.
 * **LRU capacity eviction** — ``max_sessions`` caps live sessions;
   admitting one more closes the least-recently-used first.
 
@@ -20,11 +23,27 @@ result back, and the *next* call raises
 :class:`~repro.errors.SessionClosedError` / ``UnknownSessionError``.
 Closing a session never touches the catalog's shared pool or its
 exports — sessions only borrow them.
+
+**Locking discipline.**  Victims are popped from the table under the
+registry ``_lock`` but *closed after it is released* — ``close()`` can
+block (an in-flight expansion defers an owned pool's release) and may
+fire an ``on_close``/:attr:`on_evict` callback that re-enters the
+registry; closing under the lock would stall every tenant's lookup
+behind one eviction and invites deadlock.  :meth:`close` and
+:meth:`close_all` always worked this way; :meth:`add` and TTL expiry
+now do too.
+
+**Durability hooks.**  :class:`SessionEntry` carries the metadata the
+serving tier's snapshot subsystem needs (``table``, ``wf_spec``, a
+``dirty`` flag set on every expansion/collapse), :attr:`on_evict`
+notifies the tier when an entry leaves the registry (so its snapshot
+can be deleted), and :meth:`admit` re-enters a *restored* session
+under its original id, tenant, and recency after a warm restart.
 """
 
 from __future__ import annotations
 
-import itertools
+import re
 import threading
 import time
 from collections import OrderedDict
@@ -35,6 +54,8 @@ from repro.errors import ServingError, UnknownSessionError
 from repro.session.session import DrillDownSession
 
 __all__ = ["SessionEntry", "SessionRegistry"]
+
+_SESSION_ID = re.compile(r"sess-(\d+)")
 
 
 @dataclass
@@ -47,8 +68,25 @@ class SessionEntry:
     created_at: float
     last_used: float
     expansions: int = 0
+    #: Catalog table name the session mines (``None`` outside the
+    #: serving facade); part of a snapshot's identity.
+    table: str | None = None
+    #: Weight-function spec (``"size"``/``"bits"``/...) when the session
+    #: was created by name; ``None`` for bring-your-own instances, which
+    #: cannot be snapshotted (no way to name the weighting on restore).
+    wf_spec: str | None = None
+    #: Set (under :attr:`lock`) whenever an expansion or collapse
+    #: mutates the tree; cleared by a successful checkpoint.
+    dirty: bool = False
+    #: Registry-clock time of the last successful checkpoint (``None``
+    #: = never).  A ``last_used`` beyond it means the snapshot's
+    #: *recency* is stale even when the tree is clean — read-only
+    #: touches (render, lookup) refresh TTL but not ``dirty``, and a
+    #: warm restart must not revive an active session as long-idle.
+    checkpointed_at: float | None = None
     #: Serialises operations on this session (sessions are not
-    #: re-entrant; the HTTP front end is threaded).
+    #: re-entrant; the HTTP front end is threaded).  Also guards the
+    #: ``expansions`` counter and ``dirty`` flag.
     lock: threading.Lock = field(default_factory=threading.Lock)
 
 
@@ -80,33 +118,111 @@ class SessionRegistry:
         self._clock = clock
         self._lock = threading.RLock()
         self._entries: "OrderedDict[str, SessionEntry]" = OrderedDict()
-        self._ids = itertools.count(1)
+        self._next_id = 1
         self.ttl_evictions = 0
         self.lru_evictions = 0
+        #: Fired (outside the registry lock) with ``(entry, reason)``
+        #: after a session leaves the registry through TTL expiry
+        #: (``"ttl"``), LRU eviction (``"lru"``), or an explicit
+        #: :meth:`close` (``"closed"``) — the serving tier's snapshot
+        #: orphan-cleanup hook.  Not fired by :meth:`close_all`
+        #: (shutdown must keep snapshots for the next warm restart).
+        self.on_evict: Callable[[SessionEntry, str], None] | None = None
 
     # -- admission ---------------------------------------------------------------
 
-    def add(self, session: DrillDownSession, *, tenant: str = "default") -> SessionEntry:
+    def add(
+        self,
+        session: DrillDownSession,
+        *,
+        tenant: str = "default",
+        table: str | None = None,
+        wf_spec: str | None = None,
+    ) -> SessionEntry:
         """Register ``session``; may LRU-evict to make room.
 
         Returns the entry carrying the generated ``session_id``.
+        Victims are closed only after the registry lock is released.
         """
         now = self._clock()
         with self._lock:
-            self._expire_locked(now)
-            while self.max_sessions is not None and len(self._entries) >= self.max_sessions:
-                _, victim = self._entries.popitem(last=False)
-                self.lru_evictions += 1
-                victim.session.close()
+            expired = self._pop_expired_locked(now)
+            victims = self._pop_lru_victims_locked()
             entry = SessionEntry(
-                session_id=f"sess-{next(self._ids):06d}",
+                session_id=f"sess-{self._next_id:06d}",
                 tenant=tenant,
                 session=session,
                 created_at=now,
                 last_used=now,
+                table=table,
+                wf_spec=wf_spec,
             )
+            self._next_id += 1
             self._entries[entry.session_id] = entry
-            return entry
+        self._close_evicted(expired, "ttl")
+        self._close_evicted(victims, "lru")
+        return entry
+
+    def admit(
+        self,
+        session: DrillDownSession,
+        *,
+        session_id: str,
+        tenant: str = "default",
+        created_at: float | None = None,
+        last_used: float | None = None,
+        expansions: int = 0,
+        table: str | None = None,
+        wf_spec: str | None = None,
+    ) -> SessionEntry:
+        """Re-enter a *restored* session under its original identity.
+
+        The warm-restart path: the session keeps its pre-restart id,
+        tenant, recency (``last_used``/``created_at``, in this
+        registry's clock domain), and expansion count, so TTL expiry
+        and per-session counters carry across the restart.  The id
+        generator is advanced past ``session_id`` so freshly created
+        sessions can never collide with a restored one.  Admit restored
+        sessions least-recent first to keep the LRU order faithful.
+
+        Raises :class:`~repro.errors.ServingError` if the id is
+        already live.
+        """
+        now = self._clock()
+        with self._lock:
+            if session_id in self._entries:
+                raise ServingError(f"session id {session_id!r} is already live")
+            self._reserve_id_locked(session_id)
+            victims = self._pop_lru_victims_locked()
+            entry = SessionEntry(
+                session_id=session_id,
+                tenant=tenant,
+                session=session,
+                created_at=now if created_at is None else created_at,
+                last_used=now if last_used is None else last_used,
+                expansions=expansions,
+                table=table,
+                wf_spec=wf_spec,
+            )
+            self._entries[session_id] = entry
+        self._close_evicted(victims, "lru")
+        return entry
+
+    def reserve_ids(self, session_ids: "list[str] | tuple[str, ...]") -> None:
+        """Advance the id generator past every ``sess-NNNNNN`` given.
+
+        Called with all on-disk snapshot ids before any new session is
+        created, so ids stay unique even for snapshots whose table is
+        never re-registered (and which are therefore never admitted).
+        """
+        with self._lock:
+            for session_id in session_ids:
+                self._reserve_id_locked(session_id)
+
+    def _reserve_id_locked(self, session_id: str) -> None:
+        match = _SESSION_ID.fullmatch(session_id)
+        if match:
+            self._next_id = max(self._next_id, int(match.group(1)) + 1)
 
     # -- lookup ------------------------------------------------------------------
 
@@ -118,20 +234,32 @@ class SessionRegistry:
         """
         now = self._clock()
         with self._lock:
-            self._expire_locked(now)
+            expired = self._pop_expired_locked(now)
             entry = self._entries.get(session_id)
-            if entry is None:
-                raise UnknownSessionError(
-                    f"no live session {session_id!r} (unknown, closed, expired, "
-                    "or evicted — create a new session)"
-                )
-            entry.last_used = now
-            self._entries.move_to_end(session_id)
-            return entry
+            if entry is not None:
+                entry.last_used = now
+                self._entries.move_to_end(session_id)
+        self._close_evicted(expired, "ttl")
+        if entry is None:
+            raise UnknownSessionError(
+                f"no live session {session_id!r} (unknown, closed, expired, "
+                "or evicted — create a new session)"
+            )
+        return entry
 
     def get(self, session_id: str) -> DrillDownSession:
         """The live session for ``session_id`` (see :meth:`entry`)."""
         return self.entry(session_id).session
+
+    def peek(self, session_id: str) -> SessionEntry | None:
+        """The live entry *without* touching TTL/LRU or expiring anyone.
+
+        Maintenance accessor (checkpointing must not refresh recency —
+        a checkpoint is not the tenant coming back); ``None`` when not
+        live.
+        """
+        with self._lock:
+            return self._entries.get(session_id)
 
     def session_ids(self, *, tenant: str | None = None) -> tuple[str, ...]:
         with self._lock:
@@ -140,6 +268,11 @@ class SessionRegistry:
                 for sid, entry in self._entries.items()
                 if tenant is None or entry.tenant == tenant
             )
+
+    def entries(self) -> tuple[SessionEntry, ...]:
+        """A stable snapshot of the live entries (checkpoint sweeps)."""
+        with self._lock:
+            return tuple(self._entries.values())
 
     def __len__(self) -> int:
         with self._lock:
@@ -151,7 +284,8 @@ class SessionRegistry:
 
     # -- expiry / eviction -------------------------------------------------------
 
-    def _expire_locked(self, now: float) -> list[str]:
+    def _pop_expired_locked(self, now: float) -> list[SessionEntry]:
+        """Remove TTL-expired entries; the caller closes them unlocked."""
         if self.ttl_seconds is None:
             return []
         expired = [
@@ -159,16 +293,40 @@ class SessionRegistry:
             for sid, entry in self._entries.items()
             if now - entry.last_used > self.ttl_seconds
         ]
+        popped = []
         for sid in expired:
-            entry = self._entries.pop(sid)
+            popped.append(self._entries.pop(sid))
             self.ttl_evictions += 1
+        return popped
+
+    def _pop_lru_victims_locked(self) -> list[SessionEntry]:
+        """Remove LRU entries until one more admission fits."""
+        victims = []
+        while self.max_sessions is not None and len(self._entries) >= self.max_sessions:
+            _, victim = self._entries.popitem(last=False)
+            self.lru_evictions += 1
+            victims.append(victim)
+        return victims
+
+    def _close_evicted(self, entries: list[SessionEntry], reason: str) -> None:
+        """Close popped entries and fire :attr:`on_evict` — never under
+        ``_lock``: ``close()`` can block behind an in-flight expansion
+        and callbacks may re-enter the registry."""
+        for entry in entries:
             entry.session.close()
-        return expired
+            if self.on_evict is not None:
+                self.on_evict(entry, reason)
 
     def evict_expired(self) -> list[str]:
-        """Close every TTL-expired session now; returns the evicted ids."""
+        """Close every TTL-expired session now; returns the evicted ids.
+
+        This is the reaper's entry point: called on a timer, it expires
+        idle sessions with zero intervening request traffic.
+        """
         with self._lock:
-            return self._expire_locked(self._clock())
+            expired = self._pop_expired_locked(self._clock())
+        self._close_evicted(expired, "ttl")
+        return [entry.session_id for entry in expired]
 
     def close(self, session_id: str) -> bool:
         """Close and forget one session; ``False`` if it was not live."""
@@ -176,11 +334,16 @@ class SessionRegistry:
             entry = self._entries.pop(session_id, None)
         if entry is None:
             return False
-        entry.session.close()
+        self._close_evicted([entry], "closed")
         return True
 
     def close_all(self) -> None:
-        """Close every live session (service shutdown)."""
+        """Close every live session (service shutdown).
+
+        Does **not** fire :attr:`on_evict` — shutdown is not eviction,
+        and the serving tier relies on that to keep freshly
+        checkpointed snapshots on disk for the next warm restart.
+        """
         with self._lock:
             entries = list(self._entries.values())
             self._entries.clear()
@@ -192,11 +355,17 @@ class SessionRegistry:
     def stats(self) -> dict:
         with self._lock:
             tenants: dict[str, int] = {}
+            expansions = 0
+            dirty = 0
             for entry in self._entries.values():
                 tenants[entry.tenant] = tenants.get(entry.tenant, 0) + 1
+                expansions += entry.expansions
+                dirty += entry.dirty
             return {
                 "sessions": len(self._entries),
                 "per_tenant": tenants,
+                "expansions": expansions,
+                "dirty": dirty,
                 "ttl_evictions": self.ttl_evictions,
                 "lru_evictions": self.lru_evictions,
                 "max_sessions": self.max_sessions,

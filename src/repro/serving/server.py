@@ -9,7 +9,11 @@
 * a :class:`~repro.serving.ContextStore` (cross-session reuse of
   identical candidate lattices, copy-on-first-expand),
 * a :class:`~repro.serving.FairScheduler` (per-tenant token budgets,
-  round-robin batch dispatch on the pool) —
+  round-robin batch dispatch on the pool),
+* optionally a :class:`~repro.serving.persistence.SnapshotStore` +
+  :class:`~repro.serving.persistence.ReaperThread` (``persist_dir=``:
+  durable session trees, warm restart, background TTL expiry and
+  checkpointing) —
 
 behind a programmatic API mirroring the single-user
 :class:`~repro.session.DrillDownSession` (expand / expand_star /
@@ -31,6 +35,7 @@ for the same weighting shares one instance — the identity the
 from __future__ import annotations
 
 import copy
+import os
 import threading
 import time
 from typing import Callable
@@ -38,10 +43,15 @@ from typing import Callable
 from repro.core.parallel import CountingPool
 from repro.core.rule import Rule
 from repro.core.weights import BitsWeight, SizeMinusOneWeight, SizeWeight, WeightFunction
-from repro.errors import ServingError
+from repro.errors import ReproError, ServingError, SnapshotError
 from repro.serving.catalog import TableCatalog
 from repro.serving.contexts import ContextStore
-from repro.serving.registry import SessionRegistry
+from repro.serving.persistence import (
+    ReaperThread,
+    SessionSnapshot,
+    SnapshotStore,
+)
+from repro.serving.registry import SessionEntry, SessionRegistry
 from repro.serving.scheduler import FairScheduler
 from repro.session.session import DrillDownSession, SessionNode
 from repro.table.table import Table
@@ -84,6 +94,25 @@ class DrillDownServer:
         LRU cap on the server-owned context store; ``None`` is
         unbounded (the store is still bounded per table and dropped on
         ``unregister_table``).
+    persist_dir:
+        Directory for durable session snapshots; ``None`` (default)
+        serves memory-only.  With a directory, sessions are
+        checkpointed (dirty-only) by the reaper and on :meth:`close`,
+        and *warm restart* restores them: construct a new server over
+        the same directory, re-register the same tables, and every
+        snapshotted session re-enters the registry under its original
+        id, tenant, and recency — its rendered tree and subsequent
+        expansions bit-identical to a never-restarted session.
+    checkpoint_interval:
+        Seconds between dirty-session checkpoint sweeps (only
+        meaningful with ``persist_dir`` and a running reaper); defaults
+        to ``reaper_interval``.
+    reaper_interval:
+        Period of the background :class:`~repro.serving.persistence.\
+ReaperThread` enforcing TTL expiry (and checkpointing) without
+        piggy-backing on request traffic; ``None`` (default) starts no
+        thread — expiry then runs on registry traffic and via explicit
+        :meth:`reap` / :meth:`checkpoint_all` calls.
     clock:
         Injectable monotonic clock shared by the registry and
         scheduler (tests).
@@ -100,6 +129,9 @@ class DrillDownServer:
         refill_per_second: float = 0.0,
         share_contexts: bool | ContextStore = True,
         max_context_prototypes: int | None = None,
+        persist_dir: str | os.PathLike | None = None,
+        checkpoint_interval: float | None = None,
+        reaper_interval: float | None = None,
         clock: Callable[[], float] = time.monotonic,
     ):
         self.catalog = TableCatalog(pool=pool, n_workers=n_workers)
@@ -121,14 +153,104 @@ class DrillDownServer:
             self.catalog.pool.scheduler = self.scheduler
         self._weights: dict[tuple[str, int], tuple[Table, WeightFunction]] = {}
         self._weights_lock = threading.Lock()
+        self._clock = clock
         self._closed = False
+        # -- durability: store, pending restores, reaper -------------------------
+        self._persist_lock = threading.Lock()
+        self._pending_restore: dict[str, list[SessionSnapshot]] = {}
+        self.restored = 0
+        self.restore_skipped = 0
+        self.checkpoint_errors = 0
+        try:
+            if persist_dir is not None:
+                self.store: SnapshotStore | None = SnapshotStore(persist_dir)
+                # Warm restart: decode every snapshot now (corrupt/stale
+                # files are skipped with a counter inside the store) and
+                # hold them pending until their table is re-registered —
+                # the snapshot stores no rows, only the table's name.
+                for snapshot in self.store.load_all():
+                    self._pending_restore.setdefault(snapshot.table, []).append(snapshot)
+                self.registry.reserve_ids(self.store.session_ids())
+                self.registry.on_evict = self._on_registry_evict
+            else:
+                self.store = None
+            self.reaper: ReaperThread | None = None
+            if reaper_interval is not None:
+                self.reaper = ReaperThread(
+                    reap=self.reap,
+                    checkpoint=None if self.store is None else self.checkpoint_all,
+                    interval=reaper_interval,
+                    checkpoint_interval=checkpoint_interval,
+                )
+                self.reaper.start()
+        except BaseException:
+            # The catalog (and its owned pool: worker processes +
+            # shared-memory exports) is already live; a half-built
+            # server the caller never sees must not leak it.
+            self.catalog.close()
+            raise
         self.started_at = time.time()
 
     # -- tables ------------------------------------------------------------------
 
     def register_table(self, name: str, table: Table) -> Table:
-        """Register (and export, once) a table for every tenant to mine."""
-        return self.catalog.register(name, table)
+        """Register (and export, once) a table for every tenant to mine.
+
+        With ``persist_dir``, this is also the warm-restart trigger:
+        any on-disk session snapshots naming ``name`` are restored over
+        ``table`` now (the snapshot holds the tree, not the rows) and
+        re-enter the registry with their original id, tenant, and
+        recency.  Snapshots that no longer fit — unknown weighting
+        name, mismatched columns, id collision — are skipped and
+        counted, never fatal.
+        """
+        self.catalog.register(name, table)
+        self._restore_pending(name, table)
+        return table
+
+    def _restore_pending(self, name: str, table: Table) -> None:
+        """Admit every pending snapshot taken over catalog table ``name``."""
+        with self._persist_lock:
+            pending = self._pending_restore.pop(name, [])
+        for snapshot in pending:  # already least-recent first (store order)
+            try:
+                wf = self.weight(snapshot.wf_spec, table)
+                session = DrillDownSession.restore(
+                    table,
+                    snapshot.state,
+                    wf=wf,
+                    tenant=snapshot.tenant,
+                    pool=self.catalog.pool,
+                    context_store=self.contexts,
+                )
+            except ReproError:
+                with self._persist_lock:
+                    self.restore_skipped += 1
+                continue
+            # Monotonic clocks do not survive restarts: recency was
+            # persisted as idle/age seconds, and the measured downtime
+            # (wall clock) is added so TTL keeps counting while the
+            # server was down.
+            downtime = max(0.0, time.time() - snapshot.saved_at)
+            now = self._clock()
+            try:
+                self.registry.admit(
+                    session,
+                    session_id=snapshot.session_id,
+                    tenant=snapshot.tenant,
+                    created_at=now - (snapshot.age_seconds + downtime),
+                    last_used=now - (snapshot.idle_seconds + downtime),
+                    expansions=snapshot.expansions,
+                    table=name,
+                    wf_spec=snapshot.wf_spec,
+                )
+            except ServingError:
+                session.close()
+                with self._persist_lock:
+                    self.restore_skipped += 1
+                continue
+            with self._persist_lock:
+                self.restored += 1
 
     def unregister_table(self, name: str) -> None:
         """Forget a table; drop its context prototypes and weight cache."""
@@ -210,7 +332,12 @@ class DrillDownServer:
             context_store=self.contexts,
             tenant=tenant,
         )
-        return self.registry.add(session, tenant=tenant).session_id
+        return self.registry.add(
+            session,
+            tenant=tenant,
+            table=table,
+            wf_spec=wf if isinstance(wf, str) else None,
+        ).session_id
 
     def session(self, session_id: str) -> DrillDownSession:
         """The live session for ``session_id`` (touches TTL/LRU)."""
@@ -227,9 +354,20 @@ class DrillDownServer:
         One expansion costs its source's row count in tokens — an upper
         bound on the rows one counting pass scans, charged *before* any
         work runs so throttling can never hang mid-search.  An
-        expansion rejected before doing table work (rule not displayed,
-        session closed underneath us, ...) refunds the charge — failed
-        requests must not burn a tenant's budget.
+        expansion *rejected before any table work* — rule not displayed
+        or already expanded, invalid ``k``, unknown column, session
+        closed underneath us: every typed
+        :class:`~repro.errors.ReproError` the validation layers raise
+        pre-mining — refunds the charge, so failed requests never burn
+        a tenant's budget.  An *infrastructure* failure mid-mining (a
+        dead worker, a ``MemoryError``: anything non-``ReproError``)
+        keeps the charge: the counting pass the budget meters already
+        scanned rows.
+
+        The per-session ``expansions`` counter and ``dirty`` flag are
+        updated under ``entry.lock`` — the entry is shared across the
+        threaded HTTP front end's request threads, and an unlocked
+        read-modify-write loses updates.
         """
         entry = self.registry.entry(session_id)
         cost = float(entry.session.source_rows)
@@ -237,10 +375,15 @@ class DrillDownServer:
         try:
             with entry.lock:
                 children = operation(entry.session)
-        except Exception:
+                entry.expansions += 1
+                entry.dirty = True
+        except ReproError:
+            # The library's deliberate errors (SessionError, SchemaError
+            # for a bad column, RuleError, ...) are all raised by the
+            # validation layers before counting starts — a rejection,
+            # not half-done mining.
             self.scheduler.refund(entry.tenant, cost)
             raise
-        entry.expansions += 1
         return children
 
     def expand(
@@ -285,6 +428,7 @@ class DrillDownServer:
         entry = self.registry.entry(session_id)
         with entry.lock:
             entry.session.collapse(rule)
+            entry.dirty = True
 
     def displayed(self, session_id: str) -> list[SessionNode]:
         entry = self.registry.entry(session_id)
@@ -309,7 +453,136 @@ class DrillDownServer:
         with entry.lock:
             return entry.session.to_text(sort_display_by_count=sort_display_by_count)
 
+    # -- durability ----------------------------------------------------------------
+
+    def reap(self) -> list[str]:
+        """Expire idle sessions now (the reaper's timer target)."""
+        return self.registry.evict_expired()
+
+    def checkpoint_all(self, *, only_dirty: bool = True) -> int:
+        """Snapshot sessions to the store; returns how many were written.
+
+        ``only_dirty`` (default) skips sessions unchanged since their
+        last checkpoint — the reaper's steady-state sweep.  Sessions
+        that cannot be snapshotted (created with a bring-your-own
+        weight-function instance, so no name to restore by; or holding
+        an unserialisable rule value) are skipped and, on error,
+        counted in ``checkpoint_errors``.
+        """
+        if self.store is None:
+            return 0
+        written = 0
+        for entry in self.registry.entries():
+            if self._checkpoint_entry(entry, only_dirty=only_dirty):
+                written += 1
+        return written
+
+    def checkpoint(self, session_id: str) -> bool:
+        """Snapshot one session now (even if clean); ``False`` if it
+        is not live or not snapshot-able.  Does not touch TTL/LRU —
+        a checkpoint is not the tenant coming back."""
+        if self.store is None:
+            return False
+        entry = self.registry.peek(session_id)
+        if entry is None:
+            return False
+        return self._checkpoint_entry(entry, only_dirty=False)
+
+    def _checkpoint_entry(self, entry: SessionEntry, *, only_dirty: bool) -> bool:
+        assert self.store is not None
+        if entry.wf_spec is None or entry.table is None:
+            return False  # bring-your-own wf instance: not restorable by name
+        now = self._clock()
+        with entry.lock:
+            # "Dirty" for a snapshot means tree *or recency*: read-only
+            # touches (render, lookup) move last_used without setting
+            # the dirty flag, and restoring yesterday's idle_seconds
+            # for a session that was active until shutdown would get it
+            # reaped as stale on the first post-restart sweep.
+            touched = (
+                entry.checkpointed_at is None
+                or entry.last_used > entry.checkpointed_at
+            )
+            if only_dirty and not entry.dirty and not touched:
+                return False
+            # Snapshot under the entry lock (a consistent tree, never
+            # half-attached) and clear the flag optimistically; the
+            # disk write happens outside the lock so one slow fsync
+            # never stalls the session's own requests.
+            state = entry.session.snapshot()
+            expansions = entry.expansions
+            entry.dirty = False
+        snapshot = SessionSnapshot(
+            session_id=entry.session_id,
+            table=entry.table,
+            tenant=entry.tenant,
+            wf_spec=entry.wf_spec,
+            state=state,
+            expansions=expansions,
+            idle_seconds=max(0.0, now - entry.last_used),
+            age_seconds=max(0.0, now - entry.created_at),
+        )
+        try:
+            self.store.save(snapshot)
+        except OSError:
+            # Transient (disk full, permissions flap): retry next sweep.
+            with entry.lock:
+                entry.dirty = True
+            with self._persist_lock:
+                self.checkpoint_errors += 1
+            return False
+        except SnapshotError:
+            # Deterministic (an unserialisable rule value): re-marking
+            # dirty would re-serialise the doomed tree every sweep
+            # forever.  Stamp the attempt so sweeps stay quiet until
+            # the next touch or mutation — which may well remove the
+            # offending node.
+            with entry.lock:
+                entry.checkpointed_at = now
+            with self._persist_lock:
+                self.checkpoint_errors += 1
+            return False
+        # A close/eviction can race the sweep: its on_evict hook may
+        # have deleted the snapshot *before* our save re-created it,
+        # silently resurrecting a dead session on the next restart.
+        # Re-check liveness after the save and undo if the session is
+        # gone (any later eviction's own delete is ordered after this).
+        if self.registry.peek(entry.session_id) is None:
+            self.store.delete(entry.session_id)
+            return False
+        with entry.lock:
+            entry.checkpointed_at = now
+        return True
+
+    def _on_registry_evict(self, entry: SessionEntry, reason: str) -> None:
+        """Orphan cleanup: an evicted/closed session's snapshot goes too.
+
+        Fired for TTL expiry, LRU eviction, and explicit closes — but
+        not by ``close_all`` (shutdown keeps snapshots for the next
+        warm restart; see :meth:`SessionRegistry.close_all`).
+        """
+        if self.store is not None:
+            self.store.delete(entry.session_id)
+
     # -- introspection / lifecycle -----------------------------------------------
+
+    def _persistence_stats(self) -> dict | None:
+        if self.store is None:
+            return None
+        with self._persist_lock:
+            counters = {
+                "restored": self.restored,
+                "restore_skipped": self.restore_skipped,
+                "checkpoint_errors": self.checkpoint_errors,
+                "pending_restore": sum(
+                    len(v) for v in self._pending_restore.values()
+                ),
+            }
+        return {
+            **self.store.stats(),
+            **counters,
+            "reaper": None if self.reaper is None else self.reaper.stats(),
+        }
 
     def stats(self) -> dict:
         pool = self.catalog.pool
@@ -319,6 +592,7 @@ class DrillDownServer:
             "registry": self.registry.stats(),
             "scheduler": self.scheduler.stats(),
             "contexts": None if self.contexts is None else self.contexts.stats(),
+            "persistence": self._persistence_stats(),
             "pool": None
             if pool is None
             else {
@@ -329,11 +603,18 @@ class DrillDownServer:
         }
 
     def close(self) -> None:
-        """Shut the tier down: every session, then the catalog (and its
-        pool + exports, when catalog-owned).  Idempotent."""
+        """Shut the tier down gracefully: stop the reaper, checkpoint
+        every dirty session (so a warm restart over the same
+        ``persist_dir`` resumes exactly here), then close every session
+        and the catalog (and its pool + exports, when catalog-owned).
+        Idempotent."""
         if self._closed:
             return
         self._closed = True
+        if self.reaper is not None:
+            self.reaper.stop()
+        if self.store is not None:
+            self.checkpoint_all(only_dirty=True)
         self.registry.close_all()
         if self.contexts is not None:
             self.contexts.clear()

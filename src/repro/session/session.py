@@ -52,6 +52,7 @@ their expansions through the shared-memory parallel counting backend
 
 from __future__ import annotations
 
+import numbers
 import threading
 import time
 from dataclasses import dataclass, field
@@ -76,6 +77,32 @@ from repro.storage.disk import DiskTable
 from repro.table.table import Table
 
 __all__ = ["ExpansionRecord", "SessionNode", "DrillDownSession"]
+
+
+def _validated_k(k: Any) -> int:
+    """``k`` as a positive int, or :class:`SessionError`.
+
+    ``k=0`` used to fall back to the session default silently (the
+    ``k or self.k`` idiom); an explicit zero/negative/fractional ``k``
+    is a caller bug and must say so (HTTP maps it to 400).  Integral
+    numpy scalars (``np.int64(4)`` from an ``argmax``/count) coerce.
+    """
+    if isinstance(k, bool) or not isinstance(k, numbers.Integral):
+        raise SessionError(f"k must be an integer >= 1, got {k!r}")
+    if k < 1:
+        raise SessionError(f"k must be >= 1, got {k}")
+    return int(k)
+
+
+def _validated_mw(mw: Any) -> float:
+    """``mw`` as a positive float, or :class:`SessionError`."""
+    try:
+        value = float(mw)
+    except (TypeError, ValueError):
+        raise SessionError(f"mw must be a number > 0, got {mw!r}") from None
+    if not value > 0:
+        raise SessionError(f"mw must be > 0, got {mw!r}")
+    return value
 
 
 @dataclass
@@ -106,6 +133,32 @@ class ExpansionRecord:
     sample_method: str  # "find" | "combine" | "create" | "direct"
     sample_size: int
     scale: float
+
+
+def _node_state(node: SessionNode) -> dict:
+    """One displayed node (and its subtree) as replayable plain data."""
+    return {
+        "rule": node.rule,
+        "count": node.count,
+        "weight": node.weight,
+        "depth": node.depth,
+        "expanded_via": node.expanded_via,
+        "children": [_node_state(child) for child in node.children],
+    }
+
+
+def _record_state(record: ExpansionRecord) -> dict:
+    """One history record as a plain dict (rules stay ``Rule`` objects)."""
+    return {
+        "rule": record.rule,
+        "kind": record.kind,
+        "k": record.k,
+        "wall_seconds": record.wall_seconds,
+        "simulated_io_seconds": record.simulated_io_seconds,
+        "sample_method": record.sample_method,
+        "sample_size": record.sample_size,
+        "scale": record.scale,
+    }
 
 
 class DrillDownSession:
@@ -179,8 +232,8 @@ class DrillDownSession:
         on_close: Callable[["DrillDownSession"], None] | None = None,
     ):
         self.wf = wf or SizeWeight()
-        self.k = k
-        self.mw = mw
+        self.k = _validated_k(k)
+        self.mw = _validated_mw(mw)
         self.measure = measure
         self.prefetch_enabled = prefetch
         self.tenant = tenant
@@ -310,10 +363,24 @@ class DrillDownSession:
         return context
 
     def _retain_context(self, cache_key: tuple, tag: tuple, context: "SearchContext | None") -> None:
-        """Keep a fresh context for re-expansion and share it via the store."""
+        """Keep a fresh context for re-expansion and share it via the store.
+
+        Retention is guarded on ``_closed`` *under the state lock*: a
+        concurrent :meth:`close` racing an in-flight expansion runs
+        :meth:`clear_search_cache` once, and an unguarded retain landing
+        after that clear would pin the table and candidate lattice past
+        session death.  Either the retain commits first (and the close's
+        clear removes it) or the flag is already set (and we skip) —
+        both leave a closed session holding nothing.  (The store's
+        prototype is a frozen clone owned by the store itself, so
+        publishing is independent of this session's lifetime.)
+        """
         if context is None or self.handler is not None:
             return
-        self._search_contexts[cache_key] = context
+        with self._state_lock:
+            if self._closed:
+                return
+            self._search_contexts[cache_key] = context
         if self._context_store is not None:
             self._context_store.publish(self._table, tag, context)
 
@@ -400,7 +467,7 @@ class DrillDownSession:
         self._begin_op()
         try:
             node = self._expandable_node(rule)
-            k = k or self.k
+            k = self.k if k is None else _validated_k(k)
             io_before = self._disk.io_stats.simulated_seconds if self._disk else 0.0
             start = time.perf_counter()
             mined, scale, method, sample_size = self._acquire(rule)
@@ -429,7 +496,7 @@ class DrillDownSession:
         self._begin_op()
         try:
             node = self._expandable_node(rule)
-            k = k or self.k
+            k = self.k if k is None else _validated_k(k)
             io_before = self._disk.io_stats.simulated_seconds if self._disk else 0.0
             start = time.perf_counter()
             mined, scale, method, sample_size = self._acquire(rule)
@@ -462,6 +529,8 @@ class DrillDownSession:
         self._begin_op()
         try:
             node = self._expandable_node(rule)
+            if k is not None:
+                k = _validated_k(k)
             io_before = self._disk.io_stats.simulated_seconds if self._disk else 0.0
             start = time.perf_counter()
             mined, scale, method, sample_size = self._acquire(rule)
@@ -508,6 +577,126 @@ class DrillDownSession:
     def pool(self) -> CountingPool | None:
         """The parallel counting pool serving this session (None = serial)."""
         return self._pool
+
+    # -- durability (snapshot / replay) --------------------------------------------
+
+    def snapshot(self) -> dict:
+        """This session's replayable exploration state, as plain data.
+
+        Everything :meth:`restore` needs to rebuild an equivalent
+        session over the same source *without re-mining*: the displayed
+        rule tree ``U`` (rules, counts, weights, depths, expansion
+        kinds), the expansion history, and the ``k``/``mw``/``measure``
+        configuration plus tenant label.  Rules stay :class:`Rule`
+        objects — serialisation (the versioned on-disk format) is the
+        job of :mod:`repro.serving.persistence`.
+
+        Deliberately **not** captured: search contexts (rebuilt, or
+        re-leased from a :class:`~repro.serving.ContextStore`, on the
+        first expansion after restore — the engine is deterministic, so
+        results are identical either way), the pool, and the sample
+        handler's in-memory samples.
+
+        The caller must serialise against concurrent mutation — the
+        serving tier snapshots under its per-session entry lock.
+        """
+        return {
+            "k": self.k,
+            "mw": self.mw,
+            "measure": self.measure,
+            "tenant": self.tenant,
+            "columns": list(self.column_names),
+            "tree": _node_state(self.root),
+            "history": [_record_state(record) for record in self.history],
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        source: Table | DiskTable,
+        state: dict,
+        *,
+        wf: WeightFunction | None = None,
+        tenant: Any = None,
+        **kwargs: Any,
+    ) -> "DrillDownSession":
+        """Rebuild a session from a :meth:`snapshot` state, replaying the
+        tree without re-mining.
+
+        ``source`` must hold the same data the snapshot was taken over
+        (the snapshot stores no table rows); ``wf`` must be the same
+        weighting configuration.  Remaining keyword arguments
+        (``pool=``, ``context_store=``, ``n_workers=``, ``on_close=``,
+        ...) are forwarded to the constructor.  The restored session's
+        :meth:`to_text` is bit-identical to the snapshotted one, and —
+        same engine, contexts rebuilt or store-leased — so are the rule
+        lists of every subsequent expansion.
+
+        Raises :class:`~repro.errors.SessionError` when the state does
+        not fit ``source`` (column mismatch, malformed tree).
+        """
+        if tenant is None:
+            tenant = state.get("tenant")
+        session = cls(
+            source,
+            wf=wf,
+            k=state["k"],
+            mw=state["mw"],
+            measure=state.get("measure"),
+            tenant=tenant,
+            **kwargs,
+        )
+        session._replay(state)
+        return session
+
+    def _replay(self, state: dict) -> None:
+        """Install a snapshot's tree and history over the fresh root."""
+        columns = [str(c) for c in state.get("columns", ())]
+        if columns != [str(c) for c in self.column_names]:
+            raise SessionError(
+                f"snapshot columns {columns} do not match the source's "
+                f"{list(self.column_names)} — restore needs the same table"
+            )
+
+        def build(node_state: dict) -> SessionNode:
+            node = SessionNode(
+                rule=node_state["rule"],
+                count=float(node_state["count"]),
+                weight=float(node_state["weight"]),
+                depth=int(node_state["depth"]),
+                expanded_via=node_state.get("expanded_via"),
+            )
+            node.children = [build(c) for c in node_state.get("children", ())]
+            return node
+
+        try:
+            root = build(state["tree"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SessionError(f"malformed snapshot tree: {exc}") from None
+        if root.rule != Rule.trivial(self._n_columns):
+            raise SessionError("snapshot tree must be rooted at the trivial rule")
+        nodes: dict[Rule, SessionNode] = {}
+
+        def index(node: SessionNode) -> None:
+            if node.rule in nodes:
+                raise SessionError(f"snapshot displays rule {node.rule} twice")
+            nodes[node.rule] = node
+            for child in node.children:
+                index(child)
+
+        index(root)
+        if float(root.count) != float(self.root.count):
+            raise SessionError(
+                f"snapshot root count {root.count:g} does not match the "
+                f"source's {self.root.count:g} rows — the table's data changed"
+            )
+        try:
+            history = [ExpansionRecord(**record) for record in state.get("history", ())]
+        except TypeError as exc:
+            raise SessionError(f"malformed snapshot history: {exc}") from None
+        self.root = root
+        self._nodes = nodes
+        self.history = history
 
     def close(self) -> None:
         """Close the session: idempotent, thread-safe, eviction-safe.
