@@ -1,0 +1,233 @@
+"""Sharded serving throughput: 1 vs N shard processes, multi-tenant.
+
+One :class:`~repro.serving.DrillDownServer` process serialises every
+tenant's mining behind one GIL and one pipe; the
+:class:`~repro.serving.ShardRouter` spreads *tables* (and therefore
+their sessions) across N worker processes via consistent hashing.
+This benchmark drives a multi-tenant workload — 8 tenants, 4 census
+tables, each tenant expanding the root and then its first child on its
+own table — through routers of 1, 2, and 4 shards and records
+throughput and latency per topology.
+
+Asserted (structurally — latency numbers are machine-dependent and
+merely recorded):
+
+* every tenant's rule lists are identical to a standalone
+  :class:`~repro.session.DrillDownSession` on the same table, at every
+  shard count — sharding changes where work runs, never which rules win;
+* tables actually spread across shards (N >= 2 places them on more
+  than one worker);
+* on hosts with >= 4 cores, 4 shards beat 1 shard on wall-clock
+  throughput by >= 1.2x (skipped on smaller hosts — the dev container
+  is single-core, where process parallelism cannot pay).
+
+A JSON perf record is written next to this file
+(``BENCH_sharded_serving.json``).  Run via pytest
+(``pytest benchmarks/bench_sharded_serving.py -m smoke``) or directly::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_serving.py [--smoke]
+
+``--smoke`` shrinks the census tables (8k rows instead of 20k) and
+drops the 4-shard scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import generate_census
+from repro.serving import ShardRouter
+from repro.session import DrillDownSession
+
+RECORD_PATH = Path(__file__).resolve().parent / "BENCH_sharded_serving.json"
+CENSUS_ROWS = 20_000
+SMOKE_ROWS = 8_000
+N_COLUMNS = 5
+N_TABLES = 4
+N_TENANTS = 8
+K = 3
+MW = 5.0
+SHARD_COUNTS = (1, 2, 4)
+SMOKE_SHARD_COUNTS = (1, 2)
+
+
+def _make_tables(rows: int) -> dict:
+    """Four distinct census tables (different seeds, same scale)."""
+    return {
+        f"census-{i}": generate_census(rows, n_columns=N_COLUMNS, seed=1990 + i)
+        for i in range(N_TABLES)
+    }
+
+
+def _expected_rules(tables: dict) -> dict:
+    """Per table: the standalone two-level expansion every tenant must match."""
+    expected = {}
+    for name, table in tables.items():
+        session = DrillDownSession(table, k=K, mw=MW)
+        level1 = session.expand(session.root.rule)
+        level2 = session.expand(level1[0].rule)
+        expected[name] = (
+            [tuple(c.rule) for c in level1],
+            [tuple(c.rule) for c in level2],
+        )
+        session.close()
+    return expected
+
+
+def _drive_tenants(router: ShardRouter, table_names: list, n_tenants: int) -> dict:
+    """Every tenant's two-expansion workload on its own thread."""
+    latencies: list[float] = []
+    results: dict[int, tuple] = {}
+    errors: list[Exception] = []
+    lock = threading.Lock()
+
+    def tenant_run(i: int) -> None:
+        try:
+            table = table_names[i % len(table_names)]
+            sid = router.create_session(table, tenant=f"tenant-{i}", k=K, mw=MW)
+            start = time.perf_counter()
+            level1 = router.expand(sid)
+            mid = time.perf_counter()
+            level2 = router.expand(sid, level1[0].rule)
+            done = time.perf_counter()
+            with lock:
+                latencies.extend((mid - start, done - mid))
+                results[i] = (
+                    table,
+                    [tuple(c.rule) for c in level1],
+                    [tuple(c.rule) for c in level2],
+                )
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=tenant_run, args=(i,)) for i in range(n_tenants)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    latencies.sort()
+    expansions = 2 * n_tenants
+    return {
+        "tenants": n_tenants,
+        "expansions": expansions,
+        "wall_seconds": round(elapsed, 6),
+        "throughput_expansions_per_s": round(expansions / elapsed, 3),
+        "mean_latency_seconds": round(sum(latencies) / len(latencies), 6),
+        "p95_latency_seconds": round(latencies[int(0.95 * (len(latencies) - 1))], 6),
+        "_results": results,
+    }
+
+
+def run_benchmark(rows: int, shard_counts=SHARD_COUNTS) -> dict:
+    tables = _make_tables(rows)
+    table_names = sorted(tables)
+    expected = _expected_rules(tables)
+    scenarios = []
+    identical = True
+    for n_shards in shard_counts:
+        with ShardRouter(n_shards) as router:
+            for name, table in tables.items():
+                router.register_table(name, table)
+            placement = {name: router.shard_of_table(name) for name in table_names}
+            # Warm-up pass: forks nothing new but pays first-touch costs
+            # (table decode caches, context builds) outside the timing.
+            _drive_tenants(router, table_names, len(table_names))
+            scenario = _drive_tenants(router, table_names, N_TENANTS)
+            results = scenario.pop("_results")
+            identical = identical and all(
+                (l1, l2) == expected[table] for table, l1, l2 in results.values()
+            )
+            scenario["n_shards"] = n_shards
+            scenario["shards_used"] = len(set(placement.values()))
+            scenario["placement"] = placement
+            scenario["restarts"] = router.restarts
+            scenarios.append(scenario)
+    return {
+        "workload": {
+            "dataset": "census",
+            "tables": N_TABLES,
+            "rows_per_table": rows,
+            "columns": N_COLUMNS,
+            "k": K,
+            "mw": MW,
+            "weighting": "size",
+            "tenants": N_TENANTS,
+            "expansions_per_tenant": 2,
+        },
+        "cpu_count": os.cpu_count() or 1,
+        "scenarios": scenarios,
+        "identical_rule_lists": identical,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def write_record(record: dict) -> None:
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+
+def check_record(record: dict) -> None:
+    assert record["identical_rule_lists"], "a tenant diverged from the standalone session"
+    by_shards = {s["n_shards"]: s for s in record["scenarios"]}
+    for n_shards, scenario in by_shards.items():
+        assert scenario["restarts"] == 0, "a shard crashed during the benchmark"
+        assert scenario["shards_used"] == min(n_shards, N_TABLES), (
+            f"{n_shards}-shard run placed {N_TABLES} tables on only "
+            f"{scenario['shards_used']} shard(s)"
+        )
+    if record["cpu_count"] >= 4 and 4 in by_shards and 1 in by_shards:
+        speedup = (
+            by_shards[4]["throughput_expansions_per_s"]
+            / by_shards[1]["throughput_expansions_per_s"]
+        )
+        assert speedup >= 1.2, (
+            f"4 shards only {speedup:.2f}x the single-shard throughput "
+            f"on a {record['cpu_count']}-core host"
+        )
+
+
+@pytest.mark.smoke
+def test_sharded_serving_throughput():
+    """Smoke: 1 vs 2 shards, 8 tenants over 4 tables — identical rules."""
+    record = run_benchmark(SMOKE_ROWS, SMOKE_SHARD_COUNTS)
+    write_record(record)
+    print()
+    for scenario in record["scenarios"]:
+        print(
+            f"BX sharded serving: {scenario['n_shards']} shard(s) "
+            f"({scenario['shards_used']} used): "
+            f"{scenario['throughput_expansions_per_s']:.1f} exp/s, "
+            f"mean {scenario['mean_latency_seconds']*1000:.0f} ms"
+        )
+    check_record(record)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="smaller tables, no 4-shard scenario (fast CI smoke run)",
+    )
+    args = parser.parse_args()
+    record = run_benchmark(
+        SMOKE_ROWS if args.smoke else CENSUS_ROWS,
+        SMOKE_SHARD_COUNTS if args.smoke else SHARD_COUNTS,
+    )
+    write_record(record)
+    print(json.dumps(record, indent=2))
+    check_record(record)
+    print(f"\nperf record written to {RECORD_PATH}")
+
+
+if __name__ == "__main__":
+    main()

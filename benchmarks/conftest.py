@@ -4,6 +4,16 @@ The benchmark suite regenerates every table and figure of the paper's
 evaluation (Section 5); dataset sizes are laptop-scaled (DESIGN.md §3)
 but every curve's *shape* matches the paper, which the benchmarks
 assert alongside timing.
+
+Smoke mode — ``pytest benchmarks/bench_*.py -m smoke`` — selects the
+fast subset that emits the committed ``BENCH_*.json`` perf records.
+That covers the engine benches (incremental search, parallel counting)
+*and* the serving tier: ``bench_serving.py`` (multi-tenant, one
+process), ``bench_persistence.py`` (checkpoint/warm restart), and
+``bench_sharded_serving.py`` (1 vs N shard worker processes).  The
+``smoke`` marker is registered in the repo-root ``pytest.ini``; the
+registration below keeps ``pytest`` runs rooted inside ``benchmarks/``
+warning-free too.
 """
 
 from __future__ import annotations

@@ -57,7 +57,7 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.sampling import Sample, SampleHandler
-from repro.serving import DrillDownServer
+from repro.serving import DrillDownServer, ShardRouter
 from repro.session import DrillDownSession
 from repro.storage import DiskTable
 from repro.table import (
@@ -101,6 +101,7 @@ __all__ = [
     "Sample",
     "SampleHandler",
     "Schema",
+    "ShardRouter",
     "ScoredRule",
     "SizeMinusOneWeight",
     "SizeWeight",

@@ -104,6 +104,29 @@ class SnapshotError(ServingError):
     """
 
 
+class ShardError(ServingError):
+    """A shard worker process misbehaved at the protocol level.
+
+    Raised by the :class:`~repro.serving.ShardRouter` when a shard
+    returns an unintelligible frame or fails inside infrastructure code
+    (as opposed to raising a typed :class:`ReproError`, which travels
+    the wire and is re-raised as itself).  Maps to HTTP 503 — the
+    request may succeed against a healthy shard after a restart.
+    """
+
+
+class ShardDownError(ShardError):
+    """A shard worker process died while (or before) serving a request.
+
+    The router detects the broken pipe, restarts the shard in the
+    background (re-registering its tables, which warm-restores any
+    snapshotted sessions from the shard's own persist directory), and
+    raises this error for the request that observed the crash — it may
+    have been half-applied, so the router never retries it silently.
+    HTTP 503: the client should retry.
+    """
+
+
 class TenantBudgetError(ServingError):
     """A tenant's token budget cannot cover a requested expansion.
 

@@ -21,7 +21,12 @@ multiplexes *tenants* on top of it:
   (versioned JSON-lines snapshots, atomic writes, warm restart) and
   background TTL expiry/checkpointing independent of request traffic;
 * :class:`DrillDownServer` — the facade composing all of the above,
-  with a stdlib HTTP front end in :mod:`repro.serving.http`.
+  with a stdlib HTTP front end in :mod:`repro.serving.http`;
+* :class:`ShardRouter` (:mod:`repro.serving.router` +
+  :mod:`repro.serving.shard`) — the same facade sharded across N
+  worker processes: consistent-hash table placement, sticky session
+  affinity, crash detection with automatic restart + warm restore,
+  responses bit-identical to one in-process server.
 
 See docs/SERVING.md for topology, tenancy semantics, budget knobs,
 durability, and a curl walkthrough.
@@ -36,8 +41,10 @@ from repro.serving.persistence import (
     SnapshotStore,
 )
 from repro.serving.registry import SessionEntry, SessionRegistry
+from repro.serving.router import ShardRouter
 from repro.serving.scheduler import FairScheduler, TenantBudget
 from repro.serving.server import WEIGHT_FUNCTIONS, DrillDownServer
+from repro.serving.shard import ShardProcess
 
 __all__ = [
     "ContextStore",
@@ -47,6 +54,8 @@ __all__ = [
     "SessionEntry",
     "SessionRegistry",
     "SessionSnapshot",
+    "ShardProcess",
+    "ShardRouter",
     "SnapshotStore",
     "SNAPSHOT_VERSION",
     "TableCatalog",

@@ -33,9 +33,13 @@ the programmatic facade for that).
 
 Error mapping: unknown table/session -> 404, closed session -> 409,
 exhausted tenant budget -> 429 (with ``retry_after`` when the bucket
-refills), any other :class:`~repro.errors.ReproError` or malformed
-body -> 400, everything else -> 500.  The body always carries
-``{"error": <exception class>, "message": ...}``.
+refills), a dead/misbehaving shard -> 503 (retry), any other
+:class:`~repro.errors.ReproError` or malformed body (bad JSON, a
+non-JSON ``Content-Type``, out-of-range column, ...) -> 400,
+everything else -> 500.  The body always carries
+``{"error": <exception class>, "message": ...}`` — including for
+stdlib-generated failures like an unsupported method (501), which
+would otherwise answer HTML to a JSON API.
 
 Run it::
 
@@ -48,6 +52,14 @@ expired by the background reaper (``--reaper-interval``) instead of on
 request traffic, shutdown checkpoints everything dirty, and a restart
 over the same directory restores every session under its original id
 (``/stats`` reports the ``persistence`` counters).
+
+``--shards N`` serves through a :class:`~repro.serving.ShardRouter`
+instead of an in-process :class:`~repro.serving.DrillDownServer`: N
+worker processes, consistent-hash table placement, sticky sessions,
+automatic restart of crashed shards (with warm restore when
+``--persist-dir`` is set — each shard owns a subdirectory).  The API
+and every response byte are identical; ``/stats`` gains a per-shard
+breakdown.
 """
 
 from __future__ import annotations
@@ -63,10 +75,12 @@ from repro.datasets import generate_census, generate_marketing, generate_retail
 from repro.errors import (
     ReproError,
     SessionClosedError,
+    ShardError,
     TenantBudgetError,
     UnknownSessionError,
     UnknownTableError,
 )
+from repro.serving.router import ShardRouter
 from repro.serving.server import DrillDownServer
 from repro.session.session import SessionNode
 from repro.table.schema import ColumnKind, ColumnSchema, Schema
@@ -137,6 +151,8 @@ def _table_from_body(body: dict) -> Table:
         raise ReproError(
             'register a table with {"name", "dataset"} or {"name", "columns", "rows"}'
         )
+    if not isinstance(columns, list) or not isinstance(rows, list):
+        raise ReproError('"columns" and "rows" must be JSON arrays')
     numeric = set(body.get("numeric", ()))
     schema = Schema(
         [
@@ -154,8 +170,15 @@ def _table_from_body(body: dict) -> Table:
 _SESSION_PATH = re.compile(r"^/sessions/([^/]+)(?:/(expand|expand_star|collapse|render))?$")
 
 
-def make_handler(server: DrillDownServer, *, quiet: bool = True) -> type:
-    """A request-handler class bound to one :class:`DrillDownServer`."""
+def make_handler(server: "DrillDownServer | ShardRouter", *, quiet: bool = True) -> type:
+    """A request-handler class bound to one serving facade.
+
+    The facade may be an in-process :class:`DrillDownServer` or a
+    :class:`~repro.serving.ShardRouter` — the handler only speaks the
+    shared surface (``create_session`` / ``expand`` / ``render`` /
+    ``tree`` / ``session_columns`` / ...), so the wire behaviour is
+    identical either way.
+    """
 
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
@@ -183,6 +206,21 @@ def make_handler(server: DrillDownServer, *, quiet: bool = True) -> type:
             length = int(self.headers.get("Content-Length") or 0)
             if length == 0:
                 return {}
+            # A declared non-JSON body is a client bug worth a clear
+            # 400 now, not a JSON parse error (or worse, a silently
+            # misinterpreted payload) later.  An *absent* header stays
+            # accepted — the documented curl walkthrough relies on it.
+            declared = (self.headers.get("Content-Type") or "").split(";", 1)[0].strip()
+            if declared and declared.lower() not in (
+                "application/json",
+                # curl -d's default; the docs' walkthrough bodies are
+                # JSON text sent under this label.
+                "application/x-www-form-urlencoded",
+            ):
+                raise ReproError(
+                    f"Content-Type {declared!r} is not supported; "
+                    "send application/json"
+                )
             try:
                 parsed = json.loads(self.rfile.read(length))
             except json.JSONDecodeError as exc:
@@ -191,6 +229,20 @@ def make_handler(server: DrillDownServer, *, quiet: bool = True) -> type:
                 raise ReproError("request body must be a JSON object")
             return parsed
 
+        def send_error(  # noqa: D102 - stdlib hook
+            self, code: int, message: str | None = None, explain: str | None = None
+        ) -> None:
+            # The stdlib answers protocol-level failures (unsupported
+            # method -> 501, malformed request line -> 400) with an
+            # HTML page; a JSON API must stay JSON on every path.
+            self._json(
+                code,
+                {
+                    "error": "HTTPError",
+                    "message": message or self.responses.get(code, ("", ""))[0] or str(code),
+                },
+            )
+
         def _fail(self, exc: Exception) -> None:
             if isinstance(exc, (UnknownTableError, UnknownSessionError)):
                 status = 404
@@ -198,7 +250,11 @@ def make_handler(server: DrillDownServer, *, quiet: bool = True) -> type:
                 status = 409
             elif isinstance(exc, TenantBudgetError):
                 status = 429
-            elif isinstance(exc, (ReproError, KeyError, TypeError, ValueError)):
+            elif isinstance(exc, ShardError):
+                # Shard died (restarted with warm restore) or spoke
+                # garbage: the tier is degraded, not the request wrong.
+                status = 503
+            elif isinstance(exc, (ReproError, KeyError, TypeError, ValueError, IndexError)):
                 status = 400
             else:  # pragma: no cover - defensive
                 status = 500
@@ -211,8 +267,8 @@ def make_handler(server: DrillDownServer, *, quiet: bool = True) -> type:
             self._json(status, payload, headers)
 
         def _session_rule(self, session_id: str, body: dict) -> Rule:
-            session = self.tier.session(session_id)
-            return rule_from_wire(body.get("rule"), len(session.root.rule))
+            n_columns = len(self.tier.session_columns(session_id))
+            return rule_from_wire(body.get("rule"), n_columns)
 
         # -- verbs --------------------------------------------------------------
 
@@ -256,14 +312,13 @@ def make_handler(server: DrillDownServer, *, quiet: bool = True) -> type:
                         mw=float(body.get("mw", 5.0)),
                         measure=body.get("measure"),
                     )
-                    session = self.tier.session(session_id)
                     return self._json(
                         201,
                         {
                             "session_id": session_id,
                             "table": body["table"],
-                            "columns": list(session.column_names),
-                            "root": node_to_wire(session.root),
+                            "columns": list(self.tier.session_columns(session_id)),
+                            "root": node_to_wire(self.tier.tree(session_id)),
                         },
                     )
                 match = _SESSION_PATH.match(self.path)
@@ -302,7 +357,7 @@ def make_handler(server: DrillDownServer, *, quiet: bool = True) -> type:
 
 
 def serve(
-    server: DrillDownServer,
+    server: "DrillDownServer | ShardRouter",
     *,
     host: str = "127.0.0.1",
     port: int = 8080,
@@ -325,7 +380,11 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8080)
     parser.add_argument("--workers", type=int, default=None,
-                        help="counting-pool workers (default: serial)")
+                        help="counting-pool workers (default: serial; "
+                             "with --shards: per shard)")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="serve through N shard worker processes "
+                             "(default 0: one in-process tier)")
     parser.add_argument("--max-sessions", type=int, default=64)
     parser.add_argument("--ttl", type=float, default=900.0,
                         help="idle session TTL in seconds (default 900)")
@@ -335,7 +394,12 @@ def main(argv: list[str] | None = None) -> None:
                         help="budget tokens refilled per second")
     parser.add_argument("--persist-dir", default=None,
                         help="directory for durable session snapshots "
-                             "(default: memory-only; sessions die with the process)")
+                             "(default: memory-only; sessions die with the process; "
+                             "with --shards, each shard owns a subdirectory)")
+    parser.add_argument("--persist-max-bytes", type=int, default=None,
+                        help="cap on the snapshot directory's total size; "
+                             "oldest-recency snapshots are evicted past it "
+                             "(default: unbounded; with --shards: per shard)")
     parser.add_argument("--checkpoint-interval", type=float, default=30.0,
                         help="seconds between dirty-session checkpoint sweeps "
                              "(with --persist-dir; default 30)")
@@ -345,21 +409,28 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--verbose", action="store_true", help="log requests")
     args = parser.parse_args(argv)
 
-    tier = DrillDownServer(
+    tier_kwargs = dict(
         n_workers=args.workers,
         max_sessions=args.max_sessions,
         ttl_seconds=args.ttl,
         tenant_budget=args.budget,
         refill_per_second=args.refill,
         persist_dir=args.persist_dir,
+        persist_max_bytes=args.persist_max_bytes,
         checkpoint_interval=args.checkpoint_interval,
         reaper_interval=args.reaper_interval or None,
     )
+    if args.shards and args.shards > 0:
+        tier: DrillDownServer | ShardRouter = ShardRouter(args.shards, **tier_kwargs)
+        topology = f"shards={args.shards}, workers/shard={args.workers or 1}"
+    else:
+        tier = DrillDownServer(**tier_kwargs)
+        topology = f"workers={args.workers or 1}"
     httpd = serve(tier, host=args.host, port=args.port, quiet=not args.verbose)
     host, port = httpd.server_address[:2]
     durability = f", persist={args.persist_dir}" if args.persist_dir else ""
     print(f"serving smart drill-down on http://{host}:{port} "
-          f"(workers={args.workers or 1}, ttl={args.ttl}s{durability})")
+          f"({topology}, ttl={args.ttl}s{durability})")
     try:
         httpd.serve_forever()
     except KeyboardInterrupt:

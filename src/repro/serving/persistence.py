@@ -222,16 +222,53 @@ class SnapshotStore:
     undecodable files (``skipped_corrupt``) and version mismatches
     (``skipped_version``); a bad snapshot can cost one session's
     restore, never the warm restart.
+
+    ``max_bytes`` caps the directory's total snapshot footprint for
+    very long-lived tiers: every save that pushes the total past the
+    cap evicts whole snapshots, oldest recency (file mtime — the last
+    checkpoint touch) first, until the directory fits again.  The file
+    just written is never its own eviction victim, so the cap degrades
+    to "keep only the most recent session" rather than thrashing.
+    Evictions are counted (``cap_evictions``), not fatal — an evicted
+    session simply will not warm-restore.
+
+    Leftover ``*.tmp-*`` files from a crash *mid-write* (the in-process
+    failure path unlinks its own temp file, but a SIGKILL or power loss
+    cannot) are swept on construction and counted in ``cleaned_tmp``;
+    they are garbage by definition — the publish rename never happened.
     """
 
-    def __init__(self, root: str | os.PathLike):
+    def __init__(self, root: str | os.PathLike, *, max_bytes: int | None = None):
+        if max_bytes is not None and max_bytes < 1:
+            raise SnapshotError("max_bytes must be a positive byte count or None")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
         self._lock = threading.Lock()
         self.saved = 0
         self.deleted = 0
         self.skipped_corrupt = 0
         self.skipped_version = 0
+        self.cap_evictions = 0
+        self.cleaned_tmp = 0
+        for leftover in self.root.glob(f"*{_SNAPSHOT_SUFFIX}.tmp-*"):
+            try:
+                leftover.unlink()
+            except OSError:  # pragma: no cover - racing cleanup
+                continue
+            self.cleaned_tmp += 1
+        # Running footprint (file name -> bytes), kept in step by
+        # save/delete so the cap check is O(1) while under the cap; the
+        # eviction pass re-scans the directory authoritatively.
+        self._sizes: dict[str, int] = {}
+        self._size_total = 0
+        for path in self.root.glob(f"*{_SNAPSHOT_SUFFIX}"):
+            try:
+                size = path.stat().st_size
+            except OSError:  # pragma: no cover - racing delete
+                continue
+            self._sizes[path.name] = size
+            self._size_total += size
 
     # -- paths -------------------------------------------------------------------
 
@@ -307,9 +344,66 @@ class SnapshotStore:
                 os.close(dir_fd)
         except OSError:  # pragma: no cover - platform-dependent
             pass
+        try:
+            size = path.stat().st_size
+        except OSError:  # pragma: no cover - racing delete
+            size = len(payload.encode("utf-8"))
         with self._lock:
             self.saved += 1
+            self._size_total += size - self._sizes.get(path.name, 0)
+            self._sizes[path.name] = size
+            over_cap = self.max_bytes is not None and self._size_total > self.max_bytes
+        if over_cap:
+            self._enforce_cap(keep=path)
         return path
+
+    def _enforce_cap(self, *, keep: Path) -> None:
+        """Evict oldest-recency snapshots until the directory fits
+        ``max_bytes`` again.  ``keep`` (the file just published) is
+        exempt — evicting your own write would make the cap a black
+        hole.  Re-scans the directory (the running total is only the
+        trigger), so races with concurrent deletes are benign: a
+        vanished victim already freed its bytes."""
+        if self.max_bytes is None:
+            return
+        entries = []
+        total = 0
+        sizes: dict[str, int] = {}
+        for path in self.root.glob(f"*{_SNAPSHOT_SUFFIX}"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime_ns, path.name, path, stat.st_size))
+            total += stat.st_size
+            sizes[path.name] = stat.st_size
+        entries.sort()  # oldest mtime first; name tie-break for determinism
+        for _mtime, name, path, size in entries:
+            if total <= self.max_bytes:
+                break
+            if path == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            sizes.pop(name, None)
+            with self._lock:
+                self.cap_evictions += 1
+        with self._lock:
+            self._sizes = sizes
+            self._size_total = total
+
+    def total_bytes(self) -> int:
+        """Current on-disk footprint of all snapshot files."""
+        total = 0
+        for path in self.root.glob(f"*{_SNAPSHOT_SUFFIX}"):
+            try:
+                total += path.stat().st_size
+            except OSError:  # pragma: no cover - racing delete
+                continue
+        return total
 
     def delete(self, session_id: str) -> bool:
         """Remove one session's snapshot (orphan cleanup on close)."""
@@ -323,6 +417,7 @@ class SnapshotStore:
             return False
         with self._lock:
             self.deleted += 1
+            self._size_total -= self._sizes.pop(path.name, 0)
         return True
 
     # -- read --------------------------------------------------------------------
@@ -403,6 +498,10 @@ class SnapshotStore:
                 "deleted": self.deleted,
                 "skipped_corrupt": self.skipped_corrupt,
                 "skipped_version": self.skipped_version,
+                "max_bytes": self.max_bytes,
+                "total_bytes": self.total_bytes(),
+                "cap_evictions": self.cap_evictions,
+                "cleaned_tmp": self.cleaned_tmp,
             }
 
     def __repr__(self) -> str:

@@ -55,8 +55,6 @@ from repro.session.session import DrillDownSession
 
 __all__ = ["SessionEntry", "SessionRegistry"]
 
-_SESSION_ID = re.compile(r"sess-(\d+)")
-
 
 @dataclass
 class SessionEntry:
@@ -102,6 +100,11 @@ class SessionRegistry:
         Idle lifetime; ``None`` disables expiry.
     clock:
         Injectable monotonic clock for deterministic TTL tests.
+    id_prefix:
+        Prefix of generated session ids (``"sess"`` → ``sess-000001``).
+        A sharded tier gives every shard's registry a distinct prefix so
+        ids stay unique *across* worker processes — the router keys its
+        session-affinity table by bare id.
     """
 
     def __init__(
@@ -110,9 +113,14 @@ class SessionRegistry:
         max_sessions: int | None = None,
         ttl_seconds: float | None = None,
         clock: Callable[[], float] = time.monotonic,
+        id_prefix: str = "sess",
     ):
         if max_sessions is not None and max_sessions < 1:
             raise ServingError("max_sessions must be at least 1")
+        if not re.fullmatch(r"[A-Za-z0-9._-]+", id_prefix):
+            raise ServingError(f"session id prefix {id_prefix!r} is not filename-safe")
+        self.id_prefix = id_prefix
+        self._id_pattern = re.compile(re.escape(id_prefix) + r"-(\d+)")
         self.max_sessions = max_sessions
         self.ttl_seconds = ttl_seconds
         self._clock = clock
@@ -149,7 +157,7 @@ class SessionRegistry:
             expired = self._pop_expired_locked(now)
             victims = self._pop_lru_victims_locked()
             entry = SessionEntry(
-                session_id=f"sess-{self._next_id:06d}",
+                session_id=f"{self.id_prefix}-{self._next_id:06d}",
                 tenant=tenant,
                 session=session,
                 created_at=now,
@@ -220,7 +228,7 @@ class SessionRegistry:
                 self._reserve_id_locked(session_id)
 
     def _reserve_id_locked(self, session_id: str) -> None:
-        match = _SESSION_ID.fullmatch(session_id)
+        match = self._id_pattern.fullmatch(session_id)
         if match:
             self._next_id = max(self._next_id, int(match.group(1)) + 1)
 

@@ -1,0 +1,566 @@
+"""The sharded serving router: one stateless front, N worker tiers.
+
+One :class:`~repro.serving.DrillDownServer` process tops out at what
+one address space holds — its shared-memory exports, its counting
+pool, its GIL.  The :class:`ShardRouter` is the ROADMAP's next step
+("sharding catalogs across processes behind a router"): it spawns N
+worker processes, each a *complete* serving tier
+(:mod:`repro.serving.shard`), and routes the same facade API over a
+length-prefixed JSON pipe protocol.  The router itself holds no
+session state beyond two maps — which is the point:
+
+* **Table placement** is consistent hashing over the table *name*
+  (sha1-based, stable across restarts and router instances), so a
+  table's catalog entry, pool export, context prototypes, and every
+  session over it live together on one shard, and re-registering after
+  any restart lands on the same shard — which is what lines warm
+  restore up with each shard's own ``persist_dir`` subdirectory.
+* **Session affinity** is sticky by construction: a session is created
+  on its table's shard and addressed there for life.  Shards stamp
+  their sessions with per-shard id prefixes (``s0-000001``), so ids
+  are globally unique and the affinity map can never alias.
+* **Crash handling**: a broken pipe marks the shard down; the router
+  restarts it immediately, re-registers its tables (which warm-restores
+  every snapshotted session from the shard's own persist directory),
+  and raises :class:`~repro.errors.ShardDownError` (HTTP 503) for the
+  request that observed the crash — never a silent retry, because the
+  observed operation may have been half-applied.
+
+Responses are **bit-identical** to a single-process
+:class:`~repro.serving.DrillDownServer` serving the same workload:
+the wire format round-trips every rule value, count, and weight
+exactly, and each shard *is* an unmodified ``DrillDownServer``
+(pinned by ``tests/serving/test_router.py`` and the multi-backend
+replay harness in ``tests/integration/test_serving_fuzz.py``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import os
+import threading
+from pathlib import Path
+
+from repro.core.rule import Rule
+from repro.errors import (
+    ServingError,
+    ShardDownError,
+    UnknownSessionError,
+)
+from repro.serving.persistence import encode_rule
+from repro.serving.shard import ShardProcess, decode_node, encode_table
+from repro.session.session import SessionNode
+from repro.table.table import Table
+
+__all__ = ["ShardRouter"]
+
+
+def _stable_hash(key: str) -> int:
+    """64-bit stable hash (``hash()`` is salted per process — useless
+    for placement that must survive restarts)."""
+    return int.from_bytes(hashlib.sha1(key.encode("utf-8")).digest()[:8], "big")
+
+
+class ShardRouter:
+    """Route the serving facade across N shard worker processes.
+
+    Implements the same surface the HTTP front end is written against
+    (``register_table`` / ``create_session`` / ``expand`` /
+    ``expand_star`` / ``expand_traditional`` / ``collapse`` /
+    ``render`` / ``tree`` / ``close_session`` / ``stats`` / ...), so
+    ``serve(ShardRouter(...))`` and ``serve(DrillDownServer(...))``
+    are interchangeable.
+
+    Parameters
+    ----------
+    n_shards:
+        Worker-process count.  ``1`` is a legitimate deployment (it
+        moves serving out of the caller's process) and the equivalence
+        baseline the tests lean on.
+    n_workers, max_sessions, ttl_seconds, tenant_budget,
+    refill_per_second, share_contexts, max_context_prototypes,
+    checkpoint_interval, reaper_interval:
+        Forwarded to every shard's :class:`DrillDownServer` — i.e.
+        *per shard*: budgets meter a tenant per shard, ``max_sessions``
+        caps each shard.
+    persist_dir:
+        Root of the durable state; each shard owns
+        ``<persist_dir>/shard-NN``.  Re-create a router with the same
+        directory and shard count, re-register the same tables, and
+        every snapshotted session warm-restores on its original shard
+        under its original id.  (A *different* shard count re-places
+        tables, so snapshots written under the old placement stay
+        pending on disk — skipped, never corrupted.)
+    virtual_nodes:
+        Points per shard on the consistent-hash ring (placement
+        granularity; the default spreads tables evenly from a handful
+        of names up).
+    start_timeout:
+        Seconds to wait for a worker to come up before declaring the
+        spawn failed.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        *,
+        n_workers: int | None = None,
+        max_sessions: int | None = 64,
+        ttl_seconds: float | None = None,
+        tenant_budget: float | None = None,
+        refill_per_second: float = 0.0,
+        share_contexts: bool = True,
+        max_context_prototypes: int | None = None,
+        persist_dir: str | os.PathLike | None = None,
+        persist_max_bytes: int | None = None,
+        checkpoint_interval: float | None = None,
+        reaper_interval: float | None = None,
+        virtual_nodes: int = 64,
+        start_timeout: float = 60.0,
+    ):
+        if n_shards < 1:
+            raise ServingError("a sharded tier needs at least 1 shard")
+        if virtual_nodes < 1:
+            raise ServingError("virtual_nodes must be >= 1")
+        self.n_shards = n_shards
+        self._persist_dir = None if persist_dir is None else Path(persist_dir)
+        self._start_timeout = start_timeout
+        self._base_kwargs = dict(
+            n_workers=n_workers,
+            max_sessions=max_sessions,
+            ttl_seconds=ttl_seconds,
+            tenant_budget=tenant_budget,
+            refill_per_second=refill_per_second,
+            share_contexts=share_contexts,
+            max_context_prototypes=max_context_prototypes,
+            persist_max_bytes=persist_max_bytes,
+            checkpoint_interval=checkpoint_interval,
+            reaper_interval=reaper_interval,
+        )
+        # The ring: sorted (point, shard) pairs; a table lands on the
+        # first point at or after its own hash (wrapping).
+        self._ring = sorted(
+            (_stable_hash(f"shard-{index}/vnode-{vnode}"), index)
+            for index in range(n_shards)
+            for vnode in range(virtual_nodes)
+        )
+        self._ring_points = [point for point, _ in self._ring]
+        # Routing state.  _tables keeps the live Table (identity for
+        # idempotent re-registration, columns for the HTTP layer) and
+        # its wire encoding (re-sent verbatim when a shard restarts).
+        self._lock = threading.RLock()
+        self._tables: dict[str, tuple[Table, dict]] = {}
+        self._sessions: dict[str, tuple[int, str]] = {}
+        self._closed = False
+        self.restarts = 0
+        # Per-slot incarnation counter, baked into the shard's session
+        # id prefix: a restarted shard's *fresh* registry must never
+        # re-issue an id a client may still hold from before the crash
+        # (restored ids keep their original prefix — admit() takes the
+        # id verbatim — so warm restore is unaffected).
+        self._generations = [0] * n_shards
+        # True while a slot's replacement worker is being spawned —
+        # requests racing the respawn fail fast instead of piling a
+        # second restart (or a 60 s wait) on top of the first.
+        self._recovering = [False] * n_shards
+        self._shards: list[ShardProcess] = []
+        try:
+            for index in range(n_shards):
+                self._shards.append(self._spawn(index))
+        except BaseException:
+            self.close()
+            raise
+
+    # -- shard lifecycle ---------------------------------------------------------
+
+    def _shard_kwargs(self, index: int) -> dict:
+        kwargs = dict(self._base_kwargs)
+        generation = self._generations[index]
+        kwargs["session_id_prefix"] = (
+            f"s{index}" if generation == 0 else f"s{index}r{generation}"
+        )
+        if self._persist_dir is not None:
+            kwargs["persist_dir"] = str(self._persist_dir / f"shard-{index:02d}")
+        return kwargs
+
+    def _spawn(self, index: int, *, respawn: bool = False) -> ShardProcess:
+        # Respawns run on a request thread of a live (often threaded
+        # HTTP) process: fork there can capture another thread's held
+        # locks in the child and hang it, so recovery workers start via
+        # spawn.  Construction-time workers keep the cheap fork.
+        return ShardProcess(
+            index,
+            self._shard_kwargs(index),
+            start_timeout=self._start_timeout,
+            start_method="spawn" if respawn else None,
+        )
+
+    def _recover(self, shard: ShardProcess, op: str, cause: BaseException) -> None:
+        """A request observed a broken pipe: restart the shard (first
+        observer wins; the spawn runs *outside* the router lock so
+        healthy shards keep serving), re-register its tables —
+        warm-restoring any snapshotted sessions — and raise
+        :class:`ShardDownError` for the observing request (it may have
+        been half-applied; the router never silently retries it)."""
+        with self._lock:
+            first = (
+                not self._closed
+                and self._shards[shard.index] is shard
+                and not self._recovering[shard.index]
+            )
+            if first:
+                shard.reap()
+                self.restarts += 1
+                self._generations[shard.index] += 1
+                self._recovering[shard.index] = True
+                # Sessions pinned to the dead shard are gone unless the
+                # re-registration below restores them from its store.
+                for sid in [
+                    sid
+                    for sid, (index, _table) in self._sessions.items()
+                    if index == shard.index
+                ]:
+                    del self._sessions[sid]
+        if first:
+            replacement = None
+            try:
+                replacement = self._spawn(shard.index, respawn=True)
+            except Exception:
+                pass  # slot keeps the reaped handle; next request retries
+            try:
+                if replacement is not None:
+                    with self._lock:
+                        if self._closed:
+                            replacement, doomed = None, replacement
+                        else:
+                            self._shards[shard.index] = replacement
+                            doomed = None
+                    if doomed is not None:
+                        doomed.stop()
+                if replacement is not None:
+                    self._reregister(replacement)
+            finally:
+                with self._lock:
+                    self._recovering[shard.index] = False
+        raise ShardDownError(
+            f"shard {shard.index} died serving {op!r}; it has been restarted "
+            "(snapshotted sessions warm-restored) — retry the request"
+        ) from cause
+
+    def _reregister(self, shard: ShardProcess) -> None:
+        """Replay the dead shard's table registrations into its
+        replacement; adopts every session the shard restored from its
+        persist directory.  Runs outside the router lock — the shard's
+        own request lock serialises the pipe."""
+        with self._lock:
+            owned = [
+                (name, encoded)
+                for name, (_table, encoded) in self._tables.items()
+                if self._placement(name) == shard.index
+            ]
+        for name, encoded in owned:
+            try:
+                result = shard.request("register_table", {"name": name, "table": encoded})
+            except (OSError, EOFError):  # pragma: no cover - double crash
+                return
+            except ServingError:  # pragma: no cover - one bad table
+                continue  # must not cost the shard its other tables
+            with self._lock:
+                for sid, table_name in result.get("sessions", ()):
+                    self._sessions.setdefault(sid, (shard.index, table_name))
+
+    # -- placement ---------------------------------------------------------------
+
+    def _placement(self, table_name: str) -> int:
+        """The shard index owning ``table_name`` (consistent hash)."""
+        point = _stable_hash(f"table/{table_name}")
+        at = bisect.bisect_left(self._ring_points, point)
+        if at == len(self._ring):
+            at = 0
+        return self._ring[at][1]
+
+    def shard_of_table(self, table_name: str) -> int:
+        """Public placement probe (ops tooling, tests)."""
+        return self._placement(table_name)
+
+    def shard_of_session(self, session_id: str) -> int:
+        """The shard currently pinned for a live session id."""
+        return self._session_shard(session_id)[0].index
+
+    def _shard(self, index: int) -> ShardProcess:
+        with self._lock:
+            if self._closed:
+                raise ServingError("router is closed")
+            return self._shards[index]
+
+    def _session_shard(self, session_id: str) -> tuple[ShardProcess, str]:
+        with self._lock:
+            if self._closed:
+                raise ServingError("router is closed")
+            try:
+                index, table_name = self._sessions[session_id]
+            except KeyError:
+                raise UnknownSessionError(
+                    f"no live session {session_id!r} (unknown, closed, expired, "
+                    "or evicted — create a new session)"
+                ) from None
+            return self._shards[index], table_name
+
+    # -- the request spine -------------------------------------------------------
+
+    def _request(self, shard: ShardProcess, op: str, args: dict | None = None):
+        try:
+            return shard.request(op, args)
+        except (OSError, EOFError) as exc:
+            self._recover(shard, op, exc)  # always raises
+
+    def _session_request(self, session_id: str, op: str, args: dict):
+        shard, _table = self._session_shard(session_id)
+        try:
+            return self._request(shard, op, args)
+        except UnknownSessionError:
+            # The shard expired/evicted it; drop the stale pin so the
+            # router's own map cannot grow without bound.
+            with self._lock:
+                self._sessions.pop(session_id, None)
+            raise
+
+    # -- tables ------------------------------------------------------------------
+
+    def register_table(self, name: str, table: Table) -> Table:
+        """Register ``table`` on its consistent-hash shard.
+
+        Mirrors :meth:`DrillDownServer.register_table`, including the
+        warm-restart contract: with ``persist_dir``, registration
+        triggers the owning shard's restore of every pending snapshot
+        naming ``name``, and the router adopts the restored ids into
+        its affinity map.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServingError("router is closed")
+            held = self._tables.get(name)
+            if held is not None and held[0] is table:
+                return table  # same-object re-registration is a no-op
+        encoded = encode_table(table)
+        shard = self._shard(self._placement(name))
+        result = self._request(shard, "register_table", {"name": name, "table": encoded})
+        with self._lock:
+            self._tables[name] = (table, encoded)
+            for sid, table_name in result.get("sessions", ()):
+                self._sessions.setdefault(sid, (shard.index, table_name))
+        return table
+
+    def unregister_table(self, name: str) -> None:
+        with self._lock:
+            if name not in self._tables:
+                return
+        shard = self._shard(self._placement(name))
+        self._request(shard, "unregister_table", {"name": name})
+        with self._lock:
+            self._tables.pop(name, None)
+
+    def tables(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._tables))
+
+    # -- sessions ----------------------------------------------------------------
+
+    def create_session(
+        self,
+        table: str,
+        *,
+        tenant: str = "default",
+        wf: str = "size",
+        k: int = 3,
+        mw: float = 5.0,
+        measure: str | None = None,
+    ) -> str:
+        """Open a session on the shard owning ``table``; sticky for life."""
+        shard = self._shard(self._placement(table))
+        result = self._request(
+            shard,
+            "create_session",
+            {"table": table, "tenant": tenant, "wf": wf, "k": k, "mw": mw, "measure": measure},
+        )
+        session_id = result["session_id"]
+        with self._lock:
+            self._sessions[session_id] = (shard.index, table)
+        return session_id
+
+    def session_columns(self, session_id: str) -> tuple[str, ...]:
+        """Column names for a live session — answered from the router's
+        own maps, no pipe round trip."""
+        _shard, table_name = self._session_shard(session_id)
+        with self._lock:
+            held = self._tables.get(table_name)
+        if held is not None:
+            return held[0].column_names
+        # Restored session over a table this router never held (e.g.
+        # registered by a previous incarnation): ask the shard.
+        result = self._session_request(
+            session_id, "session_columns", {"session_id": session_id}
+        )
+        return tuple(result["columns"])
+
+    def close_session(self, session_id: str) -> bool:
+        try:
+            shard, _table = self._session_shard(session_id)
+        except UnknownSessionError:
+            return False
+        try:
+            result = self._request(shard, "close_session", {"session_id": session_id})
+        except UnknownSessionError:
+            return False  # the shard already expired/evicted it
+        finally:
+            with self._lock:
+                self._sessions.pop(session_id, None)
+        return bool(result["closed"])
+
+    # -- operations --------------------------------------------------------------
+
+    def _decode_children(self, result: dict) -> list[SessionNode]:
+        return [decode_node(c) for c in result["children"]]
+
+    def expand(
+        self, session_id: str, rule: Rule | None = None, *, k: int | None = None
+    ) -> list[SessionNode]:
+        result = self._session_request(
+            session_id,
+            "expand",
+            {
+                "session_id": session_id,
+                "rule": None if rule is None else encode_rule(rule),
+                "k": k,
+            },
+        )
+        return self._decode_children(result)
+
+    def expand_star(
+        self, session_id: str, rule: Rule, column: int | str, *, k: int | None = None
+    ) -> list[SessionNode]:
+        result = self._session_request(
+            session_id,
+            "expand_star",
+            {"session_id": session_id, "rule": encode_rule(rule), "column": column, "k": k},
+        )
+        return self._decode_children(result)
+
+    def expand_traditional(
+        self, session_id: str, rule: Rule, column: int | str, *, k: int | None = None
+    ) -> list[SessionNode]:
+        result = self._session_request(
+            session_id,
+            "expand_traditional",
+            {"session_id": session_id, "rule": encode_rule(rule), "column": column, "k": k},
+        )
+        return self._decode_children(result)
+
+    def collapse(self, session_id: str, rule: Rule) -> None:
+        self._session_request(
+            session_id, "collapse", {"session_id": session_id, "rule": encode_rule(rule)}
+        )
+
+    def render(self, session_id: str, *, sort_display_by_count: bool = False) -> str:
+        result = self._session_request(
+            session_id,
+            "render",
+            {"session_id": session_id, "sort_display_by_count": sort_display_by_count},
+        )
+        return result["text"]
+
+    def tree(self, session_id: str) -> SessionNode:
+        result = self._session_request(session_id, "tree", {"session_id": session_id})
+        return decode_node(result["root"])
+
+    # -- maintenance -------------------------------------------------------------
+
+    def checkpoint_all(self, *, only_dirty: bool = True) -> int:
+        """Snapshot dirty sessions on every shard; total files written."""
+        written = 0
+        for index in range(self.n_shards):
+            shard = self._shard(index)
+            try:
+                result = self._request(shard, "checkpoint_all", {"only_dirty": only_dirty})
+            except ShardDownError:
+                continue  # restarted; its sessions were just restored clean
+            written += int(result["written"])
+        return written
+
+    def reap(self) -> list[str]:
+        """TTL-expire idle sessions on every shard; evicted ids."""
+        evicted: list[str] = []
+        for index in range(self.n_shards):
+            shard = self._shard(index)
+            try:
+                result = self._request(shard, "reap", {})
+            except ShardDownError:
+                continue
+            evicted.extend(result["evicted"])
+        if evicted:
+            with self._lock:
+                for sid in evicted:
+                    self._sessions.pop(sid, None)
+        return evicted
+
+    # -- introspection / lifecycle -----------------------------------------------
+
+    def stats(self) -> dict:
+        """Tier-wide stats with a per-shard breakdown.
+
+        Shard entries embed each worker's own
+        :meth:`DrillDownServer.stats` untouched; a shard that dies
+        while being asked reports ``alive: False`` for this call (and
+        has already been restarted by the time the caller reads it).
+        """
+        with self._lock:
+            placement = {name: self._placement(name) for name in self._tables}
+            session_count = len(self._sessions)
+        shards = []
+        for index in range(self.n_shards):
+            shard = self._shard(index)
+            entry: dict = {"shard": index, "pid": shard.pid, "alive": True}
+            try:
+                entry["server"] = self._request(shard, "stats", {})
+            except ShardDownError as exc:
+                entry["alive"] = False
+                entry["error"] = str(exc)
+            shards.append(entry)
+        return {
+            "tables": list(self.tables()),
+            "sessions": session_count,
+            "router": {
+                "n_shards": self.n_shards,
+                "restarts": self.restarts,
+                "placement": placement,
+            },
+            "shards": shards,
+        }
+
+    def close(self) -> None:
+        """Shut every shard down gracefully (each worker closes its
+        server, checkpointing dirty sessions when durable).  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            shards, self._shards = self._shards, []
+            self._sessions.clear()
+            self._tables.clear()
+        for shard in shards:
+            shard.stop()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"ShardRouter(shards={self.n_shards}, tables={len(self._tables)}, "
+                f"sessions={len(self._sessions)}, restarts={self.restarts}, "
+                f"closed={self._closed})"
+            )

@@ -103,6 +103,11 @@ class DrillDownServer:
         snapshotted session re-enters the registry under its original
         id, tenant, and recency — its rendered tree and subsequent
         expansions bit-identical to a never-restarted session.
+    persist_max_bytes:
+        Cap on the snapshot directory's total footprint; saves past it
+        evict whole snapshots oldest-recency first (see
+        :class:`~repro.serving.persistence.SnapshotStore`).  ``None``
+        (default) is unbounded.
     checkpoint_interval:
         Seconds between dirty-session checkpoint sweeps (only
         meaningful with ``persist_dir`` and a running reaper); defaults
@@ -116,6 +121,10 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
     clock:
         Injectable monotonic clock shared by the registry and
         scheduler (tests).
+    session_id_prefix:
+        Prefix of generated session ids (default ``"sess"``).  The
+        sharded router gives each shard's server a distinct prefix so
+        ids stay globally unique across worker processes.
     """
 
     def __init__(
@@ -130,13 +139,18 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         share_contexts: bool | ContextStore = True,
         max_context_prototypes: int | None = None,
         persist_dir: str | os.PathLike | None = None,
+        persist_max_bytes: int | None = None,
         checkpoint_interval: float | None = None,
         reaper_interval: float | None = None,
         clock: Callable[[], float] = time.monotonic,
+        session_id_prefix: str = "sess",
     ):
         self.catalog = TableCatalog(pool=pool, n_workers=n_workers)
         self.registry = SessionRegistry(
-            max_sessions=max_sessions, ttl_seconds=ttl_seconds, clock=clock
+            max_sessions=max_sessions,
+            ttl_seconds=ttl_seconds,
+            clock=clock,
+            id_prefix=session_id_prefix,
         )
         if isinstance(share_contexts, ContextStore):
             self.contexts: ContextStore | None = share_contexts
@@ -163,7 +177,9 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         self.checkpoint_errors = 0
         try:
             if persist_dir is not None:
-                self.store: SnapshotStore | None = SnapshotStore(persist_dir)
+                self.store: SnapshotStore | None = SnapshotStore(
+                    persist_dir, max_bytes=persist_max_bytes
+                )
                 # Warm restart: decode every snapshot now (corrupt/stale
                 # files are skipped with a counter inside the store) and
                 # hold them pending until their table is re-registered —
@@ -342,6 +358,15 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
     def session(self, session_id: str) -> DrillDownSession:
         """The live session for ``session_id`` (touches TTL/LRU)."""
         return self.registry.get(session_id)
+
+    def session_columns(self, session_id: str) -> tuple[str, ...]:
+        """Column names of the session's source table (touches TTL/LRU).
+
+        Part of the serving facade the HTTP front end is written
+        against — :class:`~repro.serving.ShardRouter` implements the
+        same method without a live session object in this process.
+        """
+        return self.registry.get(session_id).column_names
 
     def close_session(self, session_id: str) -> bool:
         return self.registry.close(session_id)

@@ -9,11 +9,27 @@ deterministic on single-core CI boxes.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.core.parallel import CountingPool
 from repro.core.parallel import _shared_memory as shared_memory
 from repro.serving import DrillDownServer
+
+_SERVING_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Stamp every test under tests/serving with the ``serving`` marker
+    (registered in pytest.ini), so ``-m serving`` selects the tier."""
+    for item in items:
+        try:
+            in_serving = _SERVING_DIR in Path(str(item.fspath)).resolve().parents
+        except OSError:  # pragma: no cover - exotic collection nodes
+            continue
+        if in_serving or Path(str(item.fspath)).resolve().parent == _SERVING_DIR:
+            item.add_marker(pytest.mark.serving)
 
 
 @pytest.fixture

@@ -157,3 +157,168 @@ class TestEndpoints:
         with pytest.raises(urllib.error.HTTPError) as info:
             urllib.request.urlopen(request, timeout=30)
         assert info.value.code == 400
+
+
+class TestErrorMappingRegressions:
+    """Paths that used to 500 (or silently misbehave) must be clean
+    client errors.  Each test failed before its fix in serving/http.py."""
+
+    def test_out_of_range_star_column_is_400_not_500(self, http_tier):
+        """IndexError from a bad column index used to escape as 500."""
+        base, _ = http_tier
+        sid = call(base, "POST", "/sessions", {"table": "retail"})[1]["session_id"]
+        for column in (99, -7):
+            status, body = call(
+                base, "POST", f"/sessions/{sid}/expand_star",
+                {"rule": [None, None, None, None], "column": column},
+            )
+            assert status == 400, f"column {column}: expected 400, got {status}"
+            assert body["error"] == "IndexError"
+
+    def test_wrong_content_type_is_400(self, http_tier):
+        """A declared non-JSON body used to be parsed as JSON anyway."""
+        base, _ = http_tier
+        request = urllib.request.Request(
+            base + "/sessions",
+            data=json.dumps({"table": "retail"}).encode(),
+            method="POST",
+            headers={"Content-Type": "text/plain"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=30)
+        assert info.value.code == 400
+        body = json.loads(info.value.read())
+        assert "Content-Type" in body["message"]
+
+    def test_curl_default_content_type_still_accepted(self, http_tier):
+        """The docs walkthrough posts with curl -d, which labels JSON
+        bodies application/x-www-form-urlencoded; that stays working."""
+        base, _ = http_tier
+        request = urllib.request.Request(
+            base + "/sessions",
+            data=json.dumps({"table": "retail"}).encode(),
+            method="POST",
+            headers={"Content-Type": "application/x-www-form-urlencoded"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.status == 201
+
+    def test_absent_content_type_still_accepted(self, http_tier):
+        base, _ = http_tier
+        request = urllib.request.Request(
+            base + "/sessions",
+            data=json.dumps({"table": "retail"}).encode(),
+            method="POST",
+        )
+        request.remove_header("Content-type")  # urllib adds a default
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.status == 201
+
+    def test_unsupported_method_answers_json(self, http_tier):
+        """PUT/PATCH used to get the stdlib's HTML error page."""
+        base, _ = http_tier
+        for method in ("PUT", "PATCH"):
+            request = urllib.request.Request(
+                base + "/tables", data=b"{}", method=method,
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(request, timeout=30)
+            assert info.value.code == 501
+            body = json.loads(info.value.read())  # JSON, not HTML
+            assert body["error"] == "HTTPError" and method in body["message"]
+
+    def test_non_array_rows_and_columns_are_400(self, http_tier):
+        """A string for "rows" used to be iterated character by
+        character into a one-column table."""
+        base, _ = http_tier
+        assert call(base, "POST", "/tables",
+                    {"name": "x", "columns": ["A"], "rows": "oops"})[0] == 400
+        assert call(base, "POST", "/tables",
+                    {"name": "x", "columns": "A", "rows": [["a"]]})[0] == 400
+
+    def test_malformed_json_and_unknown_route_stay_clean(self, http_tier):
+        """Regression guard for the already-correct paths the issue names."""
+        base, _ = http_tier
+        request = urllib.request.Request(
+            base + "/sessions", data=b"{not json", method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=30)
+        assert info.value.code == 400
+        assert json.loads(info.value.read())["error"] == "ReproError"
+        status, body = call(base, "GET", "/definitely/not/a/route")
+        assert status == 404 and body["error"] == "NotFound"
+
+
+@pytest.fixture
+def sharded_tier(retail):
+    """A live HTTP front end over a 2-shard router."""
+    from repro.serving import ShardRouter
+
+    tier = ShardRouter(2)
+    tier.register_table("retail", retail)
+    httpd = serve(tier, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    yield f"http://{host}:{port}", tier
+    httpd.shutdown()
+    tier.close()
+
+
+class TestShardedFrontEnd:
+    """`--shards N` serves the same wire responses through worker
+    processes; /stats gains the per-shard breakdown; a dead shard is a
+    typed 503."""
+
+    def test_sharded_walkthrough_matches_single_process(self, http_tier, sharded_tier):
+        plain_base, _ = http_tier
+        shard_base, router = sharded_tier
+        plain_sid = call(plain_base, "POST", "/sessions",
+                         {"table": "retail", "tenant": "alice", "k": 3, "mw": 3.0})[1]["session_id"]
+        shard_sid = call(shard_base, "POST", "/sessions",
+                         {"table": "retail", "tenant": "alice", "k": 3, "mw": 3.0})[1]["session_id"]
+        assert shard_sid.startswith(f"s{router.shard_of_table('retail')}-")
+        for path, body in (
+            ("expand", {"rule": [None, None, None, None]}),
+            ("expand", {"rule": ["Walmart", None, None, None]}),
+        ):
+            plain = call(plain_base, "POST", f"/sessions/{plain_sid}/{path}", body)
+            shard = call(shard_base, "POST", f"/sessions/{shard_sid}/{path}", body)
+            assert plain == shard  # status and every response byte
+        plain_render = call(plain_base, "GET", f"/sessions/{plain_sid}/render")
+        shard_render = call(shard_base, "GET", f"/sessions/{shard_sid}/render")
+        assert plain_render == shard_render
+        assert call(plain_base, "GET", f"/sessions/{plain_sid}")[1] == \
+            call(shard_base, "GET", f"/sessions/{shard_sid}")[1]
+
+    def test_stats_carries_per_shard_breakdown(self, sharded_tier):
+        base, router = sharded_tier
+        sid = call(base, "POST", "/sessions", {"table": "retail", "mw": 3.0})[1]["session_id"]
+        call(base, "POST", f"/sessions/{sid}/expand", {"rule": [None, None, None, None]})
+        status, stats = call(base, "GET", "/stats")
+        assert status == 200
+        assert stats["tables"] == ["retail"]
+        assert stats["router"]["n_shards"] == 2
+        assert {entry["shard"] for entry in stats["shards"]} == {0, 1}
+        owner = router.shard_of_table("retail")
+        by_shard = {entry["shard"]: entry for entry in stats["shards"]}
+        assert by_shard[owner]["server"]["registry"]["sessions"] == 1
+        assert by_shard[owner]["server"]["registry"]["expansions"] == 1
+
+    def test_dead_shard_maps_to_503_then_recovers(self, sharded_tier):
+        base, router = sharded_tier
+        sid = call(base, "POST", "/sessions", {"table": "retail", "mw": 3.0})[1]["session_id"]
+        router._shards[router.shard_of_table("retail")].process.kill()
+        status, body = call(base, "GET", f"/sessions/{sid}/render")
+        assert status == 503 and body["error"] == "ShardDownError"
+        # The tier self-healed: the table is re-registered on the
+        # restarted shard and new sessions serve immediately.
+        status, created = call(base, "POST", "/sessions", {"table": "retail", "mw": 3.0})
+        assert status == 201
+        status, _ = call(base, "POST",
+                         f"/sessions/{created['session_id']}/expand",
+                         {"rule": [None, None, None, None]})
+        assert status == 200
