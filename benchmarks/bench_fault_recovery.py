@@ -1,0 +1,204 @@
+"""Fault recovery latency: detect -> restart -> warm restore, vs tree size.
+
+ISSUE 6 added a fault-tolerance layer to the sharded serving tier:
+crashed or wedged shard workers are detected (by a failing request or
+by the watchdog's health probe), killed, respawned, their tables
+re-registered, and every snapshotted session warm-restored from the
+shard's persist directory.  This benchmark measures how long that
+whole recovery pipeline takes as the session tree grows, along both
+detection paths:
+
+* **traffic-driven** — a request hits the dead worker, eats the typed
+  :class:`~repro.errors.ShardDownError`, and the recovery runs inline
+  before the error is raised (timed as ``detect_restart_seconds``);
+* **probe-driven** — no traffic at all; one
+  :meth:`~repro.serving.ShardRouter.probe_shards` sweep (what the
+  background :class:`~repro.serving.ShardWatchdog` runs) finds the
+  corpse and recovers it (timed as ``probe_recover_seconds``).
+
+Crashes are injected with the deterministic
+:class:`~repro.serving.ChaosRule` seam (``kind="crash"``), not by
+reaching into router internals.  Asserted (structurally — latencies
+are machine-dependent and merely recorded):
+
+* after every recovery the session renders **bit-identically** to its
+  pre-crash render — warm restore loses nothing;
+* each scenario performs exactly two restarts (one per detection path)
+  and the probe sweep reports the recovered shard.
+
+A JSON perf record is written next to this file
+(``BENCH_fault_recovery.json``).  Run via pytest
+(``pytest benchmarks/bench_fault_recovery.py -m smoke``) or directly::
+
+    PYTHONPATH=src python benchmarks/bench_fault_recovery.py [--smoke]
+
+``--smoke`` shrinks the census table (6k rows instead of 20k) and
+drops the largest-tree scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import generate_census
+from repro.errors import ReproError, ShardDownError
+from repro.serving import ChaosRule, ShardRouter
+
+RECORD_PATH = Path(__file__).resolve().parent / "BENCH_fault_recovery.json"
+CENSUS_ROWS = 20_000
+SMOKE_ROWS = 6_000
+N_COLUMNS = 5
+K = 3
+MW = 5.0
+EXPANSION_COUNTS = (1, 4, 8)
+SMOKE_EXPANSION_COUNTS = (1, 4)
+
+
+def _grow_tree(router: ShardRouter, sid: str, expansions: int) -> int:
+    """Expand breadth-first until ``expansions`` expansions succeeded."""
+    frontier = [child.rule for child in router.expand(sid)]
+    performed = 1
+    while performed < expansions and frontier:
+        rule = frontier.pop(0)
+        try:
+            frontier.extend(child.rule for child in router.expand(sid, rule))
+        except ReproError:
+            continue  # unexpandable leaf: try the next frontier rule
+        performed += 1
+    return performed
+
+
+def _crash_and_time_recovery(router: ShardRouter, sid: str, reference: str) -> dict:
+    """Crash the worker twice — once per detection path — and time both."""
+    # Traffic-driven: the next render crashes the worker mid-op; the
+    # router detects the dead pipe, restarts the shard, re-registers
+    # the table and warm-restores the snapshots, all before raising.
+    router.inject_chaos(0, [ChaosRule(kind="crash", op="render")])
+    start = time.perf_counter()
+    try:
+        router.render(sid)
+    except ShardDownError:
+        pass
+    else:
+        raise AssertionError("crash chaos rule did not fire on render")
+    detect_restart = time.perf_counter() - start
+
+    start = time.perf_counter()
+    restored = router.render(sid)
+    rerender = time.perf_counter() - start
+    traffic_identical = restored == reference
+
+    # Probe-driven: crash on the health ping, then let one watchdog
+    # sweep (no client traffic) find and recover the corpse.
+    router.inject_chaos(0, [ChaosRule(kind="crash", op="ping")])
+    start = time.perf_counter()
+    recovered = router.probe_shards()
+    probe_recover = time.perf_counter() - start
+    probe_identical = router.render(sid) == reference
+
+    return {
+        "detect_restart_seconds": round(detect_restart, 6),
+        "first_render_after_restore_seconds": round(rerender, 6),
+        "probe_recover_seconds": round(probe_recover, 6),
+        "probe_recovered_shards": recovered,
+        "bit_identical_after_traffic_recovery": traffic_identical,
+        "bit_identical_after_probe_recovery": probe_identical,
+        "restarts": router.restarts,
+    }
+
+
+def run_benchmark(rows: int, expansion_counts=EXPANSION_COUNTS) -> dict:
+    table = generate_census(rows, n_columns=N_COLUMNS, seed=2016)
+    scenarios = []
+    with tempfile.TemporaryDirectory(prefix="bench-fault-") as tmp:
+        for expansions in expansion_counts:
+            with ShardRouter(
+                1, persist_dir=Path(tmp) / f"exp-{expansions}"
+            ) as router:
+                router.register_table("census", table)
+                sid = router.create_session("census", tenant="bench", k=K, mw=MW)
+                performed = _grow_tree(router, sid, expansions)
+                reference = router.render(sid)
+                assert router.checkpoint_all() >= 1
+                scenario = _crash_and_time_recovery(router, sid, reference)
+                scenario["expansions"] = performed
+                scenario["tree_rows"] = len(reference.splitlines())
+                scenarios.append(scenario)
+    return {
+        "workload": {
+            "dataset": "census",
+            "rows": rows,
+            "columns": N_COLUMNS,
+            "k": K,
+            "mw": MW,
+            "weighting": "size",
+            "n_shards": 1,
+        },
+        "scenarios": scenarios,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def write_record(record: dict) -> None:
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+
+def check_record(record: dict) -> None:
+    for scenario in record["scenarios"]:
+        label = f"{scenario['expansions']}-expansion scenario"
+        assert scenario["bit_identical_after_traffic_recovery"], (
+            f"{label}: render diverged after traffic-driven recovery"
+        )
+        assert scenario["bit_identical_after_probe_recovery"], (
+            f"{label}: render diverged after probe-driven recovery"
+        )
+        assert scenario["restarts"] == 2, (
+            f"{label}: expected exactly 2 restarts, saw {scenario['restarts']}"
+        )
+        assert scenario["probe_recovered_shards"] == [0], (
+            f"{label}: probe sweep recovered {scenario['probe_recovered_shards']}"
+        )
+
+
+@pytest.mark.smoke
+@pytest.mark.chaos
+def test_fault_recovery_latency():
+    """Smoke: crash + recover at two tree sizes — bit-identical restores."""
+    record = run_benchmark(SMOKE_ROWS, SMOKE_EXPANSION_COUNTS)
+    write_record(record)
+    print()
+    for scenario in record["scenarios"]:
+        print(
+            f"BX fault recovery: {scenario['expansions']} expansion(s) "
+            f"({scenario['tree_rows']} tree rows): "
+            f"detect+restart+restore {scenario['detect_restart_seconds']*1000:.0f} ms, "
+            f"probe sweep {scenario['probe_recover_seconds']*1000:.0f} ms"
+        )
+    check_record(record)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="smaller table, no 8-expansion scenario (fast CI smoke run)",
+    )
+    args = parser.parse_args()
+    record = run_benchmark(
+        SMOKE_ROWS if args.smoke else CENSUS_ROWS,
+        SMOKE_EXPANSION_COUNTS if args.smoke else EXPANSION_COUNTS,
+    )
+    write_record(record)
+    print(json.dumps(record, indent=2))
+    check_record(record)
+    print(f"\nperf record written to {RECORD_PATH}")
+
+
+if __name__ == "__main__":
+    main()

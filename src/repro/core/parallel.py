@@ -102,9 +102,9 @@ import os
 import threading
 import weakref
 from collections import OrderedDict
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 import numpy as np
 
@@ -122,9 +122,43 @@ __all__ = [
     "CountingBackend",
     "CountingPool",
     "count_extensions_kernel",
+    "current_deadline",
+    "deadline_scope",
     "default_pool",
     "resolve_pool",
 ]
+
+
+# -- request deadlines -----------------------------------------------------------
+
+_DEADLINES = threading.local()
+
+
+def current_deadline() -> float | None:
+    """The calling thread's absolute deadline, if one is in scope."""
+    return getattr(_DEADLINES, "at", None)
+
+
+@contextmanager
+def deadline_scope(deadline_at: float | None) -> Iterator[None]:
+    """Bind an absolute deadline to the calling thread.
+
+    The serving facade wraps each expansion in this scope so the fair
+    scheduler's dispatch gate (deep inside
+    :meth:`CountingBackend.count_batch`, reached through session and
+    search-engine code that knows nothing about deadlines) can bound
+    its queue wait.  ``deadline_at`` is in the clock domain of whoever
+    set it — the serving tier uses the same injectable clock for its
+    scheduler and this scope.  Scopes nest; the previous value is
+    restored on exit.  The scope bounds *queue entry* only: a batch
+    already submitted to the workers runs to completion.
+    """
+    previous = getattr(_DEADLINES, "at", None)
+    _DEADLINES.at = deadline_at
+    try:
+        yield
+    finally:
+        _DEADLINES.at = previous
 
 
 def count_extensions_kernel(
@@ -425,11 +459,17 @@ class CountingBackend:
             # queue theirs while these compute.  The export lock is
             # taken first, so a backend waiting for it never holds the
             # turn hostage.
-            gate = (
-                scheduler.dispatch_turn(self.tenant)
-                if scheduler is not None
-                else nullcontext()
-            )
+            deadline_at = current_deadline()
+            if scheduler is None:
+                gate = nullcontext()
+            elif deadline_at is not None:
+                # Threaded through the thread-local scope (set by the
+                # serving facade): an expired deadline aborts the queue
+                # wait with DeadlineExceededError, which the facade
+                # catches to refund the expansion's budget charge.
+                gate = scheduler.dispatch_turn(self.tenant, deadline_at=deadline_at)
+            else:
+                gate = scheduler.dispatch_turn(self.tenant)
             with gate:
                 self.export.publish_top(self.top, (id(self), self._top_version))
                 futures = []

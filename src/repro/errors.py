@@ -127,6 +127,41 @@ class ShardDownError(ShardError):
     """
 
 
+class DeadlineExceededError(ServingError):
+    """A request's deadline expired before the serving tier finished it.
+
+    Raised on every layer of the deadline spine: admission (a budget
+    already spent by earlier calls), the session-entry lock, the fair
+    scheduler's dispatch queue, and the shard pipe (a worker that
+    missed its reply window — the router kills and restarts it).  Maps
+    to HTTP 503 with a ``Retry-After`` header: the tier is healthy or
+    recovering, and the same request may well fit a fresh deadline.
+    ``retry_after`` is a back-off hint in seconds (``None`` = retry at
+    will).
+    """
+
+    def __init__(self, message: str = "deadline exceeded", *, retry_after: float | None = None):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class CircuitOpenError(ShardDownError):
+    """A shard's circuit breaker is open: the request was shed, not sent.
+
+    After ``threshold`` consecutive pipe-level failures the router
+    stops dialing the shard at all; callers get this error immediately
+    (no queueing behind the corpse) until the breaker's cooldown admits
+    a half-open probe.  Subclasses :class:`ShardDownError`, so existing
+    503 mappings and ``except ShardDownError`` maintenance sweeps treat
+    it as the shard being unavailable.  ``retry_after`` is the
+    remaining cooldown in seconds.
+    """
+
+    def __init__(self, message: str = "circuit open", *, retry_after: float | None = None):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
 class TenantBudgetError(ServingError):
     """A tenant's token budget cannot cover a requested expansion.
 

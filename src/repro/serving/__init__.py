@@ -26,14 +26,22 @@ multiplexes *tenants* on top of it:
   :mod:`repro.serving.shard`) — the same facade sharded across N
   worker processes: consistent-hash table placement, sticky session
   affinity, crash detection with automatic restart + warm restore,
-  responses bit-identical to one in-process server.
+  responses bit-identical to one in-process server;
+* :class:`CircuitBreaker`, :class:`ShardWatchdog`,
+  :class:`ChaosPolicy` (:mod:`repro.serving.faults`) — the
+  fault-tolerance layer: per-shard circuit breaking, background
+  health sweeps that kill and restart wedged workers, and the
+  deterministic fault-injection seam the chaos drills are built on;
+  per-request deadlines thread from the HTTP ``X-Deadline`` header
+  down to scheduler queue entry.
 
 See docs/SERVING.md for topology, tenancy semantics, budget knobs,
-durability, and a curl walkthrough.
+durability, fault tolerance, and a curl walkthrough.
 """
 
 from repro.serving.catalog import TableCatalog
 from repro.serving.contexts import ContextStore
+from repro.serving.faults import ChaosPolicy, ChaosRule, CircuitBreaker, ShardWatchdog
 from repro.serving.persistence import (
     SNAPSHOT_VERSION,
     ReaperThread,
@@ -47,6 +55,9 @@ from repro.serving.server import WEIGHT_FUNCTIONS, DrillDownServer
 from repro.serving.shard import ShardProcess
 
 __all__ = [
+    "ChaosPolicy",
+    "ChaosRule",
+    "CircuitBreaker",
     "ContextStore",
     "DrillDownServer",
     "FairScheduler",
@@ -56,6 +67,7 @@ __all__ = [
     "SessionSnapshot",
     "ShardProcess",
     "ShardRouter",
+    "ShardWatchdog",
     "SnapshotStore",
     "SNAPSHOT_VERSION",
     "TableCatalog",

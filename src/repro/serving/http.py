@@ -32,11 +32,15 @@ contains JSON ``null`` values is not addressable over the wire (use
 the programmatic facade for that).
 
 Error mapping: unknown table/session -> 404, closed session -> 409,
-exhausted tenant budget -> 429 (with ``retry_after`` when the bucket
-refills), a dead/misbehaving shard -> 503 (retry), any other
+exhausted tenant budget -> 429 (with ``Retry-After`` when the bucket
+refills), a dead/wedged/circuit-open shard or an exceeded deadline ->
+503 with ``Retry-After``, a client whose socket stalls mid-request ->
+408 (see ``request_timeout``), any other
 :class:`~repro.errors.ReproError` or malformed body (bad JSON, a
 non-JSON ``Content-Type``, out-of-range column, ...) -> 400,
-everything else -> 500.  The body always carries
+everything else -> 500.  Requests may carry an ``X-Deadline`` header
+(seconds): work still queued or running at the deadline is abandoned
+and answered 503 (docs/SERVING.md, "Fault tolerance").  The body always carries
 ``{"error": <exception class>, "message": ...}`` — including for
 stdlib-generated failures like an unsupported method (501), which
 would otherwise answer HTML to a JSON API.
@@ -73,6 +77,7 @@ from typing import Any
 from repro.core.rule import STAR, Rule, Wildcard
 from repro.datasets import generate_census, generate_marketing, generate_retail
 from repro.errors import (
+    DeadlineExceededError,
     ReproError,
     SessionClosedError,
     ShardError,
@@ -170,7 +175,13 @@ def _table_from_body(body: dict) -> Table:
 _SESSION_PATH = re.compile(r"^/sessions/([^/]+)(?:/(expand|expand_star|collapse|render))?$")
 
 
-def make_handler(server: "DrillDownServer | ShardRouter", *, quiet: bool = True) -> type:
+def make_handler(
+    server: "DrillDownServer | ShardRouter",
+    *,
+    quiet: bool = True,
+    request_timeout: float | None = None,
+    default_deadline: float | None = None,
+) -> type:
     """A request-handler class bound to one serving facade.
 
     The facade may be an in-process :class:`DrillDownServer` or a
@@ -178,11 +189,23 @@ def make_handler(server: "DrillDownServer | ShardRouter", *, quiet: bool = True)
     shared surface (``create_session`` / ``expand`` / ``render`` /
     ``tree`` / ``session_columns`` / ...), so the wire behaviour is
     identical either way.
+
+    ``request_timeout`` bounds every socket read: a client that opens a
+    connection and trickles (or never sends) its request — the classic
+    slowloris — gets a 408 (when enough of the request arrived to
+    answer) or a plain close, instead of parking a handler thread
+    forever.  ``default_deadline`` is the deadline (seconds) forwarded
+    to the tier for requests that carry no ``X-Deadline`` header; a
+    header value always wins.
     """
 
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
         tier = server
+        # socketserver applies this to the connection via settimeout(),
+        # so the request line, headers, *and* body reads are all
+        # bounded.  None = no limit (the pre-hardening behaviour).
+        timeout = request_timeout
 
         # -- plumbing -----------------------------------------------------------
 
@@ -250,24 +273,60 @@ def make_handler(server: "DrillDownServer | ShardRouter", *, quiet: bool = True)
                 status = 409
             elif isinstance(exc, TenantBudgetError):
                 status = 429
-            elif isinstance(exc, ShardError):
-                # Shard died (restarted with warm restore) or spoke
-                # garbage: the tier is degraded, not the request wrong.
+            elif isinstance(exc, (ShardError, DeadlineExceededError)):
+                # Shard died/wedged (restarted with warm restore),
+                # circuit open, or the deadline ran out: the tier is
+                # degraded or saturated, not the request wrong — 503
+                # with a Retry-After the client can honour.
                 status = 503
+            elif isinstance(exc, TimeoutError):
+                # The *client's* socket stalled mid-request (slowloris
+                # or a dead peer): answer 408 and drop the connection —
+                # this handler thread is not parked on it any longer.
+                status = 408
+                self.close_connection = True
             elif isinstance(exc, (ReproError, KeyError, TypeError, ValueError, IndexError)):
                 status = 400
             else:  # pragma: no cover - defensive
                 status = 500
             payload = {"error": type(exc).__name__, "message": str(exc)}
             headers = None
+            retry_after = getattr(exc, "retry_after", None)
             if isinstance(exc, TenantBudgetError):
-                payload["retry_after"] = exc.retry_after
-                if exc.retry_after is not None:
-                    headers = {"Retry-After": str(max(1, int(exc.retry_after + 1)))}
-            self._json(status, payload, headers)
+                payload["retry_after"] = retry_after
+            if status == 503 and retry_after is None:
+                retry_after = 1.0  # degraded tiers always hint a backoff
+            if status in (429, 503) and retry_after is not None:
+                payload.setdefault("retry_after", retry_after)
+                headers = {"Retry-After": str(max(1, int(retry_after + 1)))}
+            try:
+                self._json(status, payload, headers)
+            except OSError:  # pragma: no cover - peer already gone
+                self.close_connection = True
 
-        def _session_rule(self, session_id: str, body: dict) -> Rule:
-            n_columns = len(self.tier.session_columns(session_id))
+        def _deadline(self) -> float | None:
+            """Per-request deadline: ``X-Deadline`` header (seconds),
+            else the handler's configured default, else ``None`` (the
+            tier's own ``default_deadline`` still applies)."""
+            raw = self.headers.get("X-Deadline")
+            if raw is None:
+                return default_deadline
+            try:
+                value = float(raw)
+            except ValueError:
+                raise ReproError(
+                    f"X-Deadline must be a number of seconds, got {raw!r}"
+                ) from None
+            if value <= 0:
+                raise ReproError("X-Deadline must be > 0 seconds")
+            return value
+
+        def _session_rule(
+            self, session_id: str, body: dict, deadline: float | None = None
+        ) -> Rule:
+            n_columns = len(
+                self.tier.session_columns(session_id, deadline=deadline)
+            )
             return rule_from_wire(body.get("rule"), n_columns)
 
         # -- verbs --------------------------------------------------------------
@@ -282,9 +341,10 @@ def make_handler(server: "DrillDownServer | ShardRouter", *, quiet: bool = True)
                     return self._json(200, {"tables": list(self.tier.tables())})
                 match = _SESSION_PATH.match(self.path)
                 if match and match.group(2) == "render":
-                    return self._json(200, {"text": self.tier.render(match.group(1))})
+                    text = self.tier.render(match.group(1), deadline=self._deadline())
+                    return self._json(200, {"text": text})
                 if match and match.group(2) is None:
-                    root = self.tier.tree(match.group(1))
+                    root = self.tier.tree(match.group(1), deadline=self._deadline())
                     return self._json(200, {"tree": node_to_wire(root, deep=True)})
                 return self._json(404, {"error": "NotFound", "message": self.path})
             except Exception as exc:
@@ -304,6 +364,7 @@ def make_handler(server: "DrillDownServer | ShardRouter", *, quiet: bool = True)
                          "columns": list(table.column_names)},
                     )
                 if self.path == "/sessions":
+                    deadline = self._deadline()
                     session_id = self.tier.create_session(
                         body["table"],
                         tenant=body.get("tenant", "default"),
@@ -311,30 +372,37 @@ def make_handler(server: "DrillDownServer | ShardRouter", *, quiet: bool = True)
                         k=int(body.get("k", 3)),
                         mw=float(body.get("mw", 5.0)),
                         measure=body.get("measure"),
+                        deadline=deadline,
                     )
                     return self._json(
                         201,
                         {
                             "session_id": session_id,
                             "table": body["table"],
-                            "columns": list(self.tier.session_columns(session_id)),
-                            "root": node_to_wire(self.tier.tree(session_id)),
+                            "columns": list(
+                                self.tier.session_columns(session_id, deadline=deadline)
+                            ),
+                            "root": node_to_wire(
+                                self.tier.tree(session_id, deadline=deadline)
+                            ),
                         },
                     )
                 match = _SESSION_PATH.match(self.path)
                 if match and match.group(2) in ("expand", "expand_star", "collapse"):
                     session_id, op = match.group(1), match.group(2)
-                    rule = self._session_rule(session_id, body)
+                    deadline = self._deadline()
+                    rule = self._session_rule(session_id, body, deadline)
                     if op == "expand":
                         children = self.tier.expand(
-                            session_id, rule, k=body.get("k")
+                            session_id, rule, k=body.get("k"), deadline=deadline
                         )
                     elif op == "expand_star":
                         children = self.tier.expand_star(
-                            session_id, rule, body["column"], k=body.get("k")
+                            session_id, rule, body["column"], k=body.get("k"),
+                            deadline=deadline,
                         )
                     else:
-                        self.tier.collapse(session_id, rule)
+                        self.tier.collapse(session_id, rule, deadline=deadline)
                         return self._json(200, {"collapsed": rule_to_wire(rule)})
                     return self._json(
                         200, {"children": [node_to_wire(c) for c in children]}
@@ -362,14 +430,26 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8080,
     quiet: bool = True,
+    request_timeout: float | None = 30.0,
+    default_deadline: float | None = None,
 ) -> ThreadingHTTPServer:
     """Bind the HTTP front end; the caller drives ``serve_forever()``.
 
     ``port=0`` binds an ephemeral port (tests); read it back from
     ``httpd.server_address``.  Shutting down the HTTP layer does *not*
     close the tier — call ``server.close()`` separately.
+    ``request_timeout`` (seconds; default 30) bounds socket reads so a
+    stalled client cannot park a handler thread; ``default_deadline``
+    seeds the per-request deadline for clients that send no
+    ``X-Deadline`` header.
     """
-    httpd = ThreadingHTTPServer((host, port), make_handler(server, quiet=quiet))
+    handler = make_handler(
+        server,
+        quiet=quiet,
+        request_timeout=request_timeout,
+        default_deadline=default_deadline,
+    )
+    httpd = ThreadingHTTPServer((host, port), handler)
     httpd.daemon_threads = True
     return httpd
 
@@ -406,6 +486,23 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--reaper-interval", type=float, default=30.0,
                         help="background TTL-reaper period in seconds; "
                              "0 disables the thread (default 30)")
+    parser.add_argument("--request-timeout", type=float, default=30.0,
+                        help="socket read timeout in seconds; a stalled "
+                             "client gets 408 instead of a parked thread "
+                             "(default 30; 0 disables)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        help="default per-request deadline in seconds; "
+                             "clients override per request with the "
+                             "X-Deadline header (default: unbounded)")
+    parser.add_argument("--watchdog-interval", type=float, default=10.0,
+                        help="with --shards: seconds between shard health "
+                             "sweeps; 0 disables the watchdog (default 10)")
+    parser.add_argument("--breaker-threshold", type=int, default=5,
+                        help="with --shards: consecutive shard failures "
+                             "before its circuit opens (default 5)")
+    parser.add_argument("--breaker-cooldown", type=float, default=1.0,
+                        help="with --shards: seconds an open circuit waits "
+                             "before probing the shard again (default 1)")
     parser.add_argument("--verbose", action="store_true", help="log requests")
     args = parser.parse_args(argv)
 
@@ -419,14 +516,27 @@ def main(argv: list[str] | None = None) -> None:
         persist_max_bytes=args.persist_max_bytes,
         checkpoint_interval=args.checkpoint_interval,
         reaper_interval=args.reaper_interval or None,
+        default_deadline=args.deadline,
     )
     if args.shards and args.shards > 0:
-        tier: DrillDownServer | ShardRouter = ShardRouter(args.shards, **tier_kwargs)
+        tier: DrillDownServer | ShardRouter = ShardRouter(
+            args.shards,
+            watchdog_interval=args.watchdog_interval or None,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            **tier_kwargs,
+        )
         topology = f"shards={args.shards}, workers/shard={args.workers or 1}"
     else:
         tier = DrillDownServer(**tier_kwargs)
         topology = f"workers={args.workers or 1}"
-    httpd = serve(tier, host=args.host, port=args.port, quiet=not args.verbose)
+    httpd = serve(
+        tier,
+        host=args.host,
+        port=args.port,
+        quiet=not args.verbose,
+        request_timeout=args.request_timeout or None,
+    )
     host, port = httpd.server_address[:2]
     durability = f", persist={args.persist_dir}" if args.persist_dir else ""
     print(f"serving smart drill-down on http://{host}:{port} "

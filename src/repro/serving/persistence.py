@@ -534,6 +534,11 @@ class ReaperThread(threading.Thread):
     :meth:`run_once` drives one tick synchronously for deterministic
     tests; :meth:`stop` shuts the thread down promptly (it is also a
     daemon, so it never blocks interpreter exit).
+
+    :class:`~repro.serving.faults.ShardWatchdog` follows the same
+    shape (daemon loop, exception isolation, ``run_once``/``stop``)
+    one level up: it sweeps shard *processes* for wedge/crash where
+    this thread sweeps *sessions* for expiry.
     """
 
     def __init__(

@@ -47,10 +47,11 @@ import re
 import threading
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterator
 
-from repro.errors import ServingError, UnknownSessionError
+from repro.errors import DeadlineExceededError, ServingError, UnknownSessionError
 from repro.session.session import DrillDownSession
 
 __all__ = ["SessionEntry", "SessionRegistry"]
@@ -86,6 +87,39 @@ class SessionEntry:
     #: re-entrant; the HTTP front end is threaded).  Also guards the
     #: ``expansions`` counter and ``dirty`` flag.
     lock: threading.Lock = field(default_factory=threading.Lock)
+
+    @contextmanager
+    def hold(
+        self,
+        deadline_at: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> Iterator[None]:
+        """Acquire :attr:`lock`, bounded by an absolute deadline.
+
+        ``with entry.hold():`` is exactly ``with entry.lock:``; with a
+        ``deadline_at`` the acquire times out and raises
+        :class:`~repro.errors.DeadlineExceededError` instead — a
+        deadline'd request queued behind another long operation on the
+        *same* session must fail fast, not inherit the predecessor's
+        runtime.  ``clock`` must be the domain ``deadline_at`` was
+        computed in (the serving tier passes its injectable clock —
+        note a non-realtime test clock makes the underlying real-time
+        lock wait conservative, which only ever fails *earlier*).
+        """
+        if deadline_at is None:
+            self.lock.acquire()
+        else:
+            remaining = deadline_at - clock()
+            if remaining <= 0.0 or not self.lock.acquire(timeout=remaining):
+                raise DeadlineExceededError(
+                    f"session {self.session_id!r} is busy with another request "
+                    "and the deadline expired waiting for it",
+                    retry_after=1.0,
+                )
+        try:
+            yield
+        finally:
+            self.lock.release()
 
 
 class SessionRegistry:

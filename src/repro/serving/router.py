@@ -39,21 +39,40 @@ from __future__ import annotations
 import bisect
 import hashlib
 import os
+import random
 import threading
+import time
 from pathlib import Path
 
 from repro.core.rule import Rule
 from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    ReproError,
     ServingError,
     ShardDownError,
     UnknownSessionError,
 )
+from repro.serving.faults import ChaosPolicy, CircuitBreaker, ShardWatchdog
 from repro.serving.persistence import encode_rule
-from repro.serving.shard import ShardProcess, decode_node, encode_table
+from repro.serving.shard import (
+    ShardBusyError,
+    ShardProcess,
+    ShardWedgedError,
+    decode_node,
+    encode_table,
+)
 from repro.session.session import SessionNode
 from repro.table.table import Table
 
 __all__ = ["ShardRouter"]
+
+#: Ops safe to retry transparently after a shard restart: read-only and
+#: idempotent — re-running them cannot double-apply anything.  Every
+#: mutating op (``expand*``, ``collapse``, ``create_session``, ...) is
+#: deliberately absent: it may have been half-applied when the shard
+#: died, so the caller must observe the typed 503 and decide.
+_RETRYABLE_OPS = frozenset({"render", "tree", "session_columns", "stats", "tables", "ping"})
 
 
 def _stable_hash(key: str) -> int:
@@ -99,6 +118,33 @@ class ShardRouter:
     start_timeout:
         Seconds to wait for a worker to come up before declaring the
         spawn failed.
+    default_deadline:
+        Per-request deadline (seconds) applied when the caller passes
+        none.  Bounds lock wait + pipe wait on every data-plane op;
+        control-plane ops (table registration's warm restore,
+        checkpointing, reaping) are exempt.  ``None`` (default) keeps
+        requests unbounded.
+    watchdog_interval:
+        Start a :class:`~repro.serving.faults.ShardWatchdog` calling
+        :meth:`probe_shards` every this-many seconds; ``None``
+        (default) runs no watchdog (tests call ``probe_shards``
+        directly).
+    probe_timeout, wedge_timeout:
+        Watchdog budgets: seconds a health ``ping`` may take, and
+        seconds a shard may sit busy on one request before it is
+        declared wedged and killed.
+    breaker_threshold, breaker_cooldown:
+        Per-shard circuit breaker: consecutive transport failures
+        before the circuit opens, and seconds it stays open before
+        admitting a half-open probe.
+    read_retries, retry_backoff, retry_seed:
+        Transparent retry budget for *idempotent read-only* ops (see
+        :data:`_RETRYABLE_OPS`) after a shard restart, behind jittered
+        exponential backoff.  Default ``0``: every failure surfaces as
+        its typed error.
+    clock:
+        Injectable monotonic clock for the breakers (tests drive
+        cooldowns deterministically).
     """
 
     def __init__(
@@ -118,14 +164,47 @@ class ShardRouter:
         reaper_interval: float | None = None,
         virtual_nodes: int = 64,
         start_timeout: float = 60.0,
+        default_deadline: float | None = None,
+        watchdog_interval: float | None = None,
+        probe_timeout: float = 5.0,
+        wedge_timeout: float = 30.0,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 1.0,
+        read_retries: int = 0,
+        retry_backoff: float = 0.05,
+        retry_seed: int | None = None,
+        clock=time.monotonic,
     ):
         if n_shards < 1:
             raise ServingError("a sharded tier needs at least 1 shard")
         if virtual_nodes < 1:
             raise ServingError("virtual_nodes must be >= 1")
+        if default_deadline is not None and default_deadline <= 0:
+            raise ServingError("default_deadline must be > 0 seconds (or None)")
+        if read_retries < 0:
+            raise ServingError("read_retries must be >= 0")
         self.n_shards = n_shards
         self._persist_dir = None if persist_dir is None else Path(persist_dir)
         self._start_timeout = start_timeout
+        self._default_deadline = default_deadline
+        self._probe_timeout = probe_timeout
+        self._wedge_timeout = wedge_timeout
+        self._read_retries = int(read_retries)
+        self._retry_backoff = retry_backoff
+        self._retry_rng = random.Random(retry_seed)
+        self._clock = clock
+        self._breakers = [
+            CircuitBreaker(
+                threshold=breaker_threshold,
+                cooldown=breaker_cooldown,
+                clock=clock,
+                name=f"shard-{index}",
+            )
+            for index in range(n_shards)
+        ]
+        self.deadline_aborts = 0
+        self.wedge_kills = 0
+        self.watchdog: ShardWatchdog | None = None
         self._base_kwargs = dict(
             n_workers=n_workers,
             max_sessions=max_sessions,
@@ -171,6 +250,11 @@ class ShardRouter:
         except BaseException:
             self.close()
             raise
+        if watchdog_interval is not None:
+            self.watchdog = ShardWatchdog(
+                probe=self.probe_shards, interval=watchdog_interval
+            )
+            self.watchdog.start()
 
     # -- shard lifecycle ---------------------------------------------------------
 
@@ -196,21 +280,35 @@ class ShardRouter:
             start_method="spawn" if respawn else None,
         )
 
-    def _recover(self, shard: ShardProcess, op: str, cause: BaseException) -> None:
-        """A request observed a broken pipe: restart the shard (first
-        observer wins; the spawn runs *outside* the router lock so
-        healthy shards keep serving), re-register its tables —
-        warm-restoring any snapshotted sessions — and raise
-        :class:`ShardDownError` for the observing request (it may have
-        been half-applied; the router never silently retries it)."""
+    def _recover_slot(
+        self, shard: ShardProcess, generation: int, *, wedged: bool = False
+    ) -> bool:
+        """Restart a dead or wedged shard slot; first observer wins.
+
+        ``generation`` is the slot generation the caller captured when
+        it picked ``shard`` up.  A stale observer — the slot was already
+        recovered (or is mid-recovery) since the capture — returns
+        ``False`` without touching anything, so one underlying failure
+        seen by many request threads (or by a request racing the
+        watchdog) can never stack a second restart on the first.  With
+        ``wedged=True`` the worker process is still running but
+        unresponsive, so it is SIGKILLed before the reap.
+
+        The spawn runs *outside* the router lock so healthy shards keep
+        serving; the replacement then re-registers this slot's tables,
+        warm-restoring every snapshotted session.  Returns ``True``
+        when *this* call performed the restart.  Never raises — each
+        caller surfaces its own typed error for the request that
+        observed the failure.
+        """
         with self._lock:
             first = (
                 not self._closed
                 and self._shards[shard.index] is shard
+                and self._generations[shard.index] == generation
                 and not self._recovering[shard.index]
             )
             if first:
-                shard.reap()
                 self.restarts += 1
                 self._generations[shard.index] += 1
                 self._recovering[shard.index] = True
@@ -222,31 +320,35 @@ class ShardRouter:
                     if index == shard.index
                 ]:
                     del self._sessions[sid]
-        if first:
-            replacement = None
-            try:
-                replacement = self._spawn(shard.index, respawn=True)
-            except Exception:
-                pass  # slot keeps the reaped handle; next request retries
-            try:
-                if replacement is not None:
-                    with self._lock:
-                        if self._closed:
-                            replacement, doomed = None, replacement
-                        else:
-                            self._shards[shard.index] = replacement
-                            doomed = None
-                    if doomed is not None:
-                        doomed.stop()
-                if replacement is not None:
-                    self._reregister(replacement)
-            finally:
+        if not first:
+            return False
+        # Reap outside the router lock: a wedged worker is killed first
+        # (reap's polite terminate would wait on a process that is busy
+        # ignoring us), and join/close may block briefly.
+        if wedged:
+            shard.kill()
+        shard.reap()
+        replacement = None
+        try:
+            replacement = self._spawn(shard.index, respawn=True)
+        except Exception:
+            pass  # slot keeps the reaped handle; next request retries
+        try:
+            if replacement is not None:
                 with self._lock:
-                    self._recovering[shard.index] = False
-        raise ShardDownError(
-            f"shard {shard.index} died serving {op!r}; it has been restarted "
-            "(snapshotted sessions warm-restored) — retry the request"
-        ) from cause
+                    if self._closed:
+                        replacement, doomed = None, replacement
+                    else:
+                        self._shards[shard.index] = replacement
+                        doomed = None
+                if doomed is not None:
+                    doomed.stop()
+            if replacement is not None:
+                self._reregister(replacement)
+        finally:
+            with self._lock:
+                self._recovering[shard.index] = False
+        return True
 
     def _reregister(self, shard: ShardProcess) -> None:
         """Replay the dead shard's table registrations into its
@@ -309,22 +411,190 @@ class ShardRouter:
 
     # -- the request spine -------------------------------------------------------
 
-    def _request(self, shard: ShardProcess, op: str, args: dict | None = None):
-        try:
-            return shard.request(op, args)
-        except (OSError, EOFError) as exc:
-            self._recover(shard, op, exc)  # always raises
+    def _request(
+        self,
+        shard: ShardProcess,
+        op: str,
+        args: dict | None = None,
+        *,
+        deadline: float | None = None,
+        use_default: bool = True,
+    ):
+        """One breaker-guarded, deadline-bounded pipe round trip.
 
-    def _session_request(self, session_id: str, op: str, args: dict):
-        shard, _table = self._session_shard(session_id)
+        The exception ladder is the fault-tolerance contract:
+
+        * circuit open → :class:`~repro.errors.CircuitOpenError`
+          immediately (no pipe traffic; ``retry_after`` = remaining
+          cooldown);
+        * shard busy past the deadline (request never sent) →
+          :class:`~repro.errors.DeadlineExceededError`, breaker *not*
+          charged — saturation is not sickness;
+        * shard wedged past the deadline (request sent, no reply) →
+          kill + restart, then ``DeadlineExceededError``;
+        * typed application error from the shard → breaker *success*
+          (the pipe answered; the worker is healthy) and re-raise;
+        * broken pipe / EOF → restart, then
+          :class:`~repro.errors.ShardDownError`.
+
+        ``use_default=False`` exempts control-plane ops
+        (``register_table`` warm restore, ``checkpoint_all``, ...) from
+        the tier's default deadline — recovery work must not be cut
+        short by a knob sized for interactive requests.
+        """
+        breaker = self._breakers[shard.index]
+        breaker.acquire()
+        if deadline is None and use_default:
+            deadline = self._default_deadline
+        with self._lock:
+            generation = self._generations[shard.index]
         try:
-            return self._request(shard, op, args)
-        except UnknownSessionError:
-            # The shard expired/evicted it; drop the stale pin so the
-            # router's own map cannot grow without bound.
-            with self._lock:
-                self._sessions.pop(session_id, None)
+            result = shard.request(op, args, timeout=deadline)
+        except ShardBusyError as exc:
+            # The shard's request lock stayed held for the whole
+            # deadline: the request was never sent, the handle stays
+            # usable, and a half-open probe slot (if we held one) is
+            # returned rather than spent on an inconclusive outcome.
+            breaker.cancel_probe()
+            self.deadline_aborts += 1
+            raise DeadlineExceededError(
+                f"shard {shard.index} was busy past the {deadline}s deadline "
+                f"for {op!r} — the request was never sent",
+                retry_after=1.0,
+            ) from exc
+        except ShardWedgedError as exc:
+            breaker.record_failure()
+            self.deadline_aborts += 1
+            self.wedge_kills += 1
+            self._recover_slot(shard, generation, wedged=True)
+            raise DeadlineExceededError(
+                f"shard {shard.index} did not answer {op!r} within the "
+                f"{deadline}s deadline; the wedged worker was killed and "
+                "restarted (snapshotted sessions warm-restored)",
+                retry_after=1.0,
+            ) from exc
+        except ReproError:
+            breaker.record_success()  # the pipe answered — shard is healthy
             raise
+        except (OSError, EOFError) as exc:
+            breaker.record_failure()
+            self._recover_slot(shard, generation)
+            raise ShardDownError(
+                f"shard {shard.index} died serving {op!r}; it has been "
+                "restarted (snapshotted sessions warm-restored) — retry the "
+                "request"
+            ) from exc
+        breaker.record_success()
+        return result
+
+    def _session_request(
+        self, session_id: str, op: str, args: dict, *, deadline: float | None = None
+    ):
+        """Route ``op`` to the session's shard, optionally retrying.
+
+        Only ops in :data:`_RETRYABLE_OPS` are ever retried, and only
+        when ``read_retries > 0`` was configured: after a
+        :class:`ShardDownError` the loop re-resolves the shard (the
+        slot now holds the restarted worker) and retries behind a
+        jittered exponential backoff.  Deadline and circuit-open
+        failures are never retried — both mean "come back later", and
+        retrying would spend the caller's remaining patience on a
+        shard that already said no.
+        """
+        attempts = 1 + (self._read_retries if op in _RETRYABLE_OPS else 0)
+        last: ShardDownError | None = None
+        for attempt in range(attempts):
+            if attempt:
+                backoff = self._retry_backoff * (2 ** (attempt - 1))
+                time.sleep(backoff * (0.5 + self._retry_rng.random() / 2.0))
+            shard, _table = self._session_shard(session_id)
+            try:
+                return self._request(shard, op, args, deadline=deadline)
+            except (DeadlineExceededError, CircuitOpenError):
+                raise
+            except UnknownSessionError:
+                # The shard expired/evicted it; drop the stale pin so
+                # the router's own map cannot grow without bound.
+                with self._lock:
+                    self._sessions.pop(session_id, None)
+                raise
+            except ShardDownError as exc:
+                last = exc
+        assert last is not None
+        raise last
+
+    # -- watchdog & chaos --------------------------------------------------------
+
+    def probe_shards(self) -> list[int]:
+        """One watchdog sweep: health-probe every shard, recover the sick.
+
+        Detects three failure shapes: a slot left holding a reaped
+        handle (an earlier respawn failed — retried here), a worker
+        wedged mid-request past ``wedge_timeout`` (killed outright, so
+        deadline-less traffic gets coverage too), and a worker whose
+        pipe broke or that misses the ``ping`` within
+        ``probe_timeout``.  A shard that is merely *busy* — request
+        lock held, but not past the wedge budget — is skipped: load is
+        not sickness.  Returns the indices this sweep recovered.
+        Driven periodically by :class:`ShardWatchdog` when the router
+        was built with ``watchdog_interval``; callable directly for
+        deterministic tests.
+        """
+        recovered: list[int] = []
+        for index in range(self.n_shards):
+            with self._lock:
+                if self._closed:
+                    return recovered
+                if self._recovering[index]:
+                    continue
+                shard = self._shards[index]
+                generation = self._generations[index]
+            if shard._reaped:
+                if self._recover_slot(shard, generation):
+                    recovered.append(index)
+                continue
+            busy_since = shard.busy_since
+            if busy_since is not None and (
+                time.monotonic() - busy_since > self._wedge_timeout
+            ):
+                self._breakers[index].record_failure()
+                self.wedge_kills += 1
+                if self._recover_slot(shard, generation, wedged=True):
+                    recovered.append(index)
+                continue
+            try:
+                shard.request("ping", {}, timeout=self._probe_timeout)
+            except ShardBusyError:
+                continue  # busy, not sick — the wedge clock above decides
+            except ShardWedgedError:
+                self._breakers[index].record_failure()
+                self.wedge_kills += 1
+                if self._recover_slot(shard, generation, wedged=True):
+                    recovered.append(index)
+            except (OSError, EOFError):
+                self._breakers[index].record_failure()
+                if self._recover_slot(shard, generation):
+                    recovered.append(index)
+            else:
+                # A live answer is direct evidence of health: reset the
+                # breaker so recovery isn't gated on client traffic.
+                self._breakers[index].record_success()
+        return recovered
+
+    def inject_chaos(self, shard_index: int, rules) -> int:
+        """Install chaos rules on one shard worker; ``[]`` clears.
+
+        ``rules`` is a :class:`~repro.serving.faults.ChaosPolicy` or a
+        list of :class:`~repro.serving.faults.ChaosRule` / dicts.
+        Returns the number of rules now active worker-side.  Test and
+        drill tooling only — production traffic never goes near this.
+        """
+        shard = self._shard(shard_index)
+        if isinstance(rules, ChaosPolicy):
+            policy: ChaosPolicy | None = rules
+        else:
+            policy = ChaosPolicy(rules) if rules else None
+        return shard.install_chaos(policy)
 
     # -- tables ------------------------------------------------------------------
 
@@ -345,7 +615,12 @@ class ShardRouter:
                 return table  # same-object re-registration is a no-op
         encoded = encode_table(table)
         shard = self._shard(self._placement(name))
-        result = self._request(shard, "register_table", {"name": name, "table": encoded})
+        result = self._request(
+            shard,
+            "register_table",
+            {"name": name, "table": encoded},
+            use_default=False,  # warm restore may legitimately run long
+        )
         with self._lock:
             self._tables[name] = (table, encoded)
             for sid, table_name in result.get("sessions", ()):
@@ -357,7 +632,7 @@ class ShardRouter:
             if name not in self._tables:
                 return
         shard = self._shard(self._placement(name))
-        self._request(shard, "unregister_table", {"name": name})
+        self._request(shard, "unregister_table", {"name": name}, use_default=False)
         with self._lock:
             self._tables.pop(name, None)
 
@@ -376,6 +651,7 @@ class ShardRouter:
         k: int = 3,
         mw: float = 5.0,
         measure: str | None = None,
+        deadline: float | None = None,
     ) -> str:
         """Open a session on the shard owning ``table``; sticky for life."""
         shard = self._shard(self._placement(table))
@@ -383,13 +659,16 @@ class ShardRouter:
             shard,
             "create_session",
             {"table": table, "tenant": tenant, "wf": wf, "k": k, "mw": mw, "measure": measure},
+            deadline=deadline,
         )
         session_id = result["session_id"]
         with self._lock:
             self._sessions[session_id] = (shard.index, table)
         return session_id
 
-    def session_columns(self, session_id: str) -> tuple[str, ...]:
+    def session_columns(
+        self, session_id: str, *, deadline: float | None = None
+    ) -> tuple[str, ...]:
         """Column names for a live session — answered from the router's
         own maps, no pipe round trip."""
         _shard, table_name = self._session_shard(session_id)
@@ -400,7 +679,7 @@ class ShardRouter:
         # Restored session over a table this router never held (e.g.
         # registered by a previous incarnation): ask the shard.
         result = self._session_request(
-            session_id, "session_columns", {"session_id": session_id}
+            session_id, "session_columns", {"session_id": session_id}, deadline=deadline
         )
         return tuple(result["columns"])
 
@@ -424,7 +703,12 @@ class ShardRouter:
         return [decode_node(c) for c in result["children"]]
 
     def expand(
-        self, session_id: str, rule: Rule | None = None, *, k: int | None = None
+        self,
+        session_id: str,
+        rule: Rule | None = None,
+        *,
+        k: int | None = None,
+        deadline: float | None = None,
     ) -> list[SessionNode]:
         result = self._session_request(
             session_id,
@@ -434,44 +718,73 @@ class ShardRouter:
                 "rule": None if rule is None else encode_rule(rule),
                 "k": k,
             },
+            deadline=deadline,
         )
         return self._decode_children(result)
 
     def expand_star(
-        self, session_id: str, rule: Rule, column: int | str, *, k: int | None = None
+        self,
+        session_id: str,
+        rule: Rule,
+        column: int | str,
+        *,
+        k: int | None = None,
+        deadline: float | None = None,
     ) -> list[SessionNode]:
         result = self._session_request(
             session_id,
             "expand_star",
             {"session_id": session_id, "rule": encode_rule(rule), "column": column, "k": k},
+            deadline=deadline,
         )
         return self._decode_children(result)
 
     def expand_traditional(
-        self, session_id: str, rule: Rule, column: int | str, *, k: int | None = None
+        self,
+        session_id: str,
+        rule: Rule,
+        column: int | str,
+        *,
+        k: int | None = None,
+        deadline: float | None = None,
     ) -> list[SessionNode]:
         result = self._session_request(
             session_id,
             "expand_traditional",
             {"session_id": session_id, "rule": encode_rule(rule), "column": column, "k": k},
+            deadline=deadline,
         )
         return self._decode_children(result)
 
-    def collapse(self, session_id: str, rule: Rule) -> None:
+    def collapse(
+        self, session_id: str, rule: Rule, *, deadline: float | None = None
+    ) -> None:
         self._session_request(
-            session_id, "collapse", {"session_id": session_id, "rule": encode_rule(rule)}
+            session_id,
+            "collapse",
+            {"session_id": session_id, "rule": encode_rule(rule)},
+            deadline=deadline,
         )
 
-    def render(self, session_id: str, *, sort_display_by_count: bool = False) -> str:
+    def render(
+        self,
+        session_id: str,
+        *,
+        sort_display_by_count: bool = False,
+        deadline: float | None = None,
+    ) -> str:
         result = self._session_request(
             session_id,
             "render",
             {"session_id": session_id, "sort_display_by_count": sort_display_by_count},
+            deadline=deadline,
         )
         return result["text"]
 
-    def tree(self, session_id: str) -> SessionNode:
-        result = self._session_request(session_id, "tree", {"session_id": session_id})
+    def tree(self, session_id: str, *, deadline: float | None = None) -> SessionNode:
+        result = self._session_request(
+            session_id, "tree", {"session_id": session_id}, deadline=deadline
+        )
         return decode_node(result["root"])
 
     # -- maintenance -------------------------------------------------------------
@@ -482,7 +795,9 @@ class ShardRouter:
         for index in range(self.n_shards):
             shard = self._shard(index)
             try:
-                result = self._request(shard, "checkpoint_all", {"only_dirty": only_dirty})
+                result = self._request(
+                    shard, "checkpoint_all", {"only_dirty": only_dirty}, use_default=False
+                )
             except ShardDownError:
                 continue  # restarted; its sessions were just restored clean
             written += int(result["written"])
@@ -494,7 +809,7 @@ class ShardRouter:
         for index in range(self.n_shards):
             shard = self._shard(index)
             try:
-                result = self._request(shard, "reap", {})
+                result = self._request(shard, "reap", {}, use_default=False)
             except ShardDownError:
                 continue
             evicted.extend(result["evicted"])
@@ -523,9 +838,10 @@ class ShardRouter:
             entry: dict = {"shard": index, "pid": shard.pid, "alive": True}
             try:
                 entry["server"] = self._request(shard, "stats", {})
-            except ShardDownError as exc:
+            except (ShardDownError, DeadlineExceededError) as exc:
                 entry["alive"] = False
                 entry["error"] = str(exc)
+            entry["breaker"] = self._breakers[index].stats()
             shards.append(entry)
         return {
             "tables": list(self.tables()),
@@ -534,6 +850,10 @@ class ShardRouter:
                 "n_shards": self.n_shards,
                 "restarts": self.restarts,
                 "placement": placement,
+                "default_deadline": self._default_deadline,
+                "deadline_aborts": self.deadline_aborts,
+                "wedge_kills": self.wedge_kills,
+                "watchdog": None if self.watchdog is None else self.watchdog.stats(),
             },
             "shards": shards,
         }
@@ -548,6 +868,8 @@ class ShardRouter:
             shards, self._shards = self._shards, []
             self._sessions.clear()
             self._tables.clear()
+        if self.watchdog is not None:
+            self.watchdog.stop()
         for shard in shards:
             shard.stop()
 

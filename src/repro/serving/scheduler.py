@@ -37,7 +37,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
-from repro.errors import TenantBudgetError
+from repro.errors import DeadlineExceededError, TenantBudgetError
 
 __all__ = ["FairScheduler", "TenantBudget"]
 
@@ -106,8 +106,10 @@ class FairScheduler:
         self._ring: list[Any] = []
         self._queues: dict[Any, _TurnQueue] = {}
         self._active: int | None = None
+        self._active_tenant: Any = None
         self._tickets = itertools.count(1)
         self.dispatches = 0
+        self.deadline_aborts = 0
 
     # -- token budgets -----------------------------------------------------------
 
@@ -204,8 +206,34 @@ class FairScheduler:
             and self._queues[tenant].waiting[0] == ticket
         )
 
+    def _abandon_locked(self, tenant: Any, ticket: int) -> None:
+        """Withdraw a waiting ticket whose deadline expired (lock held).
+
+        Removes the ticket from the tenant's FIFO; when that empties
+        the queue *and* no other ticket of this tenant currently holds
+        the turn (the holder's own release pops the ring head and
+        cleans up), the tenant leaves the ring too — an abandoned wait
+        must never leave a ghost tenant blocking rotation.
+        """
+        queue = self._queues.get(tenant)
+        if queue is None:  # pragma: no cover - defensive
+            return
+        try:
+            queue.waiting.remove(ticket)
+        except ValueError:  # pragma: no cover - defensive
+            return
+        if not queue.waiting and self._active_tenant != tenant:
+            del self._queues[tenant]
+            try:
+                self._ring.remove(tenant)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        self._cond.notify_all()
+
     @contextmanager
-    def dispatch_turn(self, tenant: Any) -> Iterator[None]:
+    def dispatch_turn(
+        self, tenant: Any, *, deadline_at: float | None = None
+    ) -> Iterator[None]:
         """Hold the dispatch turn while one worker batch is *submitted*.
 
         Installed on a :class:`~repro.core.parallel.CountingPool` as its
@@ -216,6 +244,14 @@ class FairScheduler:
         contend, turns rotate tenant-by-tenant (FIFO within a tenant),
         so a backlog from one tenant delays its *own* next batch, not
         every other tenant's first.
+
+        ``deadline_at`` (absolute, in this scheduler's clock) bounds
+        the queue wait: a ticket still waiting at the deadline is
+        withdrawn and :class:`~repro.errors.DeadlineExceededError`
+        raised — the serving facade refunds the expansion's budget
+        charge on that path.  (With an injectable test clock the wait
+        duration is measured in clock units; deterministic tests pass
+        an already-expired deadline.)
         """
         ticket = next(self._tickets)
         with self._cond:
@@ -224,8 +260,21 @@ class FairScheduler:
             if tenant not in self._ring:
                 self._ring.append(tenant)
             while not self._my_turn(tenant, ticket):
-                self._cond.wait()
+                if deadline_at is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline_at - self._clock()
+                if remaining <= 0.0:
+                    self._abandon_locked(tenant, ticket)
+                    self.deadline_aborts += 1
+                    raise DeadlineExceededError(
+                        f"tenant {tenant!r} waited past its deadline for a "
+                        "dispatch turn — the batch was never submitted",
+                        retry_after=1.0,
+                    )
+                self._cond.wait(timeout=remaining)
             self._active = ticket
+            self._active_tenant = tenant
             queue.waiting.popleft()
             self.dispatches += 1
         try:
@@ -233,6 +282,7 @@ class FairScheduler:
         finally:
             with self._cond:
                 self._active = None
+                self._active_tenant = None
                 self._ring.pop(0)
                 if self._queues[tenant].waiting:
                     self._ring.append(tenant)  # round-robin: back of the line
@@ -247,6 +297,7 @@ class FairScheduler:
         with self._lock:
             return {
                 "dispatches": self.dispatches,
+                "deadline_aborts": self.deadline_aborts,
                 "tenants": {
                     repr(tenant): budget.snapshot()
                     for tenant, budget in self._budgets.items()

@@ -40,12 +40,19 @@ import threading
 import time
 from typing import Callable
 
-from repro.core.parallel import CountingPool
+from repro.core.parallel import CountingPool, deadline_scope
 from repro.core.rule import Rule
 from repro.core.weights import BitsWeight, SizeMinusOneWeight, SizeWeight, WeightFunction
-from repro.errors import ReproError, ServingError, SnapshotError
+from repro.errors import (
+    DeadlineExceededError,
+    ReproError,
+    ServingError,
+    ShardError,
+    SnapshotError,
+)
 from repro.serving.catalog import TableCatalog
 from repro.serving.contexts import ContextStore
+from repro.serving.faults import ChaosPolicy
 from repro.serving.persistence import (
     ReaperThread,
     SessionSnapshot,
@@ -125,6 +132,22 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         Prefix of generated session ids (default ``"sess"``).  The
         sharded router gives each shard's server a distinct prefix so
         ids stay globally unique across worker processes.
+    default_deadline:
+        Relative per-request deadline in seconds applied when a call
+        does not pass its own ``deadline=``; ``None`` (default) never
+        bounds.  The deadline spine covers admission, the per-session
+        entry lock, and the fair scheduler's dispatch queue; an abort
+        raises :class:`~repro.errors.DeadlineExceededError` (HTTP 503
+        + ``Retry-After``) and refunds the expansion's budget charge.
+        A batch already submitted to pool workers runs to completion —
+        the deadline bounds waiting, not compute in flight.
+    chaos:
+        Optional in-process :class:`~repro.serving.faults.ChaosPolicy`
+        applied to expansions (``wedge``/``delay`` sleep, ``error``
+        raises a typed :class:`~repro.errors.ShardError`); the
+        pipe-level kinds (``crash``, ``drop_reply``) are meaningless in
+        process and ignored.  Fault drills only — never set in
+        production.
     """
 
     def __init__(
@@ -144,6 +167,8 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         reaper_interval: float | None = None,
         clock: Callable[[], float] = time.monotonic,
         session_id_prefix: str = "sess",
+        default_deadline: float | None = None,
+        chaos: ChaosPolicy | None = None,
     ):
         self.catalog = TableCatalog(pool=pool, n_workers=n_workers)
         self.registry = SessionRegistry(
@@ -169,6 +194,11 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         self._weights_lock = threading.Lock()
         self._clock = clock
         self._closed = False
+        if default_deadline is not None and default_deadline <= 0:
+            raise ServingError("default_deadline must be > 0 seconds (or None)")
+        self.default_deadline = default_deadline
+        self.chaos = chaos
+        self.deadline_aborts = 0
         # -- durability: store, pending restores, reaper -------------------------
         self._persist_lock = threading.Lock()
         self._pending_restore: dict[str, list[SessionSnapshot]] = {}
@@ -328,6 +358,7 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         k: int = 3,
         mw: float = 5.0,
         measure: str | None = None,
+        deadline: float | None = None,
     ) -> str:
         """Open a drill-down session for ``tenant`` over a catalog table.
 
@@ -337,6 +368,7 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         """
         if self._closed:
             raise ServingError("server is closed")
+        self._resolve_deadline(deadline)
         source = self.catalog.get(table)
         session = DrillDownSession(
             source,
@@ -359,13 +391,16 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         """The live session for ``session_id`` (touches TTL/LRU)."""
         return self.registry.get(session_id)
 
-    def session_columns(self, session_id: str) -> tuple[str, ...]:
+    def session_columns(
+        self, session_id: str, *, deadline: float | None = None
+    ) -> tuple[str, ...]:
         """Column names of the session's source table (touches TTL/LRU).
 
         Part of the serving facade the HTTP front end is written
         against — :class:`~repro.serving.ShardRouter` implements the
         same method without a live session object in this process.
         """
+        self._resolve_deadline(deadline)
         return self.registry.get(session_id).column_names
 
     def close_session(self, session_id: str) -> bool:
@@ -373,7 +408,48 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
 
     # -- operations --------------------------------------------------------------
 
-    def _run_expansion(self, session_id: str, operation) -> list[SessionNode]:
+    def _resolve_deadline(self, deadline: float | None) -> float | None:
+        """The absolute deadline for one request (``None`` = unbounded).
+
+        ``deadline`` is relative seconds (per request, e.g. from the
+        HTTP layer's ``X-Deadline`` header), falling back to
+        :attr:`default_deadline`.  A non-positive remaining budget —
+        the front end passes what is *left* after earlier calls in the
+        same request — fails admission immediately.
+        """
+        deadline = self.default_deadline if deadline is None else deadline
+        if deadline is None:
+            return None
+        if deadline <= 0:
+            self.deadline_aborts += 1
+            raise DeadlineExceededError(
+                f"deadline budget of {deadline:g}s was already spent before "
+                "any work ran",
+                retry_after=1.0,
+            )
+        return self._clock() + deadline
+
+    def _apply_chaos(self, op: str) -> None:
+        """In-process fault injection (see the ``chaos`` parameter)."""
+        policy = self.chaos
+        if policy is None:
+            return
+        rule = policy.fire(op)
+        if rule is None:
+            return
+        if rule.kind in ("wedge", "delay"):
+            time.sleep(rule.seconds)
+        elif rule.kind == "error":
+            raise ShardError(f"chaos: injected failure on {op!r}")
+
+    def _run_expansion(
+        self,
+        session_id: str,
+        operation,
+        *,
+        op: str = "expand",
+        deadline: float | None = None,
+    ) -> list[SessionNode]:
         """Meter and serialise one expansion on one session.
 
         One expansion costs its source's row count in tokens — an upper
@@ -381,38 +457,53 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         work runs so throttling can never hang mid-search.  An
         expansion *rejected before any table work* — rule not displayed
         or already expanded, invalid ``k``, unknown column, session
-        closed underneath us: every typed
-        :class:`~repro.errors.ReproError` the validation layers raise
-        pre-mining — refunds the charge, so failed requests never burn
-        a tenant's budget.  An *infrastructure* failure mid-mining (a
-        dead worker, a ``MemoryError``: anything non-``ReproError``)
-        keeps the charge: the counting pass the budget meters already
-        scanned rows.
+        closed underneath us, a deadline that expired waiting for the
+        entry lock or a dispatch turn: every typed
+        :class:`~repro.errors.ReproError` the validation and deadline
+        layers raise pre-mining — refunds the charge, so failed and
+        deadline-aborted requests never burn a tenant's budget.  An
+        *infrastructure* failure mid-mining (a dead worker, a
+        ``MemoryError``: anything non-``ReproError``) keeps the charge:
+        the counting pass the budget meters already scanned rows.
 
         The per-session ``expansions`` counter and ``dirty`` flag are
         updated under ``entry.lock`` — the entry is shared across the
         threaded HTTP front end's request threads, and an unlocked
-        read-modify-write loses updates.
+        read-modify-write loses updates.  With a deadline, the lock
+        acquire itself is bounded (:meth:`SessionEntry.hold`) and the
+        deadline rides the thread-local
+        :func:`~repro.core.parallel.deadline_scope` down into the fair
+        scheduler's dispatch gate.
         """
+        deadline_at = self._resolve_deadline(deadline)
+        self._apply_chaos(op)
         entry = self.registry.entry(session_id)
         cost = float(entry.session.source_rows)
         self.scheduler.charge(entry.tenant, cost)
         try:
-            with entry.lock:
-                children = operation(entry.session)
+            with entry.hold(deadline_at, self._clock):
+                with deadline_scope(deadline_at):
+                    children = operation(entry.session)
                 entry.expansions += 1
                 entry.dirty = True
-        except ReproError:
+        except ReproError as exc:
             # The library's deliberate errors (SessionError, SchemaError
             # for a bad column, RuleError, ...) are all raised by the
             # validation layers before counting starts — a rejection,
             # not half-done mining.
+            if isinstance(exc, DeadlineExceededError):
+                self.deadline_aborts += 1
             self.scheduler.refund(entry.tenant, cost)
             raise
         return children
 
     def expand(
-        self, session_id: str, rule: Rule | None = None, *, k: int | None = None
+        self,
+        session_id: str,
+        rule: Rule | None = None,
+        *,
+        k: int | None = None,
+        deadline: float | None = None,
     ) -> list[SessionNode]:
         """Smart drill-down on ``rule`` (default: the root) for one tenant."""
         return self._run_expansion(
@@ -420,6 +511,8 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
             lambda session: session.expand(
                 rule if rule is not None else session.root.rule, k=k
             ),
+            op="expand",
+            deadline=deadline,
         )
 
     def expand_star(
@@ -429,10 +522,14 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         column: int | str,
         *,
         k: int | None = None,
+        deadline: float | None = None,
     ) -> list[SessionNode]:
         """Star drill-down on a ``?`` cell for one tenant."""
         return self._run_expansion(
-            session_id, lambda session: session.expand_star(rule, column, k=k)
+            session_id,
+            lambda session: session.expand_star(rule, column, k=k),
+            op="expand_star",
+            deadline=deadline,
         )
 
     def expand_traditional(
@@ -442,16 +539,21 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         column: int | str,
         *,
         k: int | None = None,
+        deadline: float | None = None,
     ) -> list[SessionNode]:
         """Classic OLAP drill-down for one tenant (metered like the others)."""
         return self._run_expansion(
-            session_id, lambda session: session.expand_traditional(rule, column, k=k)
+            session_id,
+            lambda session: session.expand_traditional(rule, column, k=k),
+            op="expand_traditional",
+            deadline=deadline,
         )
 
-    def collapse(self, session_id: str, rule: Rule) -> None:
+    def collapse(self, session_id: str, rule: Rule, *, deadline: float | None = None) -> None:
         """Roll-up: free (no token charge) — it touches no table data."""
+        deadline_at = self._resolve_deadline(deadline)
         entry = self.registry.entry(session_id)
-        with entry.lock:
+        with entry.hold(deadline_at, self._clock):
             entry.session.collapse(rule)
             entry.dirty = True
 
@@ -460,7 +562,7 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         with entry.lock:
             return entry.session.displayed()
 
-    def tree(self, session_id: str) -> SessionNode:
+    def tree(self, session_id: str, *, deadline: float | None = None) -> SessionNode:
         """A consistent deep snapshot of the session's displayed tree.
 
         Taken under the per-session lock and deep-copied, so a reader
@@ -468,14 +570,22 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         mid-expand can never observe (or retain) a half-attached
         subtree.  The HTTP front end serialises this snapshot.
         """
+        deadline_at = self._resolve_deadline(deadline)
         entry = self.registry.entry(session_id)
-        with entry.lock:
+        with entry.hold(deadline_at, self._clock):
             return copy.deepcopy(entry.session.root)
 
-    def render(self, session_id: str, *, sort_display_by_count: bool = False) -> str:
+    def render(
+        self,
+        session_id: str,
+        *,
+        sort_display_by_count: bool = False,
+        deadline: float | None = None,
+    ) -> str:
         """The session's displayed tree as the paper's dotted table."""
+        deadline_at = self._resolve_deadline(deadline)
         entry = self.registry.entry(session_id)
-        with entry.lock:
+        with entry.hold(deadline_at, self._clock):
             return entry.session.to_text(sort_display_by_count=sort_display_by_count)
 
     # -- durability ----------------------------------------------------------------
@@ -613,6 +723,8 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         pool = self.catalog.pool
         return {
             "uptime_seconds": round(time.time() - self.started_at, 3),
+            "default_deadline": self.default_deadline,
+            "deadline_aborts": self.deadline_aborts,
             "tables": list(self.tables()),
             "registry": self.registry.stats(),
             "scheduler": self.scheduler.stats(),

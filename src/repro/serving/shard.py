@@ -43,6 +43,7 @@ import json
 import multiprocessing
 import os
 import threading
+import time
 from typing import Any
 
 import numpy as np
@@ -50,6 +51,7 @@ import numpy as np
 from repro import errors as _errors_module
 from repro.core.rule import Rule
 from repro.errors import ReproError, ShardError, TenantBudgetError
+from repro.serving.faults import ChaosPolicy
 from repro.serving.persistence import _decode_value, _encode_value, decode_rule, encode_rule
 from repro.session.session import SessionNode
 from repro.table.column import CategoricalColumn, NumericColumn
@@ -57,7 +59,9 @@ from repro.table.schema import ColumnKind, ColumnSchema, Schema
 from repro.table.table import Table
 
 __all__ = [
+    "ShardBusyError",
     "ShardProcess",
+    "ShardWedgedError",
     "decode_error",
     "decode_node",
     "decode_table",
@@ -66,6 +70,22 @@ __all__ = [
     "encode_table",
     "shard_main",
 ]
+
+
+class ShardWedgedError(TimeoutError):
+    """The worker missed its reply window: the request was *sent* but
+    no response arrived within the deadline.  The handle is condemned
+    (a late reply would answer the *next* request — stream out of
+    sync), so the router must kill and restart the worker.  A
+    ``TimeoutError`` (hence ``OSError``): existing broken-pipe catches
+    see it as a pipe failure."""
+
+
+class ShardBusyError(TimeoutError):
+    """The handle lock could not be acquired within the deadline: the
+    shard is saturated serving *other* requests, not proven sick.  The
+    pipe was never touched — the handle stays usable and the breaker
+    is not charged."""
 
 
 # -- wire encoding: tables -------------------------------------------------------
@@ -167,6 +187,13 @@ def encode_error(exc: BaseException) -> dict:
             "available": exc.available,
             "retry_after": exc.retry_after,
         }
+    else:
+        # Back-off hints (DeadlineExceededError, CircuitOpenError, ...)
+        # survive the pipe so the HTTP layer's Retry-After header is
+        # identical with and without sharding.
+        retry_after = getattr(exc, "retry_after", None)
+        if isinstance(retry_after, (int, float)):
+            payload["retry_after"] = float(retry_after)
     return payload
 
 
@@ -193,9 +220,13 @@ def decode_error(payload: dict, *, shard: int | None = None) -> BaseException:
         where = "shard" if shard is None else f"shard {shard}"
         return ShardError(f"{where} failed: {name}: {message}")
     try:
-        return cls(message)
+        exc = cls(message)
     except Exception:  # pragma: no cover - exotic constructor
         return ShardError(f"shard error {name}: {message}")
+    retry_after = payload.get("retry_after")
+    if isinstance(retry_after, (int, float)):
+        exc.retry_after = float(retry_after)
+    return exc
 
 
 # -- the worker loop -------------------------------------------------------------
@@ -344,6 +375,7 @@ def shard_main(conn, shard_id: int, server_kwargs: dict) -> None:
     from repro.serving.server import DrillDownServer
 
     server = DrillDownServer(**server_kwargs)
+    chaos: ChaosPolicy | None = None
     try:
         while True:
             try:
@@ -364,8 +396,36 @@ def shard_main(conn, shard_id: int, server_kwargs: dict) -> None:
                 except (BrokenPipeError, OSError):  # pragma: no cover - racing close
                     pass
                 break
+            if op == "chaos":
+                # Fault-injection control plane: install (or clear) a
+                # ChaosPolicy applied to every *subsequent* op at this,
+                # the protocol level — a "wedge" really blocks the
+                # worker loop, a "crash" really kills the process.
+                try:
+                    args = request.get("args") or {}
+                    chaos = ChaosPolicy.decode(args) if args.get("rules") else None
+                    response = {
+                        "id": request_id,
+                        "ok": True,
+                        "result": {"rules": 0 if chaos is None else len(chaos.rules)},
+                    }
+                except Exception as exc:
+                    response = {"id": request_id, "ok": False, **encode_error(exc)}
+                try:
+                    conn.send_bytes(json.dumps(response, default=str).encode("utf-8"))
+                except (BrokenPipeError, OSError):  # pragma: no cover - racing close
+                    break
+                continue
+            chaos_rule = None if chaos is None else chaos.fire(op)
             handler = _OP_HANDLERS.get(op)
             try:
+                if chaos_rule is not None:
+                    if chaos_rule.kind == "crash":
+                        os._exit(23)
+                    if chaos_rule.kind == "wedge":
+                        time.sleep(chaos_rule.seconds)
+                    if chaos_rule.kind == "error":
+                        raise ShardError(f"chaos: injected failure on {op!r}")
                 if handler is None:
                     raise ShardError(f"unknown shard op {op!r}")
                 response = {
@@ -375,6 +435,11 @@ def shard_main(conn, shard_id: int, server_kwargs: dict) -> None:
                 }
             except Exception as exc:
                 response = {"id": request_id, "ok": False, **encode_error(exc)}
+            if chaos_rule is not None:
+                if chaos_rule.kind == "delay":
+                    time.sleep(chaos_rule.seconds)
+                if chaos_rule.kind == "drop_reply":
+                    continue  # the op ran; its reply is lost on the floor
             try:
                 conn.send_bytes(json.dumps(response, default=str).encode("utf-8"))
             except (BrokenPipeError, OSError):
@@ -448,6 +513,15 @@ class ShardProcess:
         self.lock = threading.Lock()
         self._next_request = 0
         self._reaped = False
+        #: Set when a request timed out in-pipe: a late reply would
+        #: answer the *next* request, so the handle is unusable and
+        #: every further request fails fast with ``BrokenPipeError``
+        #: until the router replaces the worker.
+        self.condemned = False
+        #: ``time.monotonic()`` at which the in-flight request (if any)
+        #: entered the pipe — the watchdog's wedge heuristic for
+        #: deadline-less traffic.  Plain attribute; racy reads are fine.
+        self.busy_since: float | None = None
         # First contact doubles as the startup barrier: a worker whose
         # server constructor raised has already exited, and the recv
         # EOFs instead of hanging.
@@ -462,24 +536,55 @@ class ShardProcess:
     def request(self, op: str, args: dict | None = None, *, timeout: float | None = None):
         """One request/response round trip; returns the ``result``.
 
-        Raises the shard's typed error when the operation failed,
+        Raises the shard's typed error when the operation failed and
         ``EOFError``/``OSError`` when the pipe broke (the router's
-        signal to declare the shard down), and
-        :class:`~repro.errors.ShardDownError` via the router after a
-        ``timeout`` expiry.
+        signal to declare the shard down).  With ``timeout``, the
+        whole round trip — *including* waiting for the handle lock
+        behind other threads' requests — is bounded:
+
+        * lock not acquired in time → :class:`ShardBusyError` (the
+          shard is saturated, not proven sick; the handle stays
+          usable),
+        * reply not received in time → :class:`ShardWedgedError`, and
+          the handle is **condemned** — a late reply would desync the
+          request/response stream, so the worker must be killed and
+          replaced (the router's recovery spine does both).
         """
-        with self.lock:
+        deadline_at = None if timeout is None else time.monotonic() + max(0.0, timeout)
+        if deadline_at is None:
+            self.lock.acquire()
+        elif not self.lock.acquire(timeout=max(0.0, deadline_at - time.monotonic())):
+            raise ShardBusyError(
+                f"shard {self.index} is saturated: {op!r} could not reach the "
+                f"pipe within {timeout}s"
+            )
+        try:
+            if self.condemned:
+                raise BrokenPipeError(
+                    f"shard {self.index} handle was condemned after an earlier "
+                    "missed deadline"
+                )
+            self.busy_since = time.monotonic()
             self._next_request += 1
             request_id = self._next_request
             frame = json.dumps(
                 {"id": request_id, "op": op, "args": args or {}}, default=str
             ).encode("utf-8")
             self.conn.send_bytes(frame)
-            if timeout is not None and not self.conn.poll(timeout):
-                raise EOFError(f"shard {self.index} did not answer {op!r} in {timeout}s")
+            if deadline_at is not None and not self.conn.poll(
+                max(0.0, deadline_at - time.monotonic())
+            ):
+                self.condemned = True
+                raise ShardWedgedError(
+                    f"shard {self.index} did not answer {op!r} within {timeout}s"
+                )
             raw = self.conn.recv_bytes()
+        finally:
+            self.busy_since = None
+            self.lock.release()
         response = json.loads(raw.decode("utf-8"))
         if response.get("id") != request_id:
+            self.condemned = True
             raise EOFError(
                 f"shard {self.index} answered request {response.get('id')!r} "
                 f"to request {request_id} — stream out of sync"
@@ -487,6 +592,13 @@ class ShardProcess:
         if response.get("ok"):
             return response.get("result")
         raise decode_error(response, shard=self.index)
+
+    def install_chaos(self, policy: "ChaosPolicy | None") -> int:
+        """Install (``ChaosPolicy``) or clear (``None``) worker-side
+        fault injection; returns the number of active rules."""
+        payload = {"rules": []} if policy is None else policy.encode()
+        result = self.request("chaos", payload)
+        return int(result["rules"])
 
     # -- lifecycle ---------------------------------------------------------------
 

@@ -93,11 +93,19 @@ def _renders(replica, server, router) -> dict:
     }
 
 
-def run_replay(seed: int, n_shards: int, steps: int = 25) -> int:
+def run_replay(
+    seed: int,
+    n_shards: int,
+    steps: int = 25,
+    *,
+    default_deadline: float | None = None,
+) -> int:
     rng = np.random.default_rng(seed)
     tables = _make_tables(seed)
     performed = 0
-    with DrillDownServer() as server, ShardRouter(n_shards) as router:
+    with DrillDownServer(default_deadline=default_deadline) as server, ShardRouter(
+        n_shards, default_deadline=default_deadline
+    ) as router:
         for name, table in tables.items():
             server.register_table(name, table)
             router.register_table(name, table)
@@ -209,3 +217,12 @@ class TestMultiTenantReplayParity:
         the generator's distribution does not silently degenerate)."""
         performed = run_replay(7, 2, steps=60)
         assert performed >= 40
+
+    def test_replay_with_deadlines_enabled_is_still_bit_identical(self):
+        """The deadline machinery must be pure overhead on the happy
+        path: with a generous ``default_deadline`` threaded through
+        every op on both serving stacks (lock-acquire bounds, pipe
+        poll, scheduler queue entry), no request times out and every
+        response stays byte-equal to the standalone session."""
+        performed = run_replay(3, 2, steps=40, default_deadline=30.0)
+        assert performed >= 25

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import urllib.error
 import urllib.request
@@ -322,3 +323,129 @@ class TestShardedFrontEnd:
                          f"/sessions/{created['session_id']}/expand",
                          {"rule": [None, None, None, None]})
         assert status == 200
+
+
+class TestFaultToleranceWire:
+    """Deadline, Retry-After, and shard-degradation contracts (ISSUE 6)."""
+
+    def _post_expand(self, base: str, sid: str, headers: dict):
+        request = urllib.request.Request(
+            base + f"/sessions/{sid}/expand",
+            data=json.dumps({"rule": [None, None, None, None]}).encode(),
+            method="POST",
+            headers={"Content-Type": "application/json", **headers},
+        )
+        return urllib.request.urlopen(request, timeout=30)
+
+    def test_429_carries_retry_after_computed_from_refill_rate(self, retail):
+        tier = DrillDownServer(tenant_budget=6000.0, refill_per_second=100.0)
+        tier.register_table("retail", retail)
+        httpd = serve(tier, port=0)
+        threading.Thread(target=httpd.serve_forever, daemon=True).start()
+        host, port = httpd.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            sid = call(base, "POST", "/sessions",
+                       {"table": "retail", "tenant": "t"})[1]["session_id"]
+            assert call(base, "POST", f"/sessions/{sid}/expand",
+                        {"rule": [None, None, None, None]})[0] == 200
+            with pytest.raises(urllib.error.HTTPError) as info:
+                self._post_expand(base, sid, {})
+            assert info.value.code == 429
+            # ~6000 tokens short at 100 tokens/s: the header tells the
+            # client *when* retrying will actually work.
+            retry_after = info.value.headers.get("Retry-After")
+            assert retry_after is not None and int(retry_after) >= 1
+            assert json.loads(info.value.read())["retry_after"] > 0
+        finally:
+            httpd.shutdown()
+            tier.close()
+
+    def test_expired_deadline_is_503_with_retry_after(self, http_tier):
+        base, tier = http_tier
+        sid = call(base, "POST", "/sessions", {"table": "retail"})[1]["session_id"]
+        entry = tier.registry.entry(sid)
+        with entry.lock:  # another request holds the session past the deadline
+            with pytest.raises(urllib.error.HTTPError) as info:
+                self._post_expand(base, sid, {"X-Deadline": "0.2"})
+        assert info.value.code == 503
+        assert info.value.headers.get("Retry-After") is not None
+        assert json.loads(info.value.read())["error"] == "DeadlineExceededError"
+        # Lock free again: the identical request succeeds — and the
+        # aborted one burned none of the tenant's budget.
+        assert call(base, "POST", f"/sessions/{sid}/expand",
+                    {"rule": [None, None, None, None]})[0] == 200
+
+    def test_malformed_or_non_positive_x_deadline_is_400(self, http_tier):
+        base, _ = http_tier
+        sid = call(base, "POST", "/sessions", {"table": "retail"})[1]["session_id"]
+        for bad in ("soon", "0", "-3"):
+            with pytest.raises(urllib.error.HTTPError) as info:
+                self._post_expand(base, sid, {"X-Deadline": bad})
+            assert info.value.code == 400
+
+    def test_dead_shard_503_carries_retry_after(self, sharded_tier):
+        base, router = sharded_tier
+        sid = call(base, "POST", "/sessions",
+                   {"table": "retail", "mw": 3.0})[1]["session_id"]
+        router._shards[router.shard_of_table("retail")].process.kill()
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(base + f"/sessions/{sid}/render", timeout=30)
+        assert info.value.code == 503
+        assert info.value.headers.get("Retry-After") is not None
+
+
+class TestRequestTimeouts:
+    """The slowloris fix: socket reads are bounded (serving/http.py
+    ``request_timeout``), so a stalled client cannot park a handler
+    thread forever.  Failed before the fix: both drills hung."""
+
+    @pytest.fixture
+    def impatient_tier(self, retail):
+        tier = DrillDownServer()
+        tier.register_table("retail", retail)
+        httpd = serve(tier, port=0, request_timeout=0.5)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        host, port = httpd.server_address[:2]
+        yield host, port
+        httpd.shutdown()
+        tier.close()
+
+    def test_stalled_body_gets_408_and_the_connection_is_closed(self, impatient_tier):
+        host, port = impatient_tier
+        with socket.create_connection((host, port), timeout=30) as sock:
+            sock.sendall(
+                b"POST /sessions HTTP/1.1\r\n"
+                b"Host: t\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: 100\r\n"
+                b"\r\n"
+                b'{"table"'  # ...and never send the rest of the body
+            )
+            chunks = []
+            while True:
+                data = sock.recv(65536)
+                if not data:
+                    break
+                chunks.append(data)
+        response = b"".join(chunks)
+        assert response.startswith(b"HTTP/1.1 408")
+        assert b"TimeoutError" in response
+        # Reading to EOF above proves the server dropped the connection
+        # rather than keeping the half-fed request alive.
+
+    def test_connection_that_never_sends_is_dropped(self, impatient_tier):
+        host, port = impatient_tier
+        with socket.create_connection((host, port), timeout=30) as sock:
+            # No bytes at all: nothing to answer — the server just hangs up.
+            assert sock.recv(65536) == b""
+
+    def test_fast_requests_are_unaffected(self, impatient_tier):
+        host, port = impatient_tier
+        base = f"http://{host}:{port}"
+        assert call(base, "GET", "/healthz") == (200, {"ok": True})
+        sid = call(base, "POST", "/sessions",
+                   {"table": "retail", "mw": 3.0})[1]["session_id"]
+        assert call(base, "POST", f"/sessions/{sid}/expand",
+                    {"rule": [None, None, None, None]})[0] == 200
