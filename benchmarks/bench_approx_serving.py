@@ -1,0 +1,226 @@
+"""Approximate serving: exact vs sampled expansion latency and error.
+
+The Section 4 pitch is that mining on a bounded sample makes
+interactive drill-down cheap at a quantified accuracy cost.  This
+benchmark measures that trade through the serving tier itself: a
+:class:`~repro.serving.DrillDownServer` over one census table serves
+the same two-level workload (expand the root, then the heaviest
+child) exactly and approximately across a range of ``sample_budget``
+settings, recording per-expansion latency, the realized percent error
+of every approximate count (Figure 8(b)'s metric, against exact
+counts from the same expansion parents), and how often the
+``error_target`` escalation fired.
+
+Asserted (structurally — latencies are machine-dependent and merely
+recorded):
+
+* every approximate child carries full estimate metadata, and its
+  confidence interval is coherent (``low <= estimate <= high``);
+* the mean realized percent error does not increase when the sample
+  budget grows 8x (more tuples, tighter estimates);
+* at a tight ``error_target`` the tier escalates and returns exactly
+  the exact session's rule list — the convergence contract;
+* exact expansions on a sampling-enabled tier return no estimate
+  metadata at all.
+
+A JSON perf record is written next to this file
+(``BENCH_approx_serving.json``).  Run via pytest
+(``pytest benchmarks/bench_approx_serving.py -m smoke``) or directly::
+
+    PYTHONPATH=src python benchmarks/bench_approx_serving.py [--smoke]
+
+``--smoke`` shrinks the census table (10k rows instead of 40k) and
+drops the largest budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import count
+from repro.core.rule import Rule
+from repro.datasets import generate_census
+from repro.sampling import percent_error
+from repro.serving import DrillDownServer
+
+RECORD_PATH = Path(__file__).resolve().parent / "BENCH_approx_serving.json"
+CENSUS_ROWS = 40_000
+SMOKE_ROWS = 10_000
+N_COLUMNS = 6
+K = 5
+MW = 5.0
+BUDGETS = (500, 1_000, 2_000, 4_000)
+SMOKE_BUDGETS = (500, 1_000, 2_000)
+ERROR_TARGET = 5.0  # loose: stay on the sample, measure its honest error
+REPEATS = 5
+
+
+def _workload(server: DrillDownServer, *, approx: bool) -> tuple[list, list, float]:
+    """One session's two-level expansion; returns (level1, level2, seconds)."""
+    sid = server.create_session("census", k=K, mw=MW)
+    root = Rule.trivial(N_COLUMNS)
+    kwargs = {"approx": True, "error_target": ERROR_TARGET} if approx else {}
+    start = time.perf_counter()
+    level1 = server.expand(sid, root, **kwargs)
+    heaviest = max(level1, key=lambda c: c.count)
+    level2 = server.expand(sid, heaviest.rule, **kwargs)
+    elapsed = time.perf_counter() - start
+    server.close_session(sid)
+    return level1, level2, elapsed
+
+
+def _exact_counts(server: DrillDownServer, children: list) -> dict:
+    """True counts for the rules an approximate expansion returned."""
+    table = server.catalog.get("census")
+    return {tuple(c.rule): count(c.rule, table) for c in children}
+
+
+def run_benchmark(rows: int, budgets=BUDGETS) -> dict:
+    table = generate_census(rows, n_columns=N_COLUMNS, seed=2016)
+    scenarios = []
+
+    # Exact baseline: a tier with sampling configured, asked for exact —
+    # pins that the estimate machinery is pay-only-when-asked.
+    with DrillDownServer(sample_budget=budgets[0]) as server:
+        server.register_table("census", table)
+        exact_times = []
+        for _ in range(REPEATS):
+            level1, level2, elapsed = _workload(server, approx=False)
+            exact_times.append(elapsed)
+        assert all(c.estimate is None for c in level1 + level2)
+        exact_rules = [tuple(c.rule) for c in level1]
+        scenarios.append(
+            {
+                "mode": "exact",
+                "sample_budget": None,
+                "mean_seconds_per_workload": round(sum(exact_times) / len(exact_times), 6),
+                "best_seconds_per_workload": round(min(exact_times), 6),
+            }
+        )
+
+    escalation_matches_exact = True
+    interval_coherent = True
+    mean_errors = {}
+    for budget in budgets:
+        with DrillDownServer(sample_budget=budget) as server:
+            server.register_table("census", table)
+            times = []
+            errors = []
+            escalated = 0
+            for _ in range(REPEATS):
+                level1, level2, elapsed = _workload(server, approx=True)
+                times.append(elapsed)
+                children = level1 + level2
+                truths = _exact_counts(server, children)
+                for child in children:
+                    est = child.estimate
+                    interval_coherent = interval_coherent and (
+                        est is not None and est["low"] <= est["estimate"] <= est["high"]
+                    )
+                    if est["escalated"]:
+                        escalated += 1
+                    errors.append(percent_error(child.count, truths[tuple(child.rule)]))
+            # Convergence: a tight target must reproduce the exact list.
+            sid = server.create_session("census", k=K, mw=MW)
+            tight = server.expand(
+                sid, Rule.trivial(N_COLUMNS), approx=True, error_target=1e-12
+            )
+            escalation_matches_exact = escalation_matches_exact and (
+                [tuple(c.rule) for c in tight] == exact_rules
+            )
+            server.close_session(sid)
+            mean_error = sum(errors) / len(errors)
+            mean_errors[budget] = mean_error
+            scenarios.append(
+                {
+                    "mode": "approx",
+                    "sample_budget": budget,
+                    "error_target": ERROR_TARGET,
+                    "mean_seconds_per_workload": round(sum(times) / len(times), 6),
+                    "best_seconds_per_workload": round(min(times), 6),
+                    "mean_percent_error": round(mean_error, 3),
+                    "max_percent_error": round(max(errors), 3),
+                    "escalated_children": escalated,
+                    "children_measured": len(errors),
+                }
+            )
+    return {
+        "workload": {
+            "dataset": "census",
+            "rows": rows,
+            "columns": N_COLUMNS,
+            "k": K,
+            "mw": MW,
+            "weighting": "size",
+            "expansions_per_workload": 2,
+            "repeats": REPEATS,
+        },
+        "cpu_count": os.cpu_count() or 1,
+        "scenarios": scenarios,
+        "interval_coherent": interval_coherent,
+        "tight_target_matches_exact": escalation_matches_exact,
+        "error_shrinks_with_budget": mean_errors[budgets[-1]] <= mean_errors[budgets[0]] + 1e-9,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def write_record(record: dict) -> None:
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+
+def check_record(record: dict) -> None:
+    assert record["interval_coherent"], "an estimate's interval excluded its own point"
+    assert record["tight_target_matches_exact"], (
+        "a tight error_target failed to reproduce the exact rule list"
+    )
+    assert record["error_shrinks_with_budget"], (
+        "mean percent error grew when the sample budget was scaled up"
+    )
+
+
+@pytest.mark.smoke
+def test_approx_serving_latency_and_error():
+    """Smoke: exact vs 3 sample budgets on a 10k census table."""
+    record = run_benchmark(SMOKE_ROWS, SMOKE_BUDGETS)
+    write_record(record)
+    print()
+    for scenario in record["scenarios"]:
+        label = scenario["sample_budget"] or "exact"
+        line = (
+            f"BX approx serving [{label}]: "
+            f"{scenario['mean_seconds_per_workload']*1000:.0f} ms/workload"
+        )
+        if scenario["mode"] == "approx":
+            line += (
+                f", mean err {scenario['mean_percent_error']:.1f}%"
+                f", escalated {scenario['escalated_children']}"
+            )
+        print(line)
+    check_record(record)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="smaller table, fewer budgets (fast CI smoke run)",
+    )
+    args = parser.parse_args()
+    record = run_benchmark(
+        SMOKE_ROWS if args.smoke else CENSUS_ROWS,
+        SMOKE_BUDGETS if args.smoke else BUDGETS,
+    )
+    write_record(record)
+    print(json.dumps(record, indent=2))
+    check_record(record)
+    print(f"\nperf record written to {RECORD_PATH}")
+
+
+if __name__ == "__main__":
+    main()

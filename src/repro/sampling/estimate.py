@@ -62,11 +62,30 @@ def estimate_count(sample: Sample, rule: Rule, *, confidence: float = 0.95) -> C
     if m == 0:
         raise SamplingError("cannot estimate from an empty sample")
     covered = float(cover_mask(rule, sample.table).sum())
+    point = covered * sample.scale
+    if m >= sample.population > 0:
+        # Full census of the covered population: the count is exact and
+        # the interval collapses to the point.
+        return CountEstimate(
+            rule=rule,
+            estimate=point,
+            low=point,
+            high=point,
+            confidence=confidence,
+            sample_size=m,
+        )
     x = covered / m
     z = float(scipy_stats.norm.ppf(0.5 + confidence / 2.0))
-    dev_sample = math.sqrt(max(m * x * (1.0 - x), 0.0))
+    if covered <= 0.0 or covered >= m:
+        # Degenerate draw (all-out or all-in): the plug-in deviation
+        # sqrt(m·x(1−x)) is 0, which would claim certainty from a
+        # finite sample.  Continuity-correct the fraction so the
+        # interval keeps positive width and still covers the truth.
+        x_c = (covered + 0.5) / (m + 1.0)
+        dev_sample = math.sqrt(m * x_c * (1.0 - x_c))
+    else:
+        dev_sample = math.sqrt(m * x * (1.0 - x))
     half = z * dev_sample * sample.scale
-    point = covered * sample.scale
     return CountEstimate(
         rule=rule,
         estimate=point,
@@ -78,10 +97,15 @@ def estimate_count(sample: Sample, rule: Rule, *, confidence: float = 0.95) -> C
 
 
 def percent_error(estimated: float, actual: float) -> float:
-    """Figure 8(b)'s metric: ``100·|ĉ − c| / c`` (0 when both are 0)."""
-    if actual == 0:
-        return 0.0 if estimated == 0 else math.inf
-    return 100.0 * abs(estimated - actual) / actual
+    """Figure 8(b)'s metric: ``100·|ĉ − c| / c``.
+
+    The denominator is floored at one tuple so an empty-cover rule
+    (``actual == 0``) yields a finite error — ``inf`` here would poison
+    every mean-error aggregation it enters (Figure 8(b) averages over
+    rules).  With ``actual == 0`` the error is simply the estimate
+    expressed in percent-of-one-tuple; 0 when both are 0.
+    """
+    return 100.0 * abs(estimated - actual) / max(abs(actual), 1.0)
 
 
 def required_sample_size(cover_fraction: float, *, rho: float = 10.0) -> float:

@@ -27,6 +27,12 @@ multiplexes *tenants* on top of it:
   worker processes: consistent-hash table placement, sticky session
   affinity, crash detection with automatic restart + warm restore,
   responses bit-identical to one in-process server;
+* :class:`TableSampleSet` (:mod:`repro.serving.samples`) — per-table
+  uniform + stratified samples pre-built at registration under a
+  ``sample_budget`` (§4.1 allocation DP), persisted for warm restarts
+  and mined by approximate expansions, which carry per-rule
+  confidence-interval metadata and escalate to exact counting when an
+  estimate is too loose for the requested ``error_target``;
 * :class:`CircuitBreaker`, :class:`ShardWatchdog`,
   :class:`ChaosPolicy` (:mod:`repro.serving.faults`) — the
   fault-tolerance layer: per-shard circuit breaking, background
@@ -50,6 +56,12 @@ from repro.serving.persistence import (
 )
 from repro.serving.registry import SessionEntry, SessionRegistry
 from repro.serving.router import ShardRouter
+from repro.serving.samples import (
+    TableSampleSet,
+    build_sample_set,
+    derive_seed,
+    load_sample_set,
+)
 from repro.serving.scheduler import FairScheduler, TenantBudget
 from repro.serving.server import WEIGHT_FUNCTIONS, DrillDownServer
 from repro.serving.shard import ShardProcess
@@ -71,6 +83,10 @@ __all__ = [
     "SnapshotStore",
     "SNAPSHOT_VERSION",
     "TableCatalog",
+    "TableSampleSet",
     "TenantBudget",
     "WEIGHT_FUNCTIONS",
+    "build_sample_set",
+    "derive_seed",
+    "load_sample_set",
 ]

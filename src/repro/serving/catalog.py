@@ -24,14 +24,26 @@ and left running.  Individual sessions never close the catalog's pool
 
 from __future__ import annotations
 
+import hashlib
+import os
+import re
 import threading
+from pathlib import Path
 from typing import Iterator
 
 from repro.core.parallel import CountingPool
 from repro.errors import ServingError, UnknownTableError
+from repro.serving.samples import (
+    TableSampleSet,
+    build_sample_set,
+    derive_seed,
+    load_sample_set,
+)
 from repro.table.table import Table
 
 __all__ = ["TableCatalog"]
+
+_SAMPLE_FILE_SAFE = re.compile(r"[^A-Za-z0-9._-]")
 
 
 class TableCatalog:
@@ -48,6 +60,22 @@ class TableCatalog:
         pool, no exports), ``0`` builds a catalog-owned pool over every
         core, ``>= 2`` over that many workers.  A catalog-owned pool is
         closed by :meth:`close`.
+    sample_budget:
+        When set (> 0), :meth:`register` also pre-builds a
+        :class:`~repro.serving.TableSampleSet` for the table — uniform
+        + per-column stratified samples totalling this many tuples,
+        split by the §4.1 allocation DP — and exports the sample
+        tables to the pool alongside the exact arrays.  Approximate
+        expansions then mine these samples (:meth:`samples_for`).
+    sample_seed:
+        Base seed for sample draws; each table's effective seed is
+        :func:`~repro.serving.samples.derive_seed` of its name, so
+        rebuilds in other processes reproduce the same samples.
+    sample_dir:
+        Directory to persist sample row ids under (atomic writes).  On
+        re-registration after a restart the catalog reloads matching
+        files instead of re-scanning and re-drawing; any fingerprint
+        mismatch (rows, budget, seed) triggers a rebuild + re-persist.
     """
 
     def __init__(
@@ -55,7 +83,18 @@ class TableCatalog:
         *,
         pool: CountingPool | None = None,
         n_workers: int | None = None,
+        sample_budget: int | None = None,
+        sample_seed: int = 0,
+        sample_dir: str | os.PathLike | None = None,
     ):
+        if sample_budget is not None and sample_budget <= 0:
+            raise ServingError("sample_budget must be a positive tuple count")
+        self._sample_budget = sample_budget
+        self._sample_seed = int(sample_seed)
+        self._sample_dir = Path(sample_dir) if sample_dir is not None else None
+        self._samples: dict[str, TableSampleSet] = {}
+        self._samples_built = 0
+        self._samples_loaded = 0
         if pool is not None:
             self._pool: CountingPool | None = pool
             self._owns_pool = False
@@ -102,7 +141,67 @@ class TableCatalog:
             # Eager export: backend_for creates (or reuses) the table's
             # shared region; the backend object itself is discarded.
             self._pool.backend_for(table)
+        if self._sample_budget is not None:
+            samples = self._build_or_load_samples(name, table)
+            with self._lock:
+                self._samples[name] = samples
+            if self._pool is not None:
+                # Approximate expansions mine the sample tables, so they
+                # are exported alongside the exact arrays (small enough
+                # that the pool may serve them serially anyway).
+                for sample in samples.samples:
+                    self._pool.backend_for(sample.table)
         return table
+
+    def _sample_path(self, name: str) -> Path | None:
+        """Persistence path for ``name``'s samples (``None`` = memory only).
+
+        The filename keeps a sanitised human-readable prefix plus a
+        short digest of the exact name, so distinct names that sanitise
+        identically (``"a/b"`` vs ``"a_b"``) cannot share a file.
+        """
+        if self._sample_dir is None:
+            return None
+        digest = hashlib.sha1(name.encode("utf-8")).hexdigest()[:8]
+        safe = _SAMPLE_FILE_SAFE.sub("_", name)[:80]
+        return self._sample_dir / f"{safe}-{digest}.samples.json"
+
+    def _build_or_load_samples(self, name: str, table: Table) -> TableSampleSet:
+        """Load persisted samples when the fingerprint matches, else
+        build deterministically and (best-effort) persist."""
+        assert self._sample_budget is not None
+        seed = derive_seed(name, self._sample_seed)
+        path = self._sample_path(name)
+        if path is not None:
+            loaded = load_sample_set(path, table, budget=self._sample_budget, seed=seed)
+            if loaded is not None:
+                self._samples_loaded += 1
+                return loaded
+        samples = build_sample_set(table, budget=self._sample_budget, seed=seed)
+        self._samples_built += 1
+        if path is not None:
+            try:
+                samples.save(path)
+            except OSError:  # pragma: no cover - disk-full etc.
+                pass  # samples are rebuildable; persistence is an optimisation
+        return samples
+
+    def samples_for(self, name: str) -> TableSampleSet | None:
+        """The pre-built sample set for ``name`` (``None`` when the
+        catalog was built without a ``sample_budget`` or the table is
+        unknown)."""
+        with self._lock:
+            return self._samples.get(name)
+
+    def sample_stats(self) -> dict:
+        """Sampling counters + per-table summaries for ``/stats``."""
+        with self._lock:
+            return {
+                "budget": self._sample_budget,
+                "built": self._samples_built,
+                "loaded": self._samples_loaded,
+                "tables": {name: s.describe() for name, s in sorted(self._samples.items())},
+            }
 
     def unregister(self, name: str) -> None:
         """Forget ``name``.  The export is unlinked once the table is
@@ -110,6 +209,7 @@ class TableCatalog:
         sessions still mining it are unaffected."""
         with self._lock:
             self._tables.pop(name, None)
+            self._samples.pop(name, None)
 
     # -- lookup ------------------------------------------------------------------
 
@@ -154,6 +254,7 @@ class TableCatalog:
                 return
             self._closed = True
             self._tables.clear()
+            self._samples.clear()
         if self._pool is not None and self._owns_pool:
             self._pool.close()
         self._pool = None

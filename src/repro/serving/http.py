@@ -21,8 +21,10 @@ Endpoints (all bodies JSON)::
                                          "measure"]} -> {"session_id", ...}
     GET    /sessions/<id>                displayed tree as nested JSON
     DELETE /sessions/<id>                close the session
-    POST   /sessions/<id>/expand         {"rule"[, "k"]} -> {"children": [...]}
-    POST   /sessions/<id>/expand_star    {"rule", "column"[, "k"]}
+    POST   /sessions/<id>/expand         {"rule"[, "k", "approx", "error_target"]}
+                                         -> {"children": [...]}
+    POST   /sessions/<id>/expand_star    {"rule", "column"[, "k", "approx",
+                                         "error_target"]}
     POST   /sessions/<id>/collapse       {"rule"}
     GET    /sessions/<id>/render         {"text": dotted table}
 
@@ -126,7 +128,12 @@ def rule_from_wire(values: Any, n_columns: int) -> Rule:
 
 
 def node_to_wire(node: SessionNode, *, deep: bool = False) -> dict:
-    """A displayed node (optionally its whole subtree) as plain JSON."""
+    """A displayed node (optionally its whole subtree) as plain JSON.
+
+    ``estimate`` — the approximate-expansion confidence metadata — is
+    emitted only when the node carries one, so exact responses keep
+    their pre-approx bytes.
+    """
     out = {
         "rule": rule_to_wire(node.rule),
         "count": node.count,
@@ -135,6 +142,8 @@ def node_to_wire(node: SessionNode, *, deep: bool = False) -> dict:
         "expanded": node.is_expanded,
         "expanded_via": node.expanded_via,
     }
+    if node.estimate is not None:
+        out["estimate"] = dict(node.estimate)
     if deep:
         out["children"] = [node_to_wire(c, deep=True) for c in node.children]
     return out
@@ -392,13 +401,19 @@ def make_handler(
                     session_id, op = match.group(1), match.group(2)
                     deadline = self._deadline()
                     rule = self._session_rule(session_id, body, deadline)
+                    approx = body.get("approx")
+                    if approx is not None and not isinstance(approx, bool):
+                        raise ReproError('"approx" must be a JSON boolean')
                     if op == "expand":
                         children = self.tier.expand(
-                            session_id, rule, k=body.get("k"), deadline=deadline
+                            session_id, rule, k=body.get("k"), approx=approx,
+                            error_target=body.get("error_target"),
+                            deadline=deadline,
                         )
                     elif op == "expand_star":
                         children = self.tier.expand_star(
                             session_id, rule, body["column"], k=body.get("k"),
+                            approx=approx, error_target=body.get("error_target"),
                             deadline=deadline,
                         )
                     else:
@@ -486,6 +501,19 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--reaper-interval", type=float, default=30.0,
                         help="background TTL-reaper period in seconds; "
                              "0 disables the thread (default 30)")
+    parser.add_argument("--sample-budget", type=int, default=None,
+                        help="pre-build per-table samples of this many tuples "
+                             "at registration, enabling approximate expansions "
+                             "(default: exact only)")
+    parser.add_argument("--sample-seed", type=int, default=0,
+                        help="base seed for the sample draws (default 0)")
+    parser.add_argument("--default-approx", action="store_true",
+                        help="mine expansions on the samples unless a request "
+                             "says approx=false (requires --sample-budget)")
+    parser.add_argument("--error-target", type=float, default=0.1,
+                        help="relative confidence-interval half-width above "
+                             "which an approximate expansion escalates to "
+                             "exact counting (default 0.1)")
     parser.add_argument("--request-timeout", type=float, default=30.0,
                         help="socket read timeout in seconds; a stalled "
                              "client gets 408 instead of a parked thread "
@@ -517,6 +545,10 @@ def main(argv: list[str] | None = None) -> None:
         checkpoint_interval=args.checkpoint_interval,
         reaper_interval=args.reaper_interval or None,
         default_deadline=args.deadline,
+        sample_budget=args.sample_budget,
+        sample_seed=args.sample_seed,
+        default_approx=args.default_approx,
+        default_error_target=args.error_target,
     )
     if args.shards and args.shards > 0:
         tier: DrillDownServer | ShardRouter = ShardRouter(

@@ -148,7 +148,10 @@ def decode_rule(encoded: Any) -> Rule:
 
 
 def _encode_node(node_state: dict) -> dict:
-    return {
+    # "estimate" (approximate-expansion metadata) is written only when
+    # the node state carries one, keeping exact snapshots byte-stable
+    # across the approx feature's introduction.
+    encoded = {
         "rule": encode_rule(node_state["rule"]),
         "count": node_state["count"],
         "weight": node_state["weight"],
@@ -156,10 +159,13 @@ def _encode_node(node_state: dict) -> dict:
         "expanded_via": node_state["expanded_via"],
         "children": [_encode_node(c) for c in node_state["children"]],
     }
+    if node_state.get("estimate") is not None:
+        encoded["estimate"] = node_state["estimate"]
+    return encoded
 
 
 def _decode_node(encoded: dict) -> dict:
-    return {
+    decoded = {
         "rule": decode_rule(encoded["rule"]),
         "count": float(encoded["count"]),
         "weight": float(encoded["weight"]),
@@ -167,6 +173,10 @@ def _decode_node(encoded: dict) -> dict:
         "expanded_via": encoded.get("expanded_via"),
         "children": [_decode_node(c) for c in encoded.get("children", ())],
     }
+    estimate = encoded.get("estimate")
+    if estimate is not None:
+        decoded["estimate"] = dict(estimate)
+    return decoded
 
 
 def _encode_record(record_state: dict) -> dict:

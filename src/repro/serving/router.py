@@ -99,10 +99,13 @@ class ShardRouter:
         baseline the tests lean on.
     n_workers, max_sessions, ttl_seconds, tenant_budget,
     refill_per_second, share_contexts, max_context_prototypes,
+    sample_budget, sample_seed, default_approx, default_error_target,
     checkpoint_interval, reaper_interval:
         Forwarded to every shard's :class:`DrillDownServer` — i.e.
         *per shard*: budgets meter a tenant per shard, ``max_sessions``
-        caps each shard.
+        caps each shard.  Samples (``sample_budget``) are rebuilt by
+        each shard from its wire-decoded table with the same derived
+        seed, so every shard serves bit-identical samples.
     persist_dir:
         Root of the durable state; each shard owns
         ``<persist_dir>/shard-NN``.  Re-create a router with the same
@@ -158,6 +161,10 @@ class ShardRouter:
         refill_per_second: float = 0.0,
         share_contexts: bool = True,
         max_context_prototypes: int | None = None,
+        sample_budget: int | None = None,
+        sample_seed: int = 0,
+        default_approx: bool = False,
+        default_error_target: float = 0.1,
         persist_dir: str | os.PathLike | None = None,
         persist_max_bytes: int | None = None,
         checkpoint_interval: float | None = None,
@@ -213,6 +220,10 @@ class ShardRouter:
             refill_per_second=refill_per_second,
             share_contexts=share_contexts,
             max_context_prototypes=max_context_prototypes,
+            sample_budget=sample_budget,
+            sample_seed=sample_seed,
+            default_approx=default_approx,
+            default_error_target=default_error_target,
             persist_max_bytes=persist_max_bytes,
             checkpoint_interval=checkpoint_interval,
             reaper_interval=reaper_interval,
@@ -708,6 +719,8 @@ class ShardRouter:
         rule: Rule | None = None,
         *,
         k: int | None = None,
+        approx: bool | None = None,
+        error_target: float | None = None,
         deadline: float | None = None,
     ) -> list[SessionNode]:
         result = self._session_request(
@@ -717,6 +730,8 @@ class ShardRouter:
                 "session_id": session_id,
                 "rule": None if rule is None else encode_rule(rule),
                 "k": k,
+                "approx": approx,
+                "error_target": error_target,
             },
             deadline=deadline,
         )
@@ -729,12 +744,21 @@ class ShardRouter:
         column: int | str,
         *,
         k: int | None = None,
+        approx: bool | None = None,
+        error_target: float | None = None,
         deadline: float | None = None,
     ) -> list[SessionNode]:
         result = self._session_request(
             session_id,
             "expand_star",
-            {"session_id": session_id, "rule": encode_rule(rule), "column": column, "k": k},
+            {
+                "session_id": session_id,
+                "rule": encode_rule(rule),
+                "column": column,
+                "k": k,
+                "approx": approx,
+                "error_target": error_target,
+            },
             deadline=deadline,
         )
         return self._decode_children(result)
@@ -746,12 +770,21 @@ class ShardRouter:
         column: int | str,
         *,
         k: int | None = None,
+        approx: bool | None = None,
+        error_target: float | None = None,
         deadline: float | None = None,
     ) -> list[SessionNode]:
         result = self._session_request(
             session_id,
             "expand_traditional",
-            {"session_id": session_id, "rule": encode_rule(rule), "column": column, "k": k},
+            {
+                "session_id": session_id,
+                "rule": encode_rule(rule),
+                "column": column,
+                "k": k,
+                "approx": approx,
+                "error_target": error_target,
+            },
             deadline=deadline,
         )
         return self._decode_children(result)

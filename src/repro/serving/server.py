@@ -132,6 +132,23 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         Prefix of generated session ids (default ``"sess"``).  The
         sharded router gives each shard's server a distinct prefix so
         ids stay globally unique across worker processes.
+    sample_budget:
+        When set, every registered table also gets pre-built samples
+        (uniform + per-column stratified, this many tuples total — see
+        :class:`~repro.serving.TableCatalog`), enabling approximate
+        expansions (``approx=True`` on :meth:`expand` /
+        :meth:`expand_star` / :meth:`expand_traditional`).  With
+        ``persist_dir``, sample row ids persist under
+        ``persist_dir/samples`` so warm restarts skip the re-scan.
+    sample_seed:
+        Base seed for the deterministic sample draws (default 0).
+    default_approx:
+        Serve expansions approximately unless a call passes
+        ``approx=False``.  Requires ``sample_budget``.
+    default_error_target:
+        Default relative half-width bound for approximate expansions;
+        an estimate crossing it escalates the expansion to exact
+        mining (see :class:`~repro.session.DrillDownSession`).
     default_deadline:
         Relative per-request deadline in seconds applied when a call
         does not pass its own ``deadline=``; ``None`` (default) never
@@ -169,8 +186,31 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         session_id_prefix: str = "sess",
         default_deadline: float | None = None,
         chaos: ChaosPolicy | None = None,
+        sample_budget: int | None = None,
+        sample_seed: int = 0,
+        default_approx: bool = False,
+        default_error_target: float = 0.1,
     ):
-        self.catalog = TableCatalog(pool=pool, n_workers=n_workers)
+        if default_approx and sample_budget is None:
+            raise ServingError(
+                "default_approx=True requires a sample_budget to mine on"
+            )
+        self.default_approx = bool(default_approx)
+        if not float(default_error_target) > 0:
+            raise ServingError("default_error_target must be > 0")
+        self.default_error_target = float(default_error_target)
+        sample_dir = (
+            os.path.join(os.fspath(persist_dir), "samples")
+            if (persist_dir is not None and sample_budget is not None)
+            else None
+        )
+        self.catalog = TableCatalog(
+            pool=pool,
+            n_workers=n_workers,
+            sample_budget=sample_budget,
+            sample_seed=sample_seed,
+            sample_dir=sample_dir,
+        )
         self.registry = SessionRegistry(
             max_sessions=max_sessions,
             ttl_seconds=ttl_seconds,
@@ -268,6 +308,9 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
                     tenant=snapshot.tenant,
                     pool=self.catalog.pool,
                     context_store=self.contexts,
+                    samples=self.catalog.samples_for(name),
+                    default_approx=self.default_approx,
+                    error_target=self.default_error_target,
                 )
             except ReproError:
                 with self._persist_lock:
@@ -379,6 +422,9 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
             pool=self.catalog.pool,
             context_store=self.contexts,
             tenant=tenant,
+            samples=self.catalog.samples_for(table),
+            default_approx=self.default_approx,
+            error_target=self.default_error_target,
         )
         return self.registry.add(
             session,
@@ -503,13 +549,23 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         rule: Rule | None = None,
         *,
         k: int | None = None,
+        approx: bool | None = None,
+        error_target: float | None = None,
         deadline: float | None = None,
     ) -> list[SessionNode]:
-        """Smart drill-down on ``rule`` (default: the root) for one tenant."""
+        """Smart drill-down on ``rule`` (default: the root) for one tenant.
+
+        ``approx=True`` mines on the table's pre-built sample (requires
+        a ``sample_budget``); children then carry ``estimate`` metadata
+        and an expansion whose interval crosses ``error_target``
+        escalates to exact mining.  ``approx``/``error_target`` default
+        to the server's ``default_approx``/``default_error_target``.
+        """
         return self._run_expansion(
             session_id,
             lambda session: session.expand(
-                rule if rule is not None else session.root.rule, k=k
+                rule if rule is not None else session.root.rule,
+                k=k, approx=approx, error_target=error_target,
             ),
             op="expand",
             deadline=deadline,
@@ -522,12 +578,16 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         column: int | str,
         *,
         k: int | None = None,
+        approx: bool | None = None,
+        error_target: float | None = None,
         deadline: float | None = None,
     ) -> list[SessionNode]:
         """Star drill-down on a ``?`` cell for one tenant."""
         return self._run_expansion(
             session_id,
-            lambda session: session.expand_star(rule, column, k=k),
+            lambda session: session.expand_star(
+                rule, column, k=k, approx=approx, error_target=error_target
+            ),
             op="expand_star",
             deadline=deadline,
         )
@@ -539,12 +599,16 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         column: int | str,
         *,
         k: int | None = None,
+        approx: bool | None = None,
+        error_target: float | None = None,
         deadline: float | None = None,
     ) -> list[SessionNode]:
         """Classic OLAP drill-down for one tenant (metered like the others)."""
         return self._run_expansion(
             session_id,
-            lambda session: session.expand_traditional(rule, column, k=k),
+            lambda session: session.expand_traditional(
+                rule, column, k=k, approx=approx, error_target=error_target
+            ),
             op="expand_traditional",
             deadline=deadline,
         )
@@ -725,6 +789,9 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "default_deadline": self.default_deadline,
             "deadline_aborts": self.deadline_aborts,
+            "default_approx": self.default_approx,
+            "default_error_target": self.default_error_target,
+            "samples": self.catalog.sample_stats(),
             "tables": list(self.tables()),
             "registry": self.registry.stats(),
             "scheduler": self.scheduler.stats(),

@@ -138,8 +138,13 @@ def decode_table(spec: dict) -> Table:
 
 
 def encode_node(node: SessionNode) -> dict:
-    """A displayed node and its whole subtree as JSON (exact floats)."""
-    return {
+    """A displayed node and its whole subtree as JSON (exact floats).
+
+    ``estimate`` (approximate-expansion metadata, already JSON
+    primitives) is written only when present, so exact responses keep
+    their pre-approx wire bytes.
+    """
+    payload = {
         "rule": encode_rule(node.rule),
         "count": float(node.count),
         "weight": float(node.weight),
@@ -147,16 +152,21 @@ def encode_node(node: SessionNode) -> dict:
         "expanded_via": node.expanded_via,
         "children": [encode_node(c) for c in node.children],
     }
+    if node.estimate is not None:
+        payload["estimate"] = dict(node.estimate)
+    return payload
 
 
 def decode_node(payload: dict) -> SessionNode:
     """Invert :func:`encode_node`."""
+    estimate = payload.get("estimate")
     node = SessionNode(
         rule=decode_rule(payload["rule"]),
         count=float(payload["count"]),
         weight=float(payload["weight"]),
         depth=int(payload["depth"]),
         expanded_via=payload.get("expanded_via"),
+        estimate=dict(estimate) if estimate is not None else None,
     )
     node.children = [decode_node(c) for c in payload.get("children", ())]
     return node
@@ -276,7 +286,11 @@ def _op_create_session(server, args: dict) -> dict:
 
 def _op_expand(server, args: dict) -> dict:
     children = server.expand(
-        args["session_id"], _maybe_rule(args.get("rule")), k=args.get("k")
+        args["session_id"],
+        _maybe_rule(args.get("rule")),
+        k=args.get("k"),
+        approx=args.get("approx"),
+        error_target=args.get("error_target"),
     )
     return {"children": [encode_node(c) for c in children]}
 
@@ -287,6 +301,8 @@ def _op_expand_star(server, args: dict) -> dict:
         decode_rule(args["rule"]),
         args["column"],
         k=args.get("k"),
+        approx=args.get("approx"),
+        error_target=args.get("error_target"),
     )
     return {"children": [encode_node(c) for c in children]}
 
@@ -297,6 +313,8 @@ def _op_expand_traditional(server, args: dict) -> dict:
         decode_rule(args["rule"]),
         args["column"],
         k=args.get("k"),
+        approx=args.get("approx"),
+        error_target=args.get("error_target"),
     )
     return {"children": [encode_node(c) for c in children]}
 

@@ -72,6 +72,7 @@ from repro.core.scoring import ScoredRule
 from repro.core.search_cache import SearchContext
 from repro.core.weights import SizeWeight, WeightFunction
 from repro.errors import SessionClosedError, SessionError
+from repro.sampling.estimate import estimate_count
 from repro.sampling.handler import SampleHandler
 from repro.storage.disk import DiskTable
 from repro.table.table import Table
@@ -94,6 +95,17 @@ def _validated_k(k: Any) -> int:
     return int(k)
 
 
+def _validated_error_target(value: Any) -> float:
+    """``error_target`` as a positive float, or :class:`SessionError`."""
+    try:
+        target = float(value)
+    except (TypeError, ValueError):
+        raise SessionError(f"error_target must be a number > 0, got {value!r}") from None
+    if not target > 0:
+        raise SessionError(f"error_target must be > 0, got {value!r}")
+    return target
+
+
 def _validated_mw(mw: Any) -> float:
     """``mw`` as a positive float, or :class:`SessionError`."""
     try:
@@ -107,7 +119,17 @@ def _validated_mw(mw: Any) -> float:
 
 @dataclass
 class SessionNode:
-    """One displayed rule with its statistics and expansion state."""
+    """One displayed rule with its statistics and expansion state.
+
+    ``estimate`` is present only on nodes produced by an *approximate*
+    expansion (sample-based mining, §4.3): a plain dict of
+    :class:`~repro.sampling.estimate.CountEstimate` metadata —
+    ``estimate``/``low``/``high``/``confidence``/``sample_size``/
+    ``scale``/``escalated``/``exact`` — that travels verbatim through
+    the shard wire, snapshots and the HTTP response.  Exact expansions
+    leave it ``None`` and serialise byte-identically to before the
+    field existed.
+    """
 
     rule: Rule
     count: float
@@ -115,6 +137,7 @@ class SessionNode:
     depth: int
     children: list["SessionNode"] = field(default_factory=list)
     expanded_via: str | None = None  # "rule" | "star" | "traditional"
+    estimate: dict | None = None
 
     @property
     def is_expanded(self) -> bool:
@@ -130,14 +153,18 @@ class ExpansionRecord:
     k: int
     wall_seconds: float
     simulated_io_seconds: float
-    sample_method: str  # "find" | "combine" | "create" | "direct"
+    sample_method: str  # "find" | "combine" | "create" | "direct" | "approx" | "approx-escalated"
     sample_size: int
     scale: float
 
 
 def _node_state(node: SessionNode) -> dict:
-    """One displayed node (and its subtree) as replayable plain data."""
-    return {
+    """One displayed node (and its subtree) as replayable plain data.
+
+    ``estimate`` is emitted only when present, so exact-session
+    snapshots keep their pre-approx byte layout.
+    """
+    state = {
         "rule": node.rule,
         "count": node.count,
         "weight": node.weight,
@@ -145,6 +172,9 @@ def _node_state(node: SessionNode) -> dict:
         "expanded_via": node.expanded_via,
         "children": [_node_state(child) for child in node.children],
     }
+    if node.estimate is not None:
+        state["estimate"] = dict(node.estimate)
+    return state
 
 
 def _record_state(record: ExpansionRecord) -> dict:
@@ -206,6 +236,27 @@ class DrillDownSession:
         Opaque tenant label forwarded to the counting backend so a
         shared pool's :class:`~repro.serving.FairScheduler` (when
         installed) can round-robin dispatch across tenants.
+    samples:
+        Optional pre-built :class:`~repro.serving.TableSampleSet` over
+        the *same* table, enabling approximate expansions
+        (``approx=True``, or ``default_approx=``): mining runs on the
+        best matching sample, displayed counts are scaled estimates,
+        and every child carries :class:`CountEstimate` metadata in
+        :attr:`SessionNode.estimate`.  In-memory sources only — a
+        :class:`~repro.storage.DiskTable` session already mines on the
+        handler's dynamic samples.
+    default_approx:
+        When true, expansions mine approximately unless the call says
+        ``approx=False``.  Requires ``samples``.
+    error_target:
+        Default relative half-width bound for approximate expansions:
+        a child whose confidence interval's half-width exceeds
+        ``error_target × max(estimate, 1)`` sits too close to the
+        greedy decision boundary, and the whole expansion escalates to
+        exact mining.  Tight targets therefore converge to the exact
+        rule list.  Overridable per call.
+    approx_confidence:
+        Confidence level of the per-child intervals (default 0.95).
     on_close:
         Callback invoked exactly once, with this session, when the
         session transitions to closed (explicit :meth:`close`, context
@@ -229,6 +280,10 @@ class DrillDownSession:
         pool: CountingPool | None = None,
         context_store: Any = None,
         tenant: Any = None,
+        samples: Any = None,
+        default_approx: bool = False,
+        error_target: float = 0.1,
+        approx_confidence: float = 0.95,
         on_close: Callable[["DrillDownSession"], None] | None = None,
     ):
         self.wf = wf or SizeWeight()
@@ -237,6 +292,19 @@ class DrillDownSession:
         self.measure = measure
         self.prefetch_enabled = prefetch
         self.tenant = tenant
+        if isinstance(source, DiskTable) and samples is not None:
+            raise SessionError(
+                "samples= applies to in-memory tables only; a DiskTable "
+                "session mines on its SampleHandler's dynamic samples"
+            )
+        if default_approx and samples is None:
+            raise SessionError("default_approx=True requires pre-built samples=")
+        self._samples = samples
+        self.default_approx = bool(default_approx)
+        self.error_target = _validated_error_target(error_target)
+        if not 0.0 < float(approx_confidence) < 1.0:
+            raise SessionError("approx_confidence must be in (0, 1)")
+        self.approx_confidence = float(approx_confidence)
         self._context_store = context_store
         self._on_close = on_close
         self._closed = False
@@ -353,16 +421,36 @@ class DrillDownSession:
         if release is not None:
             release.close()
 
-    def _lease_context(self, cache_key: tuple, tag: tuple) -> "SearchContext | None":
-        """A context for this expansion: session-owned first, then a store lease."""
+    def _lease_context(
+        self, cache_key: tuple, tag: tuple, source: Table | None = None
+    ) -> "SearchContext | None":
+        """A context for this expansion: session-owned first, then a store lease.
+
+        ``source`` is the table the expansion will actually mine —
+        the session's own table by default, a shared sample table for
+        approximate expansions (the store keys prototypes by table
+        identity, so approx and exact contexts can never collide).
+        """
         context = self._search_contexts.get(cache_key)
-        if context is None and self._context_store is not None and self.handler is None:
+        if (
+            context is None
+            and tag is not None
+            and self._context_store is not None
+            and self.handler is None
+        ):
             context = self._context_store.lease(
-                self._table, tag, pool=self._pool, tenant=self.tenant
+                self._table if source is None else source,
+                tag, pool=self._pool, tenant=self.tenant,
             )
         return context
 
-    def _retain_context(self, cache_key: tuple, tag: tuple, context: "SearchContext | None") -> None:
+    def _retain_context(
+        self,
+        cache_key: tuple,
+        tag: tuple,
+        context: "SearchContext | None",
+        source: Table | None = None,
+    ) -> None:
         """Keep a fresh context for re-expansion and share it via the store.
 
         Retention is guarded on ``_closed`` *under the state lock*: a
@@ -375,14 +463,16 @@ class DrillDownSession:
         prototype is a frozen clone owned by the store itself, so
         publishing is independent of this session's lifetime.)
         """
-        if context is None or self.handler is not None:
+        if context is None or tag is None or self.handler is not None:
             return
         with self._state_lock:
             if self._closed:
                 return
             self._search_contexts[cache_key] = context
         if self._context_store is not None:
-            self._context_store.publish(self._table, tag, context)
+            self._context_store.publish(
+                self._table if source is None else source, tag, context
+            )
 
     def _expandable_node(self, rule: Rule) -> SessionNode:
         """The displayed, not-yet-expanded node for ``rule``.
@@ -460,21 +550,134 @@ class DrillDownSession:
             return
         self.handler.prefetch(parent.rule, [c.rule for c in parent.children])
 
+    # -- approximate expansion (§4.3 over pre-built serving samples) ---------------
+
+    def _resolve_approx(self, approx: Any, error_target: Any) -> tuple[bool, float]:
+        """Resolve the per-call ``approx``/``error_target`` knobs.
+
+        Validation happens before any table work so the serving tier's
+        refund-on-rejection policy holds for bad knobs too.
+        """
+        target = (
+            self.error_target if error_target is None else _validated_error_target(error_target)
+        )
+        use = self.default_approx if approx is None else bool(approx)
+        if use and self._samples is None:
+            raise SessionError(
+                "approximate expansion requires pre-built samples "
+                "(register the table with a sample_budget, or pass samples=)"
+            )
+        return use, target
+
+    def _run_approx(
+        self,
+        node: SessionNode,
+        rule: Rule,
+        k: int | None,
+        kind: str,
+        target: float,
+        cache_key: tuple,
+        tag: tuple | None,
+        mine: Callable[[Table, "SearchContext | None"], Any],
+    ) -> list[SessionNode]:
+        """One approximate expansion: mine on the best stored sample,
+        stamp per-child :class:`CountEstimate` metadata, and escalate
+        the whole expansion to exact mining when any child's interval
+        half-width crosses the greedy decision boundary
+        (``target × max(estimate, 1)``) — so a tight ``error_target``
+        provably returns the exact rule list.
+        """
+        assert self._samples is not None and self._table is not None
+        start = time.perf_counter()
+        sample = self._samples.sample_for(rule)
+        approx_key = (*cache_key, "approx", sample.filter_rule)
+        result = mine(sample.table, self._lease_context(approx_key, tag, source=sample.table))
+        self._retain_context(approx_key, tag, result.context, source=sample.table)
+        entries = result.rule_list.entries
+        estimates = {
+            entry.rule: estimate_count(sample, entry.rule, confidence=self.approx_confidence)
+            for entry in entries
+        }
+        escalate = any(
+            est.half_width > target * max(est.estimate, 1.0)
+            for est in estimates.values()
+        )
+        if escalate:
+            result = mine(self._table, self._lease_context(cache_key, tag))
+            self._retain_context(cache_key, tag, result.context)
+            children = self._attach(node, result.rule_list.entries, 1.0, kind)
+            for child in children:
+                child.estimate = {
+                    "estimate": child.count,
+                    "low": child.count,
+                    "high": child.count,
+                    "confidence": self.approx_confidence,
+                    "sample_size": self._table.n_rows,
+                    "scale": 1.0,
+                    "escalated": True,
+                    "exact": True,
+                }
+            method, sample_size, scale = "approx-escalated", self._table.n_rows, 1.0
+        else:
+            children = self._attach(node, entries, sample.scale, kind)
+            for child in children:
+                est = estimates[child.rule]
+                child.estimate = {
+                    "estimate": est.estimate,
+                    "low": est.low,
+                    "high": est.high,
+                    "confidence": est.confidence,
+                    "sample_size": est.sample_size,
+                    "scale": sample.scale,
+                    "escalated": False,
+                    "exact": est.half_width == 0.0,
+                }
+            method, sample_size, scale = "approx", sample.size, sample.scale
+        wall = time.perf_counter() - start
+        self._record(
+            rule, kind, k if k is not None else len(children),
+            wall, method, sample_size, scale, 0.0,
+        )
+        return children
+
     # -- the user-facing operations -------------------------------------------------
 
-    def expand(self, rule: Rule, *, k: int | None = None) -> list[SessionNode]:
-        """Smart drill-down on ``rule`` (click on a rule, §2.3)."""
+    def expand(
+        self,
+        rule: Rule,
+        *,
+        k: int | None = None,
+        approx: bool | None = None,
+        error_target: float | None = None,
+    ) -> list[SessionNode]:
+        """Smart drill-down on ``rule`` (click on a rule, §2.3).
+
+        ``approx=True`` (or ``default_approx``) mines on the pre-built
+        sample instead of the full table, attaching
+        :attr:`SessionNode.estimate` metadata to every child and
+        escalating to exact mining when an estimate crosses the
+        ``error_target`` decision boundary.
+        """
         self._begin_op()
         try:
             node = self._expandable_node(rule)
             k = self.k if k is None else _validated_k(k)
-            io_before = self._disk.io_stats.simulated_seconds if self._disk else 0.0
-            start = time.perf_counter()
-            mined, scale, method, sample_size = self._acquire(rule)
+            use_approx, target = self._resolve_approx(approx, error_target)
             cache_key = ("rule", rule, None)
             tag = drilldown_tag(
                 "rule", rule, None, measure=self.measure, wf=self.wf, mw=self.mw
             )
+            if use_approx:
+                def mine(table: Table, context: "SearchContext | None"):
+                    return rule_drilldown(
+                        table, rule, self.wf, k, self.mw, measure=self.measure,
+                        context=context, pool=self._pool, tenant=self.tenant,
+                    )
+
+                return self._run_approx(node, rule, k, "rule", target, cache_key, tag, mine)
+            io_before = self._disk.io_stats.simulated_seconds if self._disk else 0.0
+            start = time.perf_counter()
+            mined, scale, method, sample_size = self._acquire(rule)
             result = rule_drilldown(
                 mined, rule, self.wf, k, self.mw, measure=self.measure,
                 context=self._lease_context(cache_key, tag), pool=self._pool,
@@ -490,13 +693,39 @@ class DrillDownSession:
             self._end_op()
 
     def expand_star(
-        self, rule: Rule, column: int | str, *, k: int | None = None
+        self,
+        rule: Rule,
+        column: int | str,
+        *,
+        k: int | None = None,
+        approx: bool | None = None,
+        error_target: float | None = None,
     ) -> list[SessionNode]:
         """Smart drill-down on a ``?`` cell of ``rule`` (§2.3)."""
         self._begin_op()
         try:
             node = self._expandable_node(rule)
             k = self.k if k is None else _validated_k(k)
+            use_approx, target = self._resolve_approx(approx, error_target)
+            if use_approx:
+                assert self._table is not None
+                resolved_column = (
+                    self._table.schema.index_of(column) if isinstance(column, str) else column
+                )
+                cache_key = ("star", rule, resolved_column)
+                tag = drilldown_tag(
+                    "star", rule, resolved_column,
+                    measure=self.measure, wf=self.wf, mw=self.mw,
+                )
+
+                def mine(table: Table, context: "SearchContext | None"):
+                    return star_drilldown(
+                        table, rule, resolved_column, self.wf, k, self.mw,
+                        measure=self.measure, context=context, pool=self._pool,
+                        tenant=self.tenant,
+                    )
+
+                return self._run_approx(node, rule, k, "star", target, cache_key, tag, mine)
             io_before = self._disk.io_stats.simulated_seconds if self._disk else 0.0
             start = time.perf_counter()
             mined, scale, method, sample_size = self._acquire(rule)
@@ -523,7 +752,13 @@ class DrillDownSession:
             self._end_op()
 
     def expand_traditional(
-        self, rule: Rule, column: int | str, *, k: int | None = None
+        self,
+        rule: Rule,
+        column: int | str,
+        *,
+        k: int | None = None,
+        approx: bool | None = None,
+        error_target: float | None = None,
     ) -> list[SessionNode]:
         """Classic OLAP drill-down on one column (Figure 4)."""
         self._begin_op()
@@ -531,6 +766,19 @@ class DrillDownSession:
             node = self._expandable_node(rule)
             if k is not None:
                 k = _validated_k(k)
+            use_approx, target = self._resolve_approx(approx, error_target)
+            if use_approx:
+                def mine(table: Table, context: Any):
+                    # Traditional drill-down has no incremental context;
+                    # the lease/retain around it degrades to a no-op.
+                    return traditional_drilldown(
+                        table, rule, column, measure=self.measure, k=k
+                    )
+
+                return self._run_approx(
+                    node, rule, k, "traditional", target,
+                    ("traditional", rule, column), None, mine,
+                )
             io_before = self._disk.io_stats.simulated_seconds if self._disk else 0.0
             start = time.perf_counter()
             mined, scale, method, sample_size = self._acquire(rule)
@@ -659,12 +907,14 @@ class DrillDownSession:
             )
 
         def build(node_state: dict) -> SessionNode:
+            estimate = node_state.get("estimate")
             node = SessionNode(
                 rule=node_state["rule"],
                 count=float(node_state["count"]),
                 weight=float(node_state["weight"]),
                 depth=int(node_state["depth"]),
                 expanded_via=node_state.get("expanded_via"),
+                estimate=dict(estimate) if estimate is not None else None,
             )
             node.children = [build(c) for c in node_state.get("children", ())]
             return node

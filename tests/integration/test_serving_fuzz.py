@@ -11,14 +11,25 @@ transcript against
 (c) an N-shard :class:`~repro.serving.ShardRouter` (N ∈ {1, 2, 4}),
 
 asserting after every step that all three agree *exactly*: the same
-children (rules, counts, weights) for every expansion, the same typed
-error class for every rejected op, and byte-identical renders — the
-ISSUE 5 acceptance criterion that sharding changes where work runs,
-never what any tenant sees.
+children (rules, counts, weights, estimate metadata) for every
+expansion, the same typed error class for every rejected op, and
+byte-identical renders — the ISSUE 5 acceptance criterion that
+sharding changes where work runs, never what any tenant sees.
 
 The op generator deliberately does not avoid invalid operations
 (re-expanding an expanded rule, collapsing a leaf): error *parity* is
 part of the contract the serving layers must preserve.
+
+The approx dimension (ISSUE 7): with ``sample_budget`` set the serving
+tiers pre-build samples at registration while the standalone replica
+builds the same set by hand (same table bytes, same derived seed), so
+
+* ``approx=False`` transcripts must stay identical to a run with no
+  sampling at all — registration-time sampling is invisible to exact
+  expansions, and
+* seeded ``approx=True`` transcripts must produce the *same estimates
+  and confidence metadata* on every backend, including the shard
+  workers that rebuild samples from wire-decoded tables.
 """
 
 from __future__ import annotations
@@ -27,7 +38,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ReproError
-from repro.serving import DrillDownServer, ShardRouter
+from repro.serving import DrillDownServer, ShardRouter, build_sample_set, derive_seed
 from repro.session import DrillDownSession
 from tests.conftest import random_table
 
@@ -61,6 +72,13 @@ class _Replica:
         self.router_sid = router_sid
 
 
+def _estimate_key(estimate: dict | None):
+    """An estimate dict as a hashable, order-independent tuple."""
+    if estimate is None:
+        return None
+    return tuple(sorted(estimate.items()))
+
+
 def _outcome(fn):
     """Run one backend's op; normalise to comparable plain data."""
     try:
@@ -73,7 +91,10 @@ def _outcome(fn):
         return ("ok", result)
     return (
         "ok",
-        tuple((tuple(c.rule), c.count, c.weight, c.depth) for c in result),
+        tuple(
+            (tuple(c.rule), c.count, c.weight, c.depth, _estimate_key(c.estimate))
+            for c in result
+        ),
     )
 
 
@@ -99,12 +120,25 @@ def run_replay(
     steps: int = 25,
     *,
     default_deadline: float | None = None,
+    sample_budget: int | None = None,
+    approx: bool = False,
 ) -> int:
     rng = np.random.default_rng(seed)
     tables = _make_tables(seed)
     performed = 0
-    with DrillDownServer(default_deadline=default_deadline) as server, ShardRouter(
-        n_shards, default_deadline=default_deadline
+    # The standalone replica mirrors the catalog's registration-time
+    # sampling by hand: same table bytes, same per-name derived seed.
+    standalone_samples: dict[str, object] = {}
+    if approx:
+        assert sample_budget is not None, "approx replay needs a sample_budget"
+        for name, table in tables.items():
+            standalone_samples[name] = build_sample_set(
+                table, budget=sample_budget, seed=derive_seed(name, 0)
+            )
+    with DrillDownServer(
+        default_deadline=default_deadline, sample_budget=sample_budget
+    ) as server, ShardRouter(
+        n_shards, default_deadline=default_deadline, sample_budget=sample_budget
     ) as router:
         for name, table in tables.items():
             server.register_table(name, table)
@@ -120,7 +154,9 @@ def run_replay(
             table = tables[name]
             replica = _Replica(
                 name,
-                DrillDownSession(table, k=k, mw=mw),
+                DrillDownSession(
+                    table, k=k, mw=mw, samples=standalone_samples.get(name)
+                ),
                 server.create_session(name, tenant=tenant, k=k, mw=mw),
                 router.create_session(name, tenant=tenant, k=k, mw=mw),
             )
@@ -159,29 +195,61 @@ def run_replay(
                 _assert_same(step, action, _renders(replica, server, router))
                 performed += 1
                 continue
+            # Approx runs mix error targets, including one tight enough
+            # to force the escalate-to-exact path through every backend.
+            ap = True if approx else None
+            et = float(rng.choice([0.5, 0.25, 1e-9])) if approx else None
             if action == "expand":
                 k = None if rng.random() < 0.5 else int(rng.integers(2, 4))
                 outcomes = {
-                    "standalone": _outcome(lambda: replica.standalone.expand(rule, k=k)),
-                    "server": _outcome(lambda: server.expand(replica.server_sid, rule, k=k)),
-                    "router": _outcome(lambda: router.expand(replica.router_sid, rule, k=k)),
+                    "standalone": _outcome(
+                        lambda: replica.standalone.expand(rule, k=k, approx=ap, error_target=et)
+                    ),
+                    "server": _outcome(
+                        lambda: server.expand(
+                            replica.server_sid, rule, k=k, approx=ap, error_target=et
+                        )
+                    ),
+                    "router": _outcome(
+                        lambda: router.expand(
+                            replica.router_sid, rule, k=k, approx=ap, error_target=et
+                        )
+                    ),
                 }
             elif action == "star":
                 outcomes = {
-                    "standalone": _outcome(lambda: replica.standalone.expand_star(rule, column)),
-                    "server": _outcome(lambda: server.expand_star(replica.server_sid, rule, column)),
-                    "router": _outcome(lambda: router.expand_star(replica.router_sid, rule, column)),
+                    "standalone": _outcome(
+                        lambda: replica.standalone.expand_star(
+                            rule, column, approx=ap, error_target=et
+                        )
+                    ),
+                    "server": _outcome(
+                        lambda: server.expand_star(
+                            replica.server_sid, rule, column, approx=ap, error_target=et
+                        )
+                    ),
+                    "router": _outcome(
+                        lambda: router.expand_star(
+                            replica.router_sid, rule, column, approx=ap, error_target=et
+                        )
+                    ),
                 }
             elif action == "traditional":
                 outcomes = {
                     "standalone": _outcome(
-                        lambda: replica.standalone.expand_traditional(rule, column, k=3)
+                        lambda: replica.standalone.expand_traditional(
+                            rule, column, k=3, approx=ap, error_target=et
+                        )
                     ),
                     "server": _outcome(
-                        lambda: server.expand_traditional(replica.server_sid, rule, column, k=3)
+                        lambda: server.expand_traditional(
+                            replica.server_sid, rule, column, k=3, approx=ap, error_target=et
+                        )
                     ),
                     "router": _outcome(
-                        lambda: router.expand_traditional(replica.router_sid, rule, column, k=3)
+                        lambda: router.expand_traditional(
+                            replica.router_sid, rule, column, k=3, approx=ap, error_target=et
+                        )
                     ),
                 }
             else:  # collapse
@@ -217,6 +285,27 @@ class TestMultiTenantReplayParity:
         the generator's distribution does not silently degenerate)."""
         performed = run_replay(7, 2, steps=60)
         assert performed >= 40
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_exact_replay_unchanged_by_registration_time_sampling(self, seed, n_shards):
+        """Registering tables under a ``sample_budget`` must not perturb
+        exact serving: the standalone replica has *no* samples at all,
+        yet every exact expansion/render still matches the sampled
+        tiers byte for byte — sampling is pay-only-when-asked."""
+        performed = run_replay(seed, n_shards, sample_budget=32)
+        assert performed >= 15
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_approx_replay_is_bit_identical_across_backends(self, seed, n_shards):
+        """Seeded approximate transcripts — estimates, confidence
+        metadata, and escalations included in every outcome tuple —
+        agree exactly across standalone/one-process/N-shard backends.
+        The shard workers rebuild samples from wire-decoded tables, so
+        this pins that decode produces bit-identical draws."""
+        performed = run_replay(seed, n_shards, sample_budget=32, approx=True)
+        assert performed >= 15
 
     def test_replay_with_deadlines_enabled_is_still_bit_identical(self):
         """The deadline machinery must be pure overhead on the happy

@@ -81,6 +81,58 @@ class TestEstimateCount:
             estimate_count(s, Rule.trivial(3), confidence=1.5)
 
 
+class TestDegenerateDraws:
+    """Regressions for the zero-variance edge cases: before the
+    continuity correction these intervals collapsed to a single point
+    and claimed certainty from a partial sample."""
+
+    def test_all_out_draw_keeps_positive_width(self):
+        """A rule covering *no* sampled row used to yield [0, 0] even
+        when the table genuinely contains matching rows."""
+        table = generate_zipf_table(2000, [40], skew=1.4, seed=11)
+        rule = Rule(["c0_v39"])  # rare value: usually absent from a small draw
+        true = count(rule, table)
+        assert true > 0  # the premise: rarity, not absence
+        rng = np.random.default_rng(4)
+        for _ in range(50):
+            est = estimate_count(uniform_sample(table, 30, rng), rule)
+            if est.estimate == 0.0:
+                break
+        else:
+            pytest.fail("never drew a sample missing the rare value")
+        assert est.half_width > 0.0
+        assert est.high > 0.0  # the interval admits the value may exist
+
+    def test_all_in_draw_keeps_positive_width(self):
+        """The mirror case: every sampled row covered (x == 1) on a
+        partial sample must not produce a zero-width interval."""
+        table = generate_zipf_table(2000, [2], skew=3.0, seed=12)
+        rule = Rule(["c0_v0"])
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            sample = uniform_sample(table, 20, rng)
+            est = estimate_count(sample, rule)
+            if est.estimate == sample.scale * sample.size:
+                break
+        else:
+            pytest.fail("never drew an all-covered sample")
+        assert est.half_width > 0.0
+        assert est.low < est.estimate  # the truth may be below N_s·m
+
+    def test_census_sample_is_exact_and_zero_width(self):
+        """A sample that *is* its population has no sampling error: the
+        interval collapses to the exact count by design (this is what
+        lets small-table serving samples short-circuit escalation)."""
+        table = generate_zipf_table(50, [3], skew=0.5, seed=13)
+        idx = np.arange(table.n_rows, dtype=np.int64)
+        sample = Sample(Rule.trivial(1), 1.0, table.take(idx), idx, table.n_rows)
+        rule = Rule(["c0_v0"])
+        est = estimate_count(sample, rule)
+        assert est.estimate == count(rule, table)
+        assert est.half_width == 0.0
+        assert est.contains(est.estimate)
+
+
 class TestPercentError:
     def test_exact_match_is_zero(self):
         assert percent_error(100.0, 100.0) == 0.0
@@ -89,9 +141,17 @@ class TestPercentError:
         assert percent_error(110.0, 100.0) == pytest.approx(10.0)
         assert percent_error(90.0, 100.0) == pytest.approx(10.0)
 
-    def test_zero_actual(self):
+    def test_zero_actual_is_finite(self):
+        """Regression: an empty-cover rule used to yield ``inf``, which
+        poisoned every mean over per-rule errors (Figure 8(b) averages);
+        the denominator is now floored at one tuple."""
         assert percent_error(0.0, 0.0) == 0.0
-        assert percent_error(5.0, 0.0) == math.inf
+        assert percent_error(5.0, 0.0) == 500.0
+        assert math.isfinite(percent_error(1e9, 0.0))
+
+    def test_small_actual_floor(self):
+        # |actual| < 1 uses the one-tuple floor, not the tiny denominator.
+        assert percent_error(1.0, 0.5) == pytest.approx(50.0)
 
 
 class TestSampleSizeRules:

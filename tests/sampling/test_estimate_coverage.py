@@ -1,0 +1,218 @@
+"""Statistical acceptance suite for count estimation (ISSUE 7, §4.2/§4.3).
+
+Two contracts are pinned here, both with *seeded* randomness so a
+failure is a reproducible bug, never flake:
+
+1. **Interval coverage.**  Over many independent seeded draws, the
+   nominal-``c`` confidence interval from :func:`estimate_count` must
+   contain the true count at a rate no lower than ``c`` minus binomial
+   noise.  The acceptance thresholds below sit ~3 standard deviations
+   under the nominal rate for the trial counts used, so a correct
+   estimator passes with overwhelming probability while a broken one
+   (e.g. the pre-fix zero-width degenerate intervals) fails hard.
+
+2. **Escalation parity.**  The serving tier's approximate expansions
+   escalate to exact mining whenever any estimate's half-width crosses
+   ``error_target × max(estimate, 1)``; at a tight target this must
+   make the approximate session's rule list *equal* the exact
+   session's — rules and counts — on randomised tables.  This is the
+   "provably converges to the exact rule list" half of the tentpole.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Rule, STAR, count
+from repro.datasets import generate_zipf_table
+from repro.sampling import Sample, estimate_count
+from repro.serving import build_sample_set
+from repro.session import DrillDownSession
+from tests.conftest import random_table
+
+pytestmark = [pytest.mark.statistical, pytest.mark.slow]
+
+
+def _uniform_sample(table, size: int, rng: np.random.Generator) -> Sample:
+    idx = np.sort(rng.choice(table.n_rows, size=size, replace=False))
+    return Sample(
+        filter_rule=Rule.trivial(table.n_columns),
+        scale=table.n_rows / size,
+        table=table.take(idx),
+        row_ids=idx,
+        population=table.n_rows,
+    )
+
+
+def _coverage_rate(table, rule, *, size: int, trials: int, confidence: float, seed: int) -> float:
+    true = count(rule, table)
+    rng = np.random.default_rng(seed)
+    hits = sum(
+        estimate_count(_uniform_sample(table, size, rng), rule, confidence=confidence).contains(
+            true
+        )
+        for _ in range(trials)
+    )
+    return hits / trials
+
+
+class TestIntervalCoverage:
+    """CI coverage at (and above) the nominal rate, across regimes."""
+
+    @pytest.mark.parametrize("size", [100, 400, 1200])
+    def test_common_rule_95_coverage(self, size):
+        """A well-sampled rule: 400 trials at 95% nominal; the 3-sigma
+        binomial lower bound is 0.95 − 3·sqrt(.95·.05/400) ≈ 0.917."""
+        table = generate_zipf_table(6000, [6, 6], skew=1.0, seed=21)
+        rate = _coverage_rate(
+            table, Rule(["c0_v0", STAR]), size=size, trials=400, confidence=0.95, seed=size
+        )
+        assert rate >= 0.91
+
+    @pytest.mark.parametrize("confidence,floor", [(0.9, 0.85), (0.99, 0.965)])
+    def test_other_nominal_levels(self, confidence, floor):
+        table = generate_zipf_table(6000, [6, 6], skew=1.0, seed=22)
+        rate = _coverage_rate(
+            table,
+            Rule(["c0_v1", STAR]),
+            size=300,
+            trials=400,
+            confidence=confidence,
+            seed=int(confidence * 100),
+        )
+        assert rate >= floor
+
+    def test_rare_rule_coverage_survives_degenerate_draws(self):
+        """The regression the continuity correction exists for: a rule
+        rare enough that many draws cover zero sampled rows.  Pre-fix,
+        every such draw produced the zero-width interval [0, 0] and
+        missed the (positive) true count, dragging coverage far below
+        nominal; with the correction the rate stays acceptable."""
+        table = generate_zipf_table(4000, [50], skew=1.5, seed=23)
+        rule = Rule(["c0_v30"])
+        true = count(rule, table)
+        assert 0 < true < 40  # genuinely rare, genuinely present
+        # Confirm the degenerate regime is actually exercised.
+        rng = np.random.default_rng(99)
+        zero_draws = sum(
+            estimate_count(_uniform_sample(table, 60, rng), rule).estimate == 0.0
+            for _ in range(100)
+        )
+        assert zero_draws > 20, "premise broken: the rare rule is not rare enough"
+        rate = _coverage_rate(table, rule, size=60, trials=400, confidence=0.95, seed=24)
+        assert rate >= 0.91
+
+    def test_stratified_serving_samples_cover(self):
+        """End-to-end over the serving tier's own sample builder: the
+        sample chosen for a child rule (stratum or uniform) must still
+        deliver nominal coverage, stratum scales included."""
+        rng = np.random.default_rng(30)
+        hits = trials = 0
+        for trial_seed in range(120):
+            table = random_table(rng, n_rows=400, n_columns=3, domain=4)
+            samples = build_sample_set(table, budget=120, seed=trial_seed)
+            rule = Rule([f"v{trial_seed % 4}", STAR, STAR])
+            sample = samples.sample_for(rule)
+            est = estimate_count(sample, rule)
+            hits += est.contains(count(rule, table))
+            trials += 1
+        # Non-identical trials (different tables), so the bound is the
+        # same binomial argument at n=120: 0.95 − 3·sqrt(.95·.05/120) ≈ 0.89.
+        assert hits / trials >= 0.89
+
+
+class TestEscalationParity:
+    """Tight error targets provably reproduce the exact rule list."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_tight_target_expand_matches_exact(self, seed):
+        rng = np.random.default_rng(500 + seed)
+        table = random_table(
+            rng, n_rows=int(rng.integers(100, 300)), n_columns=3, domain=int(rng.integers(3, 5))
+        )
+        samples = build_sample_set(table, budget=48, seed=seed)
+        exact = DrillDownSession(table, k=3)
+        approx = DrillDownSession(table, k=3, samples=samples)
+        root = Rule.trivial(3)
+        exact_children = exact.expand(root)
+        approx_children = approx.expand(root, approx=True, error_target=1e-9)
+        assert [(tuple(c.rule), c.count) for c in approx_children] == [
+            (tuple(c.rule), c.count) for c in exact_children
+        ]
+        for child in approx_children:
+            assert child.estimate is not None
+            assert child.estimate["escalated"] is True
+            assert child.estimate["exact"] is True
+            assert child.estimate["low"] == child.estimate["high"] == child.count
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tight_target_star_and_traditional_match_exact(self, seed):
+        rng = np.random.default_rng(900 + seed)
+        table = random_table(rng, n_rows=200, n_columns=3, domain=4)
+        samples = build_sample_set(table, budget=48, seed=seed)
+        root = Rule.trivial(3)
+        for kind in ("star", "traditional"):
+            exact = DrillDownSession(table, k=3)
+            approx = DrillDownSession(table, k=3, samples=samples)
+            if kind == "star":
+                e = exact.expand_star(root, 0)
+                a = approx.expand_star(root, 0, approx=True, error_target=1e-9)
+            else:
+                e = exact.expand_traditional(root, 0, k=3)
+                a = approx.expand_traditional(root, 0, k=3, approx=True, error_target=1e-9)
+            assert [(tuple(c.rule), c.count) for c in a] == [
+                (tuple(c.rule), c.count) for c in e
+            ]
+
+    def test_loose_target_stays_on_sample_and_brackets_truth(self):
+        """The complement: a loose target must *not* escalate, and the
+        returned intervals should bracket the true counts at roughly
+        the nominal rate (binomial slack over all children seen)."""
+        rng = np.random.default_rng(77)
+        hits = total = 0
+        escalations = 0
+        for seed in range(40):
+            table = random_table(rng, n_rows=500, n_columns=3, domain=3)
+            samples = build_sample_set(table, budget=150, seed=seed)
+            session = DrillDownSession(table, k=3, samples=samples)
+            children = session.expand(Rule.trivial(3), approx=True, error_target=0.75)
+            for child in children:
+                est = child.estimate
+                assert est is not None
+                if est["escalated"]:
+                    escalations += 1
+                    continue
+                total += 1
+                hits += est["low"] <= count(child.rule, table) <= est["high"]
+        assert escalations <= 4  # loose targets overwhelmingly stay approximate
+        assert total >= 80
+        assert hits / total >= 0.88
+
+    def test_half_width_boundary_is_the_decision_rule(self):
+        """White-box pin of the greedy boundary: an expansion escalates
+        iff some child's half-width exceeds target·max(estimate, 1)."""
+        rng = np.random.default_rng(123)
+        table = random_table(rng, n_rows=400, n_columns=3, domain=3)
+        samples = build_sample_set(table, budget=100, seed=0)
+        probe = DrillDownSession(table, k=3, samples=samples)
+        root = Rule.trivial(3)
+        children = probe.expand(root, approx=True, error_target=math.inf)
+        ratios = []
+        for child in children:
+            est = child.estimate
+            assert est["escalated"] is False
+            half = (est["high"] - est["low"]) / 2.0
+            ratios.append(half / max(est["estimate"], 1.0))
+        worst = max(ratios)
+        assert worst > 0.0  # a real sample, not a census
+        # Just above the worst ratio: no child crosses, stays approximate.
+        loose = DrillDownSession(table, k=3, samples=samples)
+        kids = loose.expand(root, approx=True, error_target=worst * 1.01)
+        assert all(c.estimate["escalated"] is False for c in kids)
+        # Just below it: the worst child crosses, the whole expansion escalates.
+        tight = DrillDownSession(table, k=3, samples=samples)
+        kids = tight.expand(root, approx=True, error_target=worst * 0.99)
+        assert all(c.estimate["escalated"] is True for c in kids)
