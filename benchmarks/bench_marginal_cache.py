@@ -1,0 +1,217 @@
+"""Cold-session first-expand latency: first-pick marginal cache on/off.
+
+Every fresh session's first expansion pays a full level-1 scan over
+every categorical column before the greedy pick; the registration-time
+first-pick cache (``repro.core.first_pick``) precomputes those vectors
+once per ``(table, weighting, mw)`` and serves them read-only, turning
+the first pass into a heap-build over cached arrays.  This benchmark
+drives cold sessions — ``share_contexts=False``, so no prototype
+warm-start hides the first pass — through routers of 1, 2, and 4
+shards with the cache enabled and disabled, and records the
+first-expand latency of each arm.  The workload (``mw=2.0``, 100k-row
+census tables) keeps the post-first-pass search small, so the latency
+difference isolates what the cache actually removes: the cold level-1
+scan.
+
+Asserted (structurally — absolute numbers are machine-dependent):
+
+* every session's first-expansion rule list is identical with the
+  cache on and off, at every shard count (the bit-identity contract);
+* the cache-on arm really served cached first picks (hit counters from
+  ``/stats`` cover every session);
+* with the cache on, mean cold first-expand latency does not regress
+  (and the recorded speedup shows the improvement).
+
+A JSON perf record is written next to this file
+(``BENCH_marginal_cache.json``).  Run via pytest
+(``pytest benchmarks/bench_marginal_cache.py -m smoke``) or directly::
+
+    PYTHONPATH=src python benchmarks/bench_marginal_cache.py [--smoke]
+
+``--smoke`` shrinks the census tables and drops the 4-shard scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import generate_census
+from repro.serving import ShardRouter
+
+RECORD_PATH = Path(__file__).resolve().parent / "BENCH_marginal_cache.json"
+CENSUS_ROWS = 100_000
+SMOKE_ROWS = 30_000
+N_COLUMNS = 6
+N_TABLES = 2
+K = 3
+MW = 2.0
+SESSIONS = 32
+SMOKE_SESSIONS = 12
+SHARD_COUNTS = (1, 2, 4)
+SMOKE_SHARD_COUNTS = (1, 2)
+
+
+def _make_tables(rows: int) -> dict:
+    return {
+        f"census-{i}": generate_census(rows, n_columns=N_COLUMNS, seed=2024 + i)
+        for i in range(N_TABLES)
+    }
+
+
+def _marginal_hits(router: ShardRouter) -> int:
+    """Total first-pick cache hits across every shard's catalog."""
+    hits = 0
+    for shard in router.stats()["shards"]:
+        server = shard.get("server") or {}
+        for per_table in server.get("marginals", {}).get("tables", {}).values():
+            for counters in per_table.values():
+                hits += counters["hits"]
+    return hits
+
+
+def _drive_cold_sessions(router: ShardRouter, table_names: list, n_sessions: int):
+    """``n_sessions`` cold create+first-expand cycles, round-robin over
+    the tables; returns (per-session latencies, per-table rule lists)."""
+    latencies: list[float] = []
+    rules: dict[str, tuple] = {}
+    for i in range(n_sessions):
+        name = table_names[i % len(table_names)]
+        sid = router.create_session(name, tenant=f"tenant-{i}", k=K, mw=MW)
+        start = time.perf_counter()
+        children = router.expand(sid)
+        latencies.append(time.perf_counter() - start)
+        picked = tuple(tuple(c.rule) for c in children)
+        assert rules.setdefault(name, picked) == picked
+        router.close_session(sid)
+    return latencies, rules
+
+
+def run_benchmark(rows: int, shard_counts=SHARD_COUNTS, n_sessions=SESSIONS) -> dict:
+    tables = _make_tables(rows)
+    table_names = sorted(tables)
+    scenarios = []
+    identical = True
+    for n_shards in shard_counts:
+        per_table_rules: dict[bool, dict] = {}
+        for enabled in (False, True):
+            with ShardRouter(
+                n_shards, share_contexts=False, marginal_cache=enabled, marginal_mw=MW
+            ) as router:
+                for name, table in tables.items():
+                    router.register_table(name, table)
+                # Warm-up: pays first-touch costs (wire decode, fork
+                # lazies) outside the timing; contexts are not shared,
+                # so later sessions stay genuinely cold.
+                _drive_cold_sessions(router, table_names, len(table_names))
+                hits_before = _marginal_hits(router)
+                latencies, rules = _drive_cold_sessions(router, table_names, n_sessions)
+                hits = _marginal_hits(router) - hits_before
+            per_table_rules[enabled] = rules
+            latencies.sort()
+            scenarios.append(
+                {
+                    "n_shards": n_shards,
+                    "marginal_cache": enabled,
+                    "sessions": n_sessions,
+                    "cache_hits": hits,
+                    "mean_first_expand_seconds": round(
+                        sum(latencies) / len(latencies), 6
+                    ),
+                    "median_first_expand_seconds": round(
+                        latencies[len(latencies) // 2], 6
+                    ),
+                    "p95_first_expand_seconds": round(
+                        latencies[int(0.95 * (len(latencies) - 1))], 6
+                    ),
+                    "min_first_expand_seconds": round(latencies[0], 6),
+                }
+            )
+        identical = identical and per_table_rules[False] == per_table_rules[True]
+    return {
+        "workload": {
+            "dataset": "census",
+            "tables": N_TABLES,
+            "rows_per_table": rows,
+            "columns": N_COLUMNS,
+            "k": K,
+            "mw": MW,
+            "weighting": "size",
+            "share_contexts": False,
+        },
+        "cpu_count": os.cpu_count() or 1,
+        "scenarios": scenarios,
+        "identical_rule_lists": identical,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def write_record(record: dict) -> None:
+    RECORD_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+
+def check_record(record: dict) -> None:
+    assert record["identical_rule_lists"], "cache on/off rule lists diverged"
+    by_key = {(s["n_shards"], s["marginal_cache"]): s for s in record["scenarios"]}
+    for (n_shards, enabled), scenario in by_key.items():
+        if enabled:
+            assert scenario["cache_hits"] >= scenario["sessions"], (
+                f"{n_shards}-shard cache-on run served only "
+                f"{scenario['cache_hits']} cached first picks for "
+                f"{scenario['sessions']} sessions"
+            )
+        else:
+            assert scenario["cache_hits"] == 0
+    for n_shards in {k[0] for k in by_key}:
+        on = by_key[(n_shards, True)]["median_first_expand_seconds"]
+        off = by_key[(n_shards, False)]["median_first_expand_seconds"]
+        # Improvement is the point, but single-core CI boxes are noisy;
+        # the hard gate is "no regression", the speedup is recorded.
+        assert on <= off * 1.10, (
+            f"{n_shards}-shard cold first-expand regressed with the cache on: "
+            f"{on * 1000:.2f} ms vs {off * 1000:.2f} ms"
+        )
+
+
+@pytest.mark.smoke
+def test_marginal_cache_first_expand():
+    """Smoke: 1 vs 2 shards, cold first-expands, cache on vs off."""
+    record = run_benchmark(SMOKE_ROWS, SMOKE_SHARD_COUNTS, SMOKE_SESSIONS)
+    write_record(record)
+    print()
+    for scenario in record["scenarios"]:
+        state = "on " if scenario["marginal_cache"] else "off"
+        print(
+            f"BX marginal cache {state}: {scenario['n_shards']} shard(s): "
+            f"mean {scenario['mean_first_expand_seconds'] * 1000:.2f} ms, "
+            f"p95 {scenario['p95_first_expand_seconds'] * 1000:.2f} ms, "
+            f"{scenario['cache_hits']} hits"
+        )
+    check_record(record)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="smaller tables, no 4-shard scenario (fast CI smoke run)",
+    )
+    args = parser.parse_args()
+    record = run_benchmark(
+        SMOKE_ROWS if args.smoke else CENSUS_ROWS,
+        SMOKE_SHARD_COUNTS if args.smoke else SHARD_COUNTS,
+        SMOKE_SESSIONS if args.smoke else SESSIONS,
+    )
+    write_record(record)
+    print(json.dumps(record, indent=2))
+    check_record(record)
+    print(f"\nperf record written to {RECORD_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -88,6 +88,7 @@ def brs_iter(
     engine: str = "incremental",
     n_workers: int | None = None,
     pool: CountingPool | None = None,
+    first_pick=None,
 ) -> Iterator[MarginalResult]:
     """Yield greedy picks one at a time (the Section 6.1 streaming mode).
 
@@ -116,6 +117,12 @@ def brs_iter(
     overrides ``n_workers``.  Picks are identical either way.  When an
     existing ``context`` is supplied it keeps whatever backend it was
     built with and these knobs are ignored.
+
+    ``first_pick`` threads a registration-time level-1 marginal cache
+    (:class:`~repro.core.first_pick.FirstPickCache`) into the search:
+    the first pick becomes a heap-build over cached marginals instead
+    of a full scan.  Picks are provably identical with or without it;
+    a cache built for a different ``(table, wf, mw)`` is ignored.
     """
     if engine not in ("incremental", "scratch"):
         raise ValueError(f"unknown search engine {engine!r}")
@@ -131,6 +138,7 @@ def brs_iter(
             max_rule_size=max_rule_size,
             prune=prune,
             pool=resolved_pool,
+            first_pick=first_pick,
         )
 
     def picks() -> Iterator[MarginalResult]:
@@ -152,6 +160,7 @@ def brs_iter(
                     max_rule_size=max_rule_size,
                     prune=prune,
                     pool=resolved_pool,
+                    first_pick=first_pick,
                 )
             if result is None:
                 return
@@ -180,6 +189,7 @@ def brs(
     engine: str = "incremental",
     n_workers: int | None = None,
     pool: CountingPool | None = None,
+    first_pick=None,
 ) -> BRSResult:
     """Greedily select up to ``k`` rules maximising ``Score`` (Problem 3).
 
@@ -233,6 +243,7 @@ def brs(
         engine=engine,
         n_workers=n_workers,
         pool=pool,
+        first_pick=first_pick,
     ):
         picks.append(result)
         stats.merge(result.stats)
@@ -257,6 +268,7 @@ def brs_time_limited(
     engine: str = "incremental",
     n_workers: int | None = None,
     pool: CountingPool | None = None,
+    first_pick=None,
 ) -> BRSResult:
     """Keep adding rules until a wall-clock budget runs out (§6.1).
 
@@ -289,6 +301,7 @@ def brs_time_limited(
         engine=engine,
         n_workers=n_workers,
         pool=pool,
+        first_pick=first_pick,
     ):
         picks.append(result)
         stats.merge(result.stats)

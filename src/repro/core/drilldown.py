@@ -155,6 +155,7 @@ def rule_drilldown(
     n_workers: int | None = None,
     pool: CountingPool | None = None,
     tenant: object = None,
+    first_pick=None,
 ) -> DrillDownResult:
     """Expand ``parent`` into its best rule-list of ``k`` super-rules.
 
@@ -191,7 +192,7 @@ def rule_drilldown(
             context = SearchContext(
                 subtable, lifted, mw, measures=measures,
                 max_rule_size=max_rule_size, prune=prune, pool=resolved_pool,
-                tenant=tenant,
+                tenant=tenant, first_pick=first_pick,
             )
             context.source = table
             context.tag = tag
@@ -212,6 +213,7 @@ def rule_drilldown(
         context=context,
         engine=engine,
         pool=resolved_pool,
+        first_pick=first_pick,
     )
     merged = _merge_with_parent(result.rules, parent)
     rule_list = RuleList(merged, subtable, wf, measures)
@@ -240,6 +242,7 @@ def star_drilldown(
     n_workers: int | None = None,
     pool: CountingPool | None = None,
     tenant: object = None,
+    first_pick=None,
 ) -> DrillDownResult:
     """Expand the ``?`` in ``column`` of ``parent`` (Section 2.3).
 
@@ -277,7 +280,7 @@ def star_drilldown(
             context = SearchContext(
                 subtable, constrained, mw, measures=measures,
                 max_rule_size=max_rule_size, prune=prune, pool=resolved_pool,
-                tenant=tenant,
+                tenant=tenant, first_pick=first_pick,
             )
             context.source = table
             context.tag = tag
@@ -292,6 +295,7 @@ def star_drilldown(
         context=context,
         engine=engine,
         pool=resolved_pool,
+        first_pick=first_pick,
     )
     merged = _merge_with_parent(result.rules, parent)
     rule_list = RuleList(merged, subtable, wf, measures)

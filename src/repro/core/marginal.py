@@ -241,6 +241,7 @@ class _Searcher:
         max_rule_size: int | None,
         prune: bool,
         pool: CountingPool | None = None,
+        first_pick=None,
     ):
         self.table = table
         self.wf = wf
@@ -272,6 +273,22 @@ class _Searcher:
             # Slow-path weights cannot ship a scalar weight to workers.
             backend = pool.backend_for(table, self.measures)
         self.backend = backend
+        # Registration-time level-1 marginal cache (repro.core.first_pick):
+        # valid only for a Count search over exactly this (table, wf, mw)
+        # at the base top (all zeros) — the cold first pick.  Anything
+        # else falls back to the normal scan.
+        usable = (
+            first_pick is not None
+            and self.fast_weight is not None
+            and first_pick.matches(table, wf, self.mw)
+            # Cache arrays were built with all-ones measures (Count);
+            # an explicit all-ones array feeds the kernel identical inputs.
+            and (measures is None or bool((self.measures == 1.0).all()))
+            and not self.top.any()
+        )
+        self.first_pick = first_pick if usable else None
+        if first_pick is not None and not usable:
+            first_pick.misses += 1
         self.stats = SearchStats()
         # C of Algorithm 2: every counted candidate, keyed canonically.
         self.counted: dict[_Key, _Entry] = {}
@@ -421,6 +438,18 @@ class _Searcher:
         dtype = np.int32 if self.table.n_rows < 2**31 else np.int64
         all_rows = np.arange(self.table.n_rows, dtype=dtype)
         n_cat = len(self.cat_positions)
+        if self.first_pick is not None:
+            # Heap-build over the registration-time cache: the arrays
+            # are the kernel's own output at this exact (table, weight,
+            # base top), so _entries_of sees bit-identical inputs to a
+            # cold scan — no rows are touched.
+            self.first_pick.hits += 1
+            for pos in range(n_cat):
+                weight, supported, counts, marginals = self.first_pick.level1(pos)
+                for key, entry in self._entries_of(empty, pos, weight, supported, counts, marginals):
+                    self._offer(key, entry)
+                    survivors.append((key, all_rows))
+            return survivors
         if self.backend is not None:
             specs = [
                 (pos, self.distinct[pos], self._ext_weight(empty, pos))
@@ -578,6 +607,7 @@ def find_best_marginal_rule(
     prune: bool = True,
     n_workers: int | None = None,
     pool: CountingPool | None = None,
+    first_pick=None,
 ) -> MarginalResult | None:
     """Return the rule of weight ≤ ``mw`` with highest marginal value.
 
@@ -617,6 +647,12 @@ def find_best_marginal_rule(
         through (overrides ``n_workers``); lets callers control worker
         lifecycle and share one pool — and one shared-memory table
         export — across searches.
+    first_pick:
+        Optional :class:`~repro.core.first_pick.FirstPickCache` built
+        for exactly ``(table, wf, mw)``: when ``top`` is the base
+        vector (all zeros) the first pass becomes a heap-build over the
+        cached level-1 marginals instead of a scan.  Provably identical
+        result either way; a non-matching cache is ignored.
 
     Returns ``None`` when no rule adds positive marginal value.
     """
@@ -629,5 +665,6 @@ def find_best_marginal_rule(
         max_rule_size,
         prune,
         pool=resolve_pool(pool, n_workers),
+        first_pick=first_pick,
     )
     return searcher.run()

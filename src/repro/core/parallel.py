@@ -36,6 +36,15 @@ Architecture
   batches its size-1 build and per-candidate expansions.  When no
   backend is configured (``n_workers=None``/``1``), both engines run
   their original serial code paths, byte for byte.
+* **Registration-time precompute.**  The serving catalog's first-pick
+  marginal cache (:mod:`repro.core.first_pick`) is a third client of
+  :func:`count_extensions_kernel`: it runs the level-1 passes once per
+  ``(table, weighting, mw)`` at registration and serves the kernel's
+  output read-only, so a cold session's first pick skips both the
+  serial scan *and* the pool dispatch (which the recorded 1-core bench
+  shows can be slower than serial for that single batch).  Shard
+  workers rebuild the identical cache from their wire-decoded table
+  copies — same kernel, same arrays, bit for bit.
 * **Bit-identical results.**  The unit of work is one whole
   (parent, column) bincount pair — row ranges are never split, so
   float accumulation order inside every bincount is exactly the serial

@@ -186,6 +186,7 @@ class SearchContext:
         n_workers: int | None = None,
         pool: CountingPool | None = None,
         tenant: Any = None,
+        first_pick: Any = None,
     ):
         self.table = table
         self.wf = wf
@@ -217,6 +218,23 @@ class SearchContext:
             if resolved is not None:
                 backend = resolved.backend_for(table, self.measures, tenant=tenant)
         self.backend = backend
+        # Registration-time level-1 marginal cache (repro.core.first_pick):
+        # valid only for a Count search over exactly this (table, wf, mw).
+        # The remaining condition — top elementwise equal to the base
+        # vector (all zeros) — is per-search, checked in find_best.
+        usable = (
+            first_pick is not None
+            and self.fast_weight is not None
+            and first_pick.matches(table, wf, self.mw)
+            # Cache arrays were built with all-ones measures (Count);
+            # an explicit all-ones array (tuple_measures with no
+            # measure column) feeds the kernel identical inputs.
+            and (not self._measures_given or bool((self.measures == 1.0).all()))
+        )
+        self.first_pick = first_pick if usable else None
+        if first_pick is not None and not usable:
+            first_pick.misses += 1
+        self._top_is_base = False
         self._row_dtype = np.int32 if n < 2**31 else np.int64
         self._cands: dict[_Key, _Candidate] = {}
         # Value heap: (-marginal, size, key); expansion heap: (-bound, size, key).
@@ -325,6 +343,8 @@ class SearchContext:
             if resolved is not None:
                 backend = resolved.backend_for(self.table, self.measures, tenant=tenant)
         new.backend = backend
+        new.first_pick = self.first_pick
+        new._top_is_base = False
         # Mutable per-candidate state: copied (row arrays shared — they
         # are only ever replaced, never mutated in place).
         new._cands = {key: replace(cand) for key, cand in self._cands.items()}
@@ -510,6 +530,20 @@ class SearchContext:
         the worker pool as one batch.
         """
         all_rows = np.arange(self.table.n_rows, dtype=self._row_dtype)
+        if self.first_pick is not None and self._top_is_base:
+            # Heap-build over the registration-time level-1 cache: the
+            # arrays are the kernel's own output at this exact (table,
+            # weight, base top), so _insert_children sees bit-identical
+            # inputs to a cold scan — no rows are touched.
+            self.first_pick.hits += 1
+            for pos in range(self._n_cat):
+                weight, supported, counts, marginals = self.first_pick.level1(pos)
+                self._insert_children((), all_rows, pos, weight, supported, counts, marginals, stats)
+            stats.passes += 1
+            self._built = True
+            return
+        if self.first_pick is not None:
+            self.first_pick.misses += 1
         if self.backend is not None:
             specs = [
                 (pos, self.distinct[pos], self._ext_weight((), pos))
@@ -535,12 +569,46 @@ class SearchContext:
         stats.parents_extended += 1
         rows = self._rows(cand, stats)
         last_pos = cand.key[-1][0]
+        if (
+            self.first_pick is not None
+            and self._top_is_base
+            and len(cand.key) == 1
+            and self.first_pick.pair_limit > 0
+        ):
+            # Level-2: single-column parents expanded while top is
+            # still the base vector (i.e. to settle the very first
+            # pick) can be served from the bounded hot-pair cache;
+            # cold pairs are recorded through the access-stats hook
+            # and fall through to the normal scan.
+            p, code = cand.key[0]
+            cold: list[int] = []
+            for pos in range(last_pos + 1, self._n_cat):
+                served = self.first_pick.pair(p, code, pos)
+                if served is None:
+                    self.first_pick.note_pair(p, pos)
+                    cold.append(pos)
+                else:
+                    self._insert_children(cand.key, rows, pos, *served, stats)
+            if not cold:
+                cand.expanded = True
+                return
+            self._expand_cold(cand, rows, cold, stats)
+            cand.expanded = True
+            return
+        self._expand_cold(cand, rows, list(range(last_pos + 1, self._n_cat)), stats)
+        cand.expanded = True
+
+    def _expand_cold(
+        self,
+        cand: _Candidate,
+        rows: np.ndarray,
+        positions: list[int],
+        stats: SearchStats,
+    ) -> None:
+        """Count extensions of ``cand`` on ``positions`` by scanning its rows."""
         if self.backend is not None:
             rows_arg = None if rows.size == self.table.n_rows else rows
-            specs = [
-                (pos, self._ext_weight(cand.key, pos))
-                for pos in range(last_pos + 1, self._n_cat)
-            ]
+            specs = [(pos, self._ext_weight(cand.key, pos)) for pos in positions]
             if specs:
                 results = self.backend.count_batch(
                     [
@@ -554,9 +622,8 @@ class SearchContext:
                         cand.key, rows, pos, weight, *results[i], stats
                     )
         else:
-            for pos in range(last_pos + 1, self._n_cat):
+            for pos in positions:
                 self._generate(cand.key, rows, pos, stats)
-        cand.expanded = True
 
     # -- per-pick search -------------------------------------------------------
 
@@ -706,6 +773,10 @@ class SearchContext:
         )
         self._top = top
         self._last_top = top
+        # The first-pick cache serves only while top is still the base
+        # vector (all zeros): cached marginals are the kernel's output
+        # at exactly that top.
+        self._top_is_base = self.first_pick is not None and not top.any()
         if self.backend is not None:
             self.backend.set_top(top)
         self._epoch += 1

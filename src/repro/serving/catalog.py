@@ -29,10 +29,22 @@ import os
 import re
 import threading
 from pathlib import Path
-from typing import Iterator
+from typing import Callable, Iterator, Sequence
 
+from repro.core.first_pick import FirstPickCache, build_first_pick_cache
 from repro.core.parallel import CountingPool
+from repro.core.weights import (
+    BitsWeight,
+    SizeMinusOneWeight,
+    SizeWeight,
+    WeightFunction,
+)
 from repro.errors import ServingError, UnknownTableError
+from repro.serving.marginals import (
+    load_first_pick,
+    save_first_pick,
+    table_fingerprint,
+)
 from repro.serving.samples import (
     TableSampleSet,
     build_sample_set,
@@ -41,7 +53,19 @@ from repro.serving.samples import (
 )
 from repro.table.table import Table
 
-__all__ = ["TableCatalog"]
+__all__ = ["TableCatalog", "WEIGHT_FUNCTIONS"]
+
+#: Weight functions creatable by name over the wire.  Factories take
+#: the served table — Bits weighting derives per-column bit counts
+#: from the table's dictionary sizes (§2.2).  Lives on the catalog so
+#: registration-time precompute (first-pick marginals) resolves the
+#: *same* instances tenant sessions later key contexts on;
+#: :mod:`repro.serving.server` re-exports it for compatibility.
+WEIGHT_FUNCTIONS: dict[str, Callable[[Table], WeightFunction]] = {
+    "size": lambda table: SizeWeight(),
+    "bits": BitsWeight.for_table,
+    "size_minus_one": lambda table: SizeMinusOneWeight(),
+}
 
 _SAMPLE_FILE_SAFE = re.compile(r"[^A-Za-z0-9._-]")
 
@@ -76,6 +100,30 @@ class TableCatalog:
         re-registration after a restart the catalog reloads matching
         files instead of re-scanning and re-drawing; any fingerprint
         mismatch (rows, budget, seed) triggers a rebuild + re-persist.
+    marginal_mw:
+        When set, :meth:`register` also precomputes the shared
+        first-pick marginal cache
+        (:class:`~repro.core.first_pick.FirstPickCache`) for each
+        ``marginal_weightings`` entry at this ``mw`` — the level-1
+        count/marginal vectors every cold session's first pick scans
+        for.  Sessions whose ``(table, weighting, mw)`` matches get the
+        cache read-only via :meth:`marginals_for`; everything else
+        falls back to the normal scan.  ``None`` (default) disables
+        the cache.
+    marginal_weightings:
+        Weighting names (keys of :data:`WEIGHT_FUNCTIONS`) to
+        precompute marginals for; each costs one level-1 pass over the
+        table at registration.
+    marginal_dir:
+        Directory to persist marginal caches under (atomic writes,
+        fingerprint-checked like ``sample_dir``): stale or corrupt
+        files are rejected — with a counter — and rebuilt, never
+        served.
+    marginal_pairs, marginal_pair_threshold:
+        Bound the optional level-2 cache: at most ``marginal_pairs``
+        hot column pairs per cache (0 disables level 2), a pair
+        becoming hot after ``marginal_pair_threshold`` observed cold
+        expansions.
     """
 
     def __init__(
@@ -86,6 +134,11 @@ class TableCatalog:
         sample_budget: int | None = None,
         sample_seed: int = 0,
         sample_dir: str | os.PathLike | None = None,
+        marginal_mw: float | None = None,
+        marginal_weightings: Sequence[str] = ("size",),
+        marginal_dir: str | os.PathLike | None = None,
+        marginal_pairs: int = 0,
+        marginal_pair_threshold: int = 2,
     ):
         if sample_budget is not None and sample_budget <= 0:
             raise ServingError("sample_budget must be a positive tuple count")
@@ -95,6 +148,43 @@ class TableCatalog:
         self._samples: dict[str, TableSampleSet] = {}
         self._samples_built = 0
         self._samples_loaded = 0
+        if marginal_mw is not None and not float(marginal_mw) > 0:
+            raise ServingError("marginal_mw must be > 0 (or None to disable)")
+        unknown = [w for w in marginal_weightings if w not in WEIGHT_FUNCTIONS]
+        if unknown:
+            raise ServingError(
+                f"unknown marginal weighting(s) {unknown!r}; "
+                f"choose from {sorted(WEIGHT_FUNCTIONS)}"
+            )
+        self._marginal_mw = None if marginal_mw is None else float(marginal_mw)
+        self._marginal_weightings = tuple(marginal_weightings)
+        self._marginal_dir = Path(marginal_dir) if marginal_dir is not None else None
+        self._marginal_pairs = int(marginal_pairs)
+        self._marginal_pair_threshold = int(marginal_pair_threshold)
+        self._marginals: dict[str, dict[str, FirstPickCache]] = {}
+        self._marginals_built = 0
+        self._marginals_loaded = 0
+        self._marginals_rejected = 0
+        # Weight-instance registry: one shared instance per (name,
+        # table), so registration-time caches and tenant contexts key
+        # on the same object.  Entries keep a strong table reference —
+        # id() keys alone could be recycled by a new table allocated at
+        # a dead table's address.
+        self._weights: dict[tuple[str, int], tuple[Table, WeightFunction]] = {}
+        self._weights_lock = threading.Lock()
+        # SIGKILL mid-save leaves "<file>.tmp" litter in the persist
+        # directories; sweep it now, exactly like SnapshotStore sweeps
+        # its .jsonl.tmp-* files.
+        self.cleaned_tmp = 0
+        for directory in (self._sample_dir, self._marginal_dir):
+            if directory is None or not directory.is_dir():
+                continue
+            for tmp in directory.glob("*.tmp"):
+                try:
+                    tmp.unlink()
+                    self.cleaned_tmp += 1
+                except OSError:  # pragma: no cover - racing cleaner
+                    pass
         if pool is not None:
             self._pool: CountingPool | None = pool
             self._owns_pool = False
@@ -151,6 +241,10 @@ class TableCatalog:
                 # that the pool may serve them serially anyway).
                 for sample in samples.samples:
                     self._pool.backend_for(sample.table)
+        if self._marginal_mw is not None:
+            marginals = self._build_or_load_marginals(name, table)
+            with self._lock:
+                self._marginals[name] = marginals
         return table
 
     def _sample_path(self, name: str) -> Path | None:
@@ -186,6 +280,144 @@ class TableCatalog:
                 pass  # samples are rebuildable; persistence is an optimisation
         return samples
 
+    def _marginal_path(self, name: str, weighting: str) -> Path | None:
+        """Persistence path for one ``(table name, weighting)`` cache."""
+        if self._marginal_dir is None:
+            return None
+        digest = hashlib.sha1(name.encode("utf-8")).hexdigest()[:8]
+        safe = _SAMPLE_FILE_SAFE.sub("_", name)[:80]
+        return self._marginal_dir / f"{safe}-{digest}.{weighting}.marginals.json"
+
+    def _build_or_load_marginals(
+        self, name: str, table: Table
+    ) -> dict[str, FirstPickCache]:
+        """One first-pick cache per configured weighting.
+
+        A persisted file is served only when its fingerprint — format
+        version, table content hash, weighting name, ``mw``, row count
+        — matches exactly; anything else (corrupt JSON, a re-registered
+        table with different data, a knob change) is rejected with a
+        counter and rebuilt.  Tables without categorical columns build
+        no cache.
+        """
+        assert self._marginal_mw is not None
+        fingerprint = table_fingerprint(table)
+        caches: dict[str, FirstPickCache] = {}
+        for weighting in self._marginal_weightings:
+            wf = self.weight(weighting, table)
+            path = self._marginal_path(name, weighting)
+            if path is not None and path.exists():
+                loaded = load_first_pick(
+                    path,
+                    table,
+                    wf,
+                    self._marginal_mw,
+                    fingerprint=fingerprint,
+                    weighting=weighting,
+                    pair_limit=self._marginal_pairs,
+                    pair_threshold=self._marginal_pair_threshold,
+                )
+                if loaded is not None:
+                    self._marginals_loaded += 1
+                    caches[weighting] = loaded
+                    continue
+                self._marginals_rejected += 1
+            cache = build_first_pick_cache(
+                table,
+                wf,
+                self._marginal_mw,
+                pair_limit=self._marginal_pairs,
+                pair_threshold=self._marginal_pair_threshold,
+            )
+            if cache is None:  # no categorical columns: nothing to serve
+                continue
+            self._marginals_built += 1
+            caches[weighting] = cache
+            if path is not None:
+                try:
+                    save_first_pick(
+                        cache, path, fingerprint=fingerprint, weighting=weighting
+                    )
+                except OSError:  # pragma: no cover - disk-full etc.
+                    pass  # caches are rebuildable; persistence is an optimisation
+        return caches
+
+    def marginals_for(
+        self,
+        name: str,
+        wf: str | WeightFunction = "size",
+        mw: float | None = None,
+    ) -> FirstPickCache | None:
+        """The first-pick cache valid for ``(name, wf, mw)``, or ``None``.
+
+        ``wf`` may be a weighting name or a resolved instance; ``mw``
+        of ``None`` skips the mw check (callers that will let the
+        search validate).  Strict keying: any mismatch returns ``None``
+        — the session then simply runs the cold scan.
+        """
+        with self._lock:
+            per_table = self._marginals.get(name)
+        if not per_table:
+            return None
+        if isinstance(wf, str):
+            cache = per_table.get(wf)
+        else:
+            cache = next((c for c in per_table.values() if c.wf is wf), None)
+        if cache is None:
+            return None
+        if mw is not None and float(mw) != cache.mw:
+            return None
+        return cache
+
+    def marginal_stats(self) -> dict:
+        """First-pick cache counters + per-cache summaries for ``/stats``."""
+        with self._lock:
+            tables = {
+                name: {w: cache.describe() for w, cache in sorted(per.items())}
+                for name, per in sorted(self._marginals.items())
+            }
+        return {
+            "mw": self._marginal_mw,
+            "weightings": list(self._marginal_weightings),
+            "pair_limit": self._marginal_pairs,
+            "built": self._marginals_built,
+            "loaded": self._marginals_loaded,
+            "rejected": self._marginals_rejected,
+            "cleaned_tmp": self.cleaned_tmp,
+            "tables": tables,
+        }
+
+    # -- weight registry ---------------------------------------------------------
+
+    def weight(self, spec: str | WeightFunction, table: Table) -> WeightFunction:
+        """Resolve a weighting name to this catalog's shared instance.
+
+        Sharing instances is load-bearing twice over: the
+        :class:`~repro.serving.ContextStore` keys weight functions by
+        identity, and the first-pick marginal caches are valid only for
+        the exact instance they were built with — so ``"size"`` must
+        mean the *same* ``SizeWeight`` object for every tenant on a
+        table.  Instances are cached per ``(name, table)`` — Bits
+        weighting is genuinely table-derived, and neither consumer
+        shares across tables anyway.  A :class:`WeightFunction`
+        instance passes through unchanged (shared only if the caller
+        reuses it).
+        """
+        if isinstance(spec, WeightFunction):
+            return spec
+        try:
+            factory = WEIGHT_FUNCTIONS[spec]
+        except KeyError:
+            raise ServingError(
+                f"unknown weight function {spec!r}; one of {sorted(WEIGHT_FUNCTIONS)}"
+            ) from None
+        key = (spec, id(table))
+        with self._weights_lock:
+            entry = self._weights.get(key)
+            if entry is None or entry[0] is not table:
+                entry = self._weights[key] = (table, factory(table))
+            return entry[1]
+
     def samples_for(self, name: str) -> TableSampleSet | None:
         """The pre-built sample set for ``name`` (``None`` when the
         catalog was built without a ``sample_budget`` or the table is
@@ -207,9 +439,17 @@ class TableCatalog:
         """Forget ``name``.  The export is unlinked once the table is
         garbage collected (the pool holds only a weak finalizer), so
         sessions still mining it are unaffected."""
+        table = None
         with self._lock:
-            self._tables.pop(name, None)
+            table = self._tables.pop(name, None)
             self._samples.pop(name, None)
+            self._marginals.pop(name, None)
+        if table is not None:
+            with self._weights_lock:
+                for key in [
+                    k for k, (held, _wf) in self._weights.items() if held is table
+                ]:
+                    del self._weights[key]
 
     # -- lookup ------------------------------------------------------------------
 
@@ -255,6 +495,9 @@ class TableCatalog:
             self._closed = True
             self._tables.clear()
             self._samples.clear()
+            self._marginals.clear()
+        with self._weights_lock:
+            self._weights.clear()
         if self._pool is not None and self._owns_pool:
             self._pool.close()
         self._pool = None

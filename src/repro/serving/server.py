@@ -42,7 +42,7 @@ from typing import Callable
 
 from repro.core.parallel import CountingPool, deadline_scope
 from repro.core.rule import Rule
-from repro.core.weights import BitsWeight, SizeMinusOneWeight, SizeWeight, WeightFunction
+from repro.core.weights import WeightFunction
 from repro.errors import (
     DeadlineExceededError,
     ReproError,
@@ -50,7 +50,7 @@ from repro.errors import (
     ShardError,
     SnapshotError,
 )
-from repro.serving.catalog import TableCatalog
+from repro.serving.catalog import WEIGHT_FUNCTIONS, TableCatalog
 from repro.serving.contexts import ContextStore
 from repro.serving.faults import ChaosPolicy
 from repro.serving.persistence import (
@@ -63,16 +63,10 @@ from repro.serving.scheduler import FairScheduler
 from repro.session.session import DrillDownSession, SessionNode
 from repro.table.table import Table
 
+#: Re-exported from :mod:`repro.serving.catalog`, where the weight
+#: registry now lives (registration-time marginal precompute must
+#: resolve the same shared instances tenant sessions key contexts on).
 __all__ = ["DrillDownServer", "WEIGHT_FUNCTIONS"]
-
-#: Weight functions creatable by name over the wire.  Factories take
-#: the served table — Bits weighting derives per-column bit counts
-#: from the table's dictionary sizes (§2.2).
-WEIGHT_FUNCTIONS: dict[str, Callable[[Table], WeightFunction]] = {
-    "size": lambda table: SizeWeight(),
-    "bits": BitsWeight.for_table,
-    "size_minus_one": lambda table: SizeMinusOneWeight(),
-}
 
 
 class DrillDownServer:
@@ -190,6 +184,10 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         sample_seed: int = 0,
         default_approx: bool = False,
         default_error_target: float = 0.1,
+        marginal_cache: bool = True,
+        marginal_mw: float = 5.0,
+        marginal_weightings: tuple = ("size",),
+        marginal_pairs: int = 0,
     ):
         if default_approx and sample_budget is None:
             raise ServingError(
@@ -204,12 +202,21 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
             if (persist_dir is not None and sample_budget is not None)
             else None
         )
+        marginal_dir = (
+            os.path.join(os.fspath(persist_dir), "marginals")
+            if (persist_dir is not None and marginal_cache)
+            else None
+        )
         self.catalog = TableCatalog(
             pool=pool,
             n_workers=n_workers,
             sample_budget=sample_budget,
             sample_seed=sample_seed,
             sample_dir=sample_dir,
+            marginal_mw=float(marginal_mw) if marginal_cache else None,
+            marginal_weightings=marginal_weightings,
+            marginal_dir=marginal_dir,
+            marginal_pairs=marginal_pairs,
         )
         self.registry = SessionRegistry(
             max_sessions=max_sessions,
@@ -230,8 +237,6 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         )
         if self.catalog.pool is not None:
             self.catalog.pool.scheduler = self.scheduler
-        self._weights: dict[tuple[str, int], tuple[Table, WeightFunction]] = {}
-        self._weights_lock = threading.Lock()
         self._clock = clock
         self._closed = False
         if default_deadline is not None and default_deadline <= 0:
@@ -311,6 +316,9 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
                     samples=self.catalog.samples_for(name),
                     default_approx=self.default_approx,
                     error_target=self.default_error_target,
+                    marginals=self.catalog.marginals_for(
+                        name, snapshot.wf_spec or wf, snapshot.state.get("mw")
+                    ),
                 )
             except ReproError:
                 with self._persist_lock:
@@ -350,9 +358,6 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         self.catalog.unregister(name)
         if self.contexts is not None:
             self.contexts.drop_table(table)
-        with self._weights_lock:
-            for key in [k for k, (held, _wf) in self._weights.items() if held is table]:
-                del self._weights[key]
 
     def tables(self) -> tuple[str, ...]:
         return self.catalog.names()
@@ -360,35 +365,15 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
     # -- weight registry ---------------------------------------------------------
 
     def weight(self, spec: str | WeightFunction, table: Table) -> WeightFunction:
-        """Resolve a weighting name to this server's shared instance.
+        """Resolve a weighting name to the catalog's shared instance.
 
-        Sharing instances is load-bearing: the
-        :class:`~repro.serving.ContextStore` keys weight functions by
-        identity, so ``"size"`` must mean the *same* ``SizeWeight``
-        object for every tenant on a table.  Instances are cached per
-        ``(name, table)`` — Bits weighting is genuinely table-derived,
-        and the context store never shares across tables anyway.  A
-        :class:`WeightFunction` instance passes through unchanged
-        (shared only if the caller reuses it).
+        Delegates to :meth:`TableCatalog.weight` — the registry lives
+        there so registration-time marginal precompute and tenant
+        sessions resolve the *same* instances (the identity both the
+        :class:`~repro.serving.ContextStore` and the first-pick caches
+        key on).
         """
-        if isinstance(spec, WeightFunction):
-            return spec
-        try:
-            factory = WEIGHT_FUNCTIONS[spec]
-        except KeyError:
-            raise ServingError(
-                f"unknown weight function {spec!r}; one of {sorted(WEIGHT_FUNCTIONS)}"
-            ) from None
-        key = (spec, id(table))
-        with self._weights_lock:
-            # The entry keeps a strong reference to its table: id() keys
-            # alone could be silently recycled by a new table allocated
-            # at a dead table's address.  Entries are purged by
-            # :meth:`unregister_table`.
-            entry = self._weights.get(key)
-            if entry is None or entry[0] is not table:
-                entry = self._weights[key] = (table, factory(table))
-            return entry[1]
+        return self.catalog.weight(spec, table)
 
     # -- sessions ----------------------------------------------------------------
 
@@ -425,6 +410,7 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
             samples=self.catalog.samples_for(table),
             default_approx=self.default_approx,
             error_target=self.default_error_target,
+            marginals=self.catalog.marginals_for(table, wf, mw),
         )
         return self.registry.add(
             session,
@@ -792,6 +778,7 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
             "default_approx": self.default_approx,
             "default_error_target": self.default_error_target,
             "samples": self.catalog.sample_stats(),
+            "marginals": self.catalog.marginal_stats(),
             "tables": list(self.tables()),
             "registry": self.registry.stats(),
             "scheduler": self.scheduler.stats(),

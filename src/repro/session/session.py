@@ -281,6 +281,7 @@ class DrillDownSession:
         context_store: Any = None,
         tenant: Any = None,
         samples: Any = None,
+        marginals: Any = None,
         default_approx: bool = False,
         error_target: float = 0.1,
         approx_confidence: float = 0.95,
@@ -300,6 +301,11 @@ class DrillDownSession:
         if default_approx and samples is None:
             raise SessionError("default_approx=True requires pre-built samples=")
         self._samples = samples
+        # Registration-time first-pick marginal cache (read-only,
+        # shared across sessions).  Only in-memory sessions can use it:
+        # a DiskTable session mines on dynamic sample tables, which the
+        # cache's identity keying would never match anyway.
+        self._marginals = None if isinstance(source, DiskTable) else marginals
         self.default_approx = bool(default_approx)
         self.error_target = _validated_error_target(error_target)
         if not 0.0 < float(approx_confidence) < 1.0:
@@ -681,7 +687,7 @@ class DrillDownSession:
             result = rule_drilldown(
                 mined, rule, self.wf, k, self.mw, measure=self.measure,
                 context=self._lease_context(cache_key, tag), pool=self._pool,
-                tenant=self.tenant,
+                tenant=self.tenant, first_pick=self._marginals,
             )
             self._retain_context(cache_key, tag, result.context)
             children = self._attach(node, result.rule_list.entries, scale, "rule")
@@ -740,7 +746,7 @@ class DrillDownSession:
             result = star_drilldown(
                 mined, rule, resolved_column, self.wf, k, self.mw, measure=self.measure,
                 context=self._lease_context(cache_key, tag), pool=self._pool,
-                tenant=self.tenant,
+                tenant=self.tenant, first_pick=self._marginals,
             )
             self._retain_context(cache_key, tag, result.context)
             children = self._attach(node, result.rule_list.entries, scale, "star")

@@ -1,0 +1,19 @@
+"""Marker stamping for the core suite.
+
+Files named ``*marginal_cache*`` carry the ``cache`` marker (registered
+in pytest.ini), so ``-m cache`` selects the first-pick marginal-cache
+suites alone — the same auto-stamp idiom the serving conftest uses for
+its tier marker.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if "marginal_cache" in Path(str(item.fspath)).name:
+            item.add_marker(pytest.mark.cache)

@@ -122,6 +122,8 @@ def run_replay(
     default_deadline: float | None = None,
     sample_budget: int | None = None,
     approx: bool = False,
+    marginal_cache: bool = True,
+    marginal_pairs: int = 0,
 ) -> int:
     rng = np.random.default_rng(seed)
     tables = _make_tables(seed)
@@ -136,9 +138,11 @@ def run_replay(
                 table, budget=sample_budget, seed=derive_seed(name, 0)
             )
     with DrillDownServer(
-        default_deadline=default_deadline, sample_budget=sample_budget
+        default_deadline=default_deadline, sample_budget=sample_budget,
+        marginal_cache=marginal_cache, marginal_pairs=marginal_pairs,
     ) as server, ShardRouter(
-        n_shards, default_deadline=default_deadline, sample_budget=sample_budget
+        n_shards, default_deadline=default_deadline, sample_budget=sample_budget,
+        marginal_cache=marginal_cache, marginal_pairs=marginal_pairs,
     ) as router:
         for name, table in tables.items():
             server.register_table(name, table)
@@ -306,6 +310,27 @@ class TestMultiTenantReplayParity:
         this pins that decode produces bit-identical draws."""
         performed = run_replay(seed, n_shards, sample_budget=32, approx=True)
         assert performed >= 15
+
+    @pytest.mark.cache
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    @pytest.mark.parametrize("enabled", [True, False])
+    def test_replay_parity_with_and_without_marginal_cache(self, enabled, n_shards):
+        """The marginal-cache dimension: the standalone replica never
+        has a first-pick cache, so every step's equality against the
+        serving tiers (which rebuild identical caches per shard from
+        wire-decoded tables when enabled) is a byte-level proof that
+        cached first picks change latency, never transcripts.  The
+        mw mix (3.0 vs the cache's 5.0) exercises hit and strict-miss
+        paths in one run."""
+        performed = run_replay(4, n_shards, marginal_cache=enabled)
+        assert performed >= 15
+
+    @pytest.mark.cache
+    def test_replay_parity_with_level2_pair_cache(self):
+        """Same transcript invariant with the bounded level-2 pair
+        cache switched on in both serving tiers."""
+        performed = run_replay(5, 2, steps=40, marginal_pairs=8)
+        assert performed >= 25
 
     def test_replay_with_deadlines_enabled_is_still_bit_identical(self):
         """The deadline machinery must be pure overhead on the happy

@@ -171,7 +171,7 @@ class TestAcceptance:
         bits = server.weight("bits", retail)
         assert server.weight("bits", retail) is bits
         server.unregister_table("retail")
-        assert server._weights == {}
+        assert server.catalog._weights == {}
         server.register_table("retail", retail)
         # Re-registration rebuilds cleanly (fresh instance is fine).
         assert server.weight("bits", retail) is not None
