@@ -1,0 +1,133 @@
+"""CLI for the invariant linter: ``python -m repro.analysis [paths...]``.
+
+Exit status is the gate: ``0`` for a clean tree, ``1`` when any
+enforced finding or stale baseline entry exists, ``2`` for usage
+errors (unknown rule, malformed baseline file).  Typical invocations::
+
+    # The tier-1 gate, human output:
+    PYTHONPATH=src python -m repro.analysis src/repro
+
+    # Machine-readable, with the benchmark/example trees advisory:
+    PYTHONPATH=src python -m repro.analysis --json \\
+        --report-only benchmarks --report-only examples \\
+        src/repro benchmarks examples
+
+    # Grandfather the current findings (new-rule rollout):
+    PYTHONPATH=src python -m repro.analysis --write-baseline src/repro
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, load_baseline, write_baseline
+from repro.analysis.registry import default_rules, rule_names
+from repro.analysis.report import render_human, render_json
+from repro.analysis.runner import analyze_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter for the repro serving tier.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full report as JSON on stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: ./{DEFAULT_BASELINE_NAME} when it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (lint the tree raw)",
+    )
+    parser.add_argument(
+        "--report-only",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help=(
+            "relpath prefix whose findings are advisory, not failing "
+            "(repeatable; e.g. --report-only benchmarks)"
+        ),
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help=f"run only these rules (available: {', '.join(rule_names())})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current enforced findings",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also print suppressed/baselined/report-only findings",
+    )
+    return parser
+
+
+def main(argv: list | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    try:
+        rules = default_rules(
+            args.rules.split(",") if args.rules else None
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline or DEFAULT_BASELINE_NAME
+    baseline = None
+    if not args.no_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    report = analyze_paths(
+        args.paths,
+        rules=rules,
+        baseline=baseline,
+        report_only_paths=args.report_only,
+    )
+
+    if args.write_baseline:
+        write_baseline(baseline_path, report.enforced)
+        print(
+            f"wrote {len(report.enforced)} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.json:
+        print(render_json(report))
+    else:
+        print(render_human(report, verbose=args.verbose))
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

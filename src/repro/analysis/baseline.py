@@ -1,0 +1,112 @@
+"""The grandfathering baseline: known findings that do not fail the gate.
+
+When a new rule lands against a codebase with pre-existing violations,
+either the rule waits for a mass cleanup or the violations are
+*grandfathered*: recorded in a checked-in JSON file, matched by
+``(rule, path, line)``, and excluded from the failing set.  Two
+properties keep the baseline honest:
+
+* **It can only shrink.**  A baseline entry that no longer matches any
+  live finding (the code was fixed, moved, or deleted) is reported as
+  ``stale-baseline`` and fails the gate until the entry is removed —
+  so the file never accumulates dead weight, and a fixed finding can
+  never silently regress back in under its old entry's cover.
+* **It is regenerated, never hand-edited.**  ``python -m repro.analysis
+  --write-baseline`` rewrites the file from the current findings in a
+  stable sort order, so diffs stay reviewable.
+
+This repository ships an *empty* baseline (``lint-baseline.json`` at
+the repo root): every finding the five rules had against the tree was
+either fixed or pragma-suppressed with a reason when the rules landed.
+The machinery stays, exercised by fixtures, for the next rule that
+arrives with history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+
+__all__ = ["BASELINE_VERSION", "Baseline", "load_baseline", "write_baseline"]
+
+BASELINE_VERSION = 1
+
+#: Default baseline filename, resolved against the current directory by
+#: the CLI when ``--baseline`` is not given.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline: a set of grandfathered finding keys.
+
+    ``consume`` marks entries as matched; :meth:`stale_entries` lists
+    the leftovers afterwards (the "can only shrink" check).
+    """
+
+    entries: set = field(default_factory=set)
+    path: str | None = None
+    _matched: set = field(default_factory=set)
+
+    def consume(self, finding: Finding) -> bool:
+        """``True`` (and remember the match) when ``finding`` is grandfathered."""
+        if finding.key in self.entries:
+            self._matched.add(finding.key)
+            return True
+        return False
+
+    def stale_entries(self) -> list[tuple[str, str, int]]:
+        """Baseline keys that matched no live finding, stably sorted."""
+        return sorted(self.entries - self._matched)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def load_baseline(path: str | os.PathLike) -> Baseline:
+    """Read a baseline file; raises ``ValueError`` on a malformed one.
+
+    A *missing* file is indistinguishable from an empty baseline — a
+    fresh checkout with no grandfathered findings needs no file.
+    """
+    if not os.path.exists(path):
+        return Baseline(path=os.fspath(path))
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{os.fspath(path)}: not a repro-lint baseline "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    entries = set()
+    for raw in payload.get("findings", ()):
+        try:
+            entries.add((str(raw["rule"]), str(raw["path"]), int(raw["line"])))
+        except (KeyError, TypeError, ValueError):
+            raise ValueError(
+                f"{os.fspath(path)}: malformed baseline entry {raw!r} "
+                "(need rule/path/line)"
+            ) from None
+    return Baseline(entries=entries, path=os.fspath(path))
+
+
+def write_baseline(path: str | os.PathLike, findings: list[Finding]) -> None:
+    """Serialise ``findings`` as the new baseline, stably sorted."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in sorted(findings, key=lambda f: f.key)
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

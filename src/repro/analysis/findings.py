@@ -1,0 +1,62 @@
+"""The unit of lint output: one :class:`Finding` per rule violation.
+
+A finding is deliberately flat and JSON-friendly — the CLI's ``--json``
+reporter emits findings verbatim, the baseline file stores a stable
+subset of their fields, and the test gate compares them as plain data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is repository-relative with forward slashes (stable across
+    machines — it is what the baseline keys on); ``line``/``col`` are
+    1-based / 0-based as in :mod:`ast`.  ``suppressed`` marks findings
+    silenced by an inline pragma (kept for reporting, never fatal);
+    ``baselined`` marks findings matched by a baseline entry.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    col: int = 0
+    suppressed: bool = False
+    #: The pragma reason when ``suppressed`` (audit trail in reports).
+    reason: str | None = None
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def key(self) -> tuple[str, str, int]:
+        """Identity used for baseline matching: (rule, path, line)."""
+        return (self.rule, self.path, self.line)
+
+    def to_dict(self) -> dict:
+        out = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.suppressed:
+            out["suppressed"] = True
+            out["reason"] = self.reason
+        if self.baselined:
+            out["baselined"] = True
+        return out
+
+    def render(self) -> str:
+        """``path:line:col: [rule] message`` — the human reporter's line."""
+        tags = []
+        if self.suppressed:
+            tags.append("suppressed")
+        if self.baselined:
+            tags.append("baselined")
+        suffix = f" ({', '.join(tags)})" if tags else ""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}{suffix}"

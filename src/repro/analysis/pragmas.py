@@ -1,0 +1,130 @@
+"""Per-line pragma suppression: ``# repro-lint: allow[RULE] reason=...``.
+
+A pragma silences named rules on one line — the line it trails, or,
+for a comment that stands alone on its own line, the next line of
+actual code (so a suppression can sit above a long statement without
+breaking the line-length budget)::
+
+    started = time.time()  # repro-lint: allow[clock-discipline] reason=wall clock survives restarts
+
+    # repro-lint: allow[lock-blocking] reason=handle lock serialises the pipe by design
+    raw = self.conn.recv_bytes()
+
+Several rules may be listed, comma-separated:
+``allow[clock-discipline,lock-blocking]``.  The ``reason=`` clause is
+**mandatory** and consumes the rest of the comment: a suppression
+without a recorded justification is itself a defect, so a malformed
+pragma (missing rules, empty reason, unparseable syntax) suppresses
+nothing and surfaces as a ``bad-pragma`` finding instead of silently
+doing nothing.
+
+Comments are located with :mod:`tokenize` (never regexes over string
+literals), so a pragma-shaped string inside a docstring or test
+fixture does not suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+__all__ = ["Pragma", "collect_pragmas"]
+
+#: Any comment that *mentions* repro-lint is parsed strictly; the
+#: well-formed shape is ``# repro-lint: allow[rule,rule] reason=text``.
+_PRAGMA_HINT = re.compile(r"#\s*repro-lint\b")
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*allow\[(?P<rules>[^\]]*)\]\s*reason=(?P<reason>.*\S)"
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression comment.
+
+    ``line`` is the line the pragma *applies to* (the comment's own
+    line for trailing pragmas, the next code line for standalone
+    ones).  ``rules`` is the tuple of rule names it allows; an invalid
+    pragma has ``error`` set and suppresses nothing.
+    """
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    comment_line: int
+    error: str | None = None
+
+    def allows(self, rule: str) -> bool:
+        return self.error is None and rule in self.rules
+
+
+def _parse_comment(text: str, comment_line: int, applies_to: int) -> Pragma | None:
+    """Parse one comment; ``None`` when it is not a pragma at all."""
+    if not _PRAGMA_HINT.search(text):
+        return None
+    match = _PRAGMA.search(text)
+    if not match:
+        return Pragma(
+            line=applies_to,
+            rules=(),
+            reason="",
+            comment_line=comment_line,
+            error=(
+                "malformed repro-lint pragma (expected "
+                "'# repro-lint: allow[rule,...] reason=...')"
+            ),
+        )
+    rules = tuple(r.strip() for r in match.group("rules").split(",") if r.strip())
+    reason = match.group("reason").strip()
+    if not rules:
+        return Pragma(
+            line=applies_to,
+            rules=(),
+            reason=reason,
+            comment_line=comment_line,
+            error="repro-lint pragma allows no rules (empty allow[...])",
+        )
+    return Pragma(line=applies_to, rules=rules, reason=reason, comment_line=comment_line)
+
+
+def collect_pragmas(source: str) -> list[Pragma]:
+    """Every repro-lint pragma in ``source`` (including malformed ones).
+
+    Tokenization errors (the file does not lex) yield no pragmas — the
+    caller already reports the file as unparseable.
+    """
+    comments: list[tuple[int, str, bool]] = []  # (line, text, standalone)
+    line_starts: dict[int, bool] = {}  # line -> saw non-comment code token
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string, False))
+            elif token.type not in (
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENCODING,
+                tokenize.ENDMARKER,
+            ):
+                for lineno in range(token.start[0], token.end[0] + 1):
+                    line_starts[lineno] = True
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []
+
+    pragmas: list[Pragma] = []
+    code_lines = sorted(line_starts)
+    for lineno, text, _ in comments:
+        standalone = lineno not in line_starts
+        if standalone:
+            # Applies to the next line that holds code (skip blank and
+            # further comment-only lines).
+            applies_to = next((c for c in code_lines if c > lineno), lineno)
+        else:
+            applies_to = lineno
+        pragma = _parse_comment(text, lineno, applies_to)
+        if pragma is not None:
+            pragmas.append(pragma)
+    return pragmas

@@ -1,0 +1,155 @@
+"""The rule registry and the common per-module analysis context.
+
+A rule is a named check over one parsed module.  Rules self-register
+via :func:`register_rule` at import time; :func:`default_rules`
+imports the shipped rule modules and returns one instance of each, so
+the CLI, the library API, and the test gate all agree on the active
+rule set without a config file.
+
+:class:`ModuleInfo` is the unit of work handed to rules: the parsed
+AST plus the repository-relative path (rules scope themselves by path
+— e.g. clock discipline applies to ``repro/serving/`` only) and a
+resolved import-alias map (so ``from time import monotonic`` and
+``import numpy as np`` are seen through).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Type
+
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "ModuleInfo",
+    "Rule",
+    "default_rules",
+    "register_rule",
+    "rule_names",
+]
+
+
+@dataclass
+class ModuleInfo:
+    """One source file, parsed and path-classified, ready for rules.
+
+    ``relpath`` uses forward slashes and starts at the package root
+    (``repro/serving/server.py``) so scoping predicates and baseline
+    keys are machine-independent.
+    """
+
+    relpath: str
+    source: str
+    tree: ast.Module
+    #: local name -> dotted origin for imports: ``import numpy as np``
+    #: maps ``"np" -> "numpy"``; ``from time import monotonic`` maps
+    #: ``"monotonic" -> "time.monotonic"``.
+    aliases: dict = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, source: str, relpath: str) -> "ModuleInfo":
+        tree = ast.parse(source)
+        info = cls(relpath=relpath, source=source, tree=tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    info.aliases[name.asname or name.name.split(".")[0]] = (
+                        name.name if name.asname else name.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for name in node.names:
+                    if name.name == "*":
+                        continue
+                    info.aliases[name.asname or name.name] = f"{node.module}.{name.name}"
+        return info
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """A call target as a dotted path, import aliases unfolded.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` under ``import numpy as np``;
+        unresolvable shapes (calls on call results, subscripts)
+        return ``None``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Does this module live under any of the given path prefixes?"""
+        return any(self.relpath.startswith(p) for p in prefixes)
+
+
+class Rule:
+    """Base class for one named analyzer.
+
+    Subclasses set ``name``/``description`` and implement
+    :meth:`check`, yielding :class:`~repro.analysis.findings.Finding`
+    objects whose ``rule`` field matches ``name`` (the helper
+    :meth:`finding` fills the boilerplate).
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(self, module: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the registry (names are unique)."""
+    if not cls.name:
+        raise ValueError(f"rule class {cls.__name__} has no name")
+    existing = _REGISTRY.get(cls.name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate rule name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def _load_shipped_rules() -> None:
+    # Import for the side effect of registration; idempotent.
+    from repro.analysis import (  # noqa: F401
+        rules_atomic,
+        rules_clock,
+        rules_determinism,
+        rules_errors,
+        rules_locks,
+    )
+
+
+def default_rules(only: Iterable[str] | None = None) -> list[Rule]:
+    """One instance of every registered rule (optionally a named subset)."""
+    _load_shipped_rules()
+    names = sorted(_REGISTRY) if only is None else list(only)
+    unknown = [n for n in names if n not in _REGISTRY]
+    if unknown:
+        raise ValueError(
+            f"unknown rule(s) {unknown!r}; registered: {sorted(_REGISTRY)}"
+        )
+    return [_REGISTRY[n]() for n in names]
+
+
+def rule_names() -> tuple[str, ...]:
+    """The registered rule names, sorted."""
+    _load_shipped_rules()
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,51 @@
+"""Reporters: human-readable text and machine-readable ``--json``.
+
+Both render the same :class:`~repro.analysis.runner.AnalysisReport`;
+the JSON shape is ``AnalysisReport.to_dict()`` verbatim (stable keys,
+findings as flat dicts) so CI tooling can diff runs without scraping
+text.  The human reporter prints enforced findings first (they are
+what the reader must act on), then stale baseline entries, then a
+one-line summary; suppressed/baselined/advisory findings appear only
+in verbose mode to keep the clean-run output to a single line.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.runner import AnalysisReport
+
+__all__ = ["render_human", "render_json"]
+
+
+def render_json(report: AnalysisReport) -> str:
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def render_human(report: AnalysisReport, *, verbose: bool = False) -> str:
+    lines: list = []
+    for finding in report.enforced:
+        lines.append(finding.render())
+    for rule, path, line in report.stale_baseline:
+        lines.append(
+            f"{path}:{line}:0: [stale-baseline] baseline entry for rule "
+            f"{rule!r} matched no finding — the code was fixed; remove the "
+            "entry (regenerate with --write-baseline)"
+        )
+    if verbose:
+        for finding in report.report_only:
+            lines.append(f"{finding.render()} (report-only)")
+        for finding in report.suppressed:
+            lines.append(finding.render())
+        for finding in report.baselined:
+            lines.append(finding.render())
+    summary = (
+        f"{report.files_checked} file(s) checked: "
+        f"{len(report.enforced)} finding(s), "
+        f"{len(report.report_only)} report-only, "
+        f"{len(report.suppressed)} suppressed, "
+        f"{len(report.baselined)} baselined, "
+        f"{len(report.stale_baseline)} stale baseline entr(y/ies)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""``clock-discipline`` — no naked wall/monotonic clock reads in serving code.
+
+Every serving-tier component that reasons about time takes an
+injectable clock — :class:`~repro.serving.registry.SessionRegistry`
+and :class:`~repro.serving.faults.CircuitBreaker` accept
+``clock=time.monotonic``, :class:`~repro.serving.server.DrillDownServer`
+additionally takes ``wall_clock=time.time`` for the recency/downtime
+accounting that must survive restarts.  That seam is what makes TTL
+expiry, deadline aborts, breaker cooldowns, and warm-restart idle math
+deterministically testable (frozen clocks) instead of sleep-based.
+
+A *naked* ``time.time()`` / ``time.monotonic()`` / ``datetime.now()``
+call inside ``repro/serving/`` bypasses the seam: the component works
+in production and becomes untestable (or, worse, mixes clock domains —
+comparing a wall-clock timestamp against a monotonic deadline).  This
+rule flags every such call.
+
+Passing a clock *function as a value* (``clock=time.monotonic`` as a
+parameter default, ``field(default_factory=time.time)``) is not a
+call and is deliberately not flagged — that is exactly what a seam
+declaration looks like.  Genuine real-time waits (a pipe poll timeout,
+a watchdog's own timer thread) are suppressed inline with a pragma
+naming the reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ModuleInfo, Rule, register_rule
+
+__all__ = ["ClockDisciplineRule"]
+
+#: Dotted call targets that read a clock.  ``time.sleep`` is not a
+#: clock *read* and is governed by ``lock-blocking`` instead.
+CLOCK_READS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Path prefixes the rule applies to (the serving tier only — core
+#: search code's ``perf_counter`` telemetry is out of scope).
+SCOPE = ("repro/serving/",)
+
+
+@register_rule
+class ClockDisciplineRule(Rule):
+    name = "clock-discipline"
+    description = (
+        "serving-tier code must read time through an injectable clock "
+        "seam, never time.time()/time.monotonic()/datetime.now() directly"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_package(*SCOPE):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = module.resolve(node.func)
+            if target in CLOCK_READS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"naked clock read {target}() — thread an injectable "
+                    "clock=/wall_clock= through instead (see "
+                    "SessionRegistry/CircuitBreaker)",
+                )

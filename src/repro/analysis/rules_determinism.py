@@ -1,0 +1,135 @@
+"""``determinism`` — no unseeded randomness anywhere in ``repro/``.
+
+The replay harness asserts *bit-identical* drill-down results across
+runs; every random draw in the pipeline therefore flows from an
+explicit seed, usually via :func:`repro.core.seeding.derive_seed`
+(stable SHA1-derived per-component seeds from one base seed).  A
+single unseeded generator — ``np.random.default_rng()`` with no
+argument, the legacy global ``np.random.shuffle``-style API, or the
+stdlib ``random`` module-level functions (which share one ambient
+global state) — silently breaks that property: the replay tests go
+flaky, and "same seed, same result" stops being a debugging tool.
+
+Flagged, everywhere under ``repro/``:
+
+* ``np.random.default_rng()`` / ``numpy.random.Generator(...)``
+  constructions with *no positional seed argument*;
+* any call into the legacy global API — ``np.random.rand``,
+  ``np.random.shuffle``, ``np.random.seed``, ... (even *seeding* the
+  global state is flagged: it is process-wide mutable state that
+  cross-contaminates components);
+* stdlib ``random`` module-level functions (``random.random``,
+  ``random.shuffle``, ``random.randint``, ...) for the same reason;
+* ``random.Random()`` / ``np.random.RandomState()`` constructed with
+  no seed.
+
+``random.Random(seed)`` and ``default_rng(seed)`` with an explicit
+argument are the sanctioned shapes and pass.  ``random.SystemRandom``
+is entropy by definition and out of scope for replay — if one ever
+appears it should carry a pragma explaining why nondeterminism is
+wanted there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ModuleInfo, Rule, register_rule
+
+__all__ = ["DeterminismRule"]
+
+#: Unlike the serving-scoped rules, determinism applies to *every*
+#: linted path — the benchmark and example trees feed the published
+#: EXPERIMENTS numbers and must replay too (they are swept in
+#: report-only mode by the gate, see ``tests/analysis``).
+SCOPE = ()
+
+#: Constructors that are fine *with* a seed argument, flagged without.
+SEEDED_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+        "random.Random",
+    }
+)
+
+#: Names under these dotted prefixes are the shared-global APIs —
+#: flagged regardless of arguments.
+GLOBAL_STATE_PREFIX = "numpy.random."
+STDLIB_RANDOM_PREFIX = "random."
+
+#: numpy.random members that are classes/constructors, not draws on
+#: the global state (handled by SEEDED_CONSTRUCTORS instead).
+_NUMPY_NON_GLOBAL = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+        "numpy.random.SeedSequence",
+        "numpy.random.BitGenerator",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "numpy.random.MT19937",
+    }
+)
+
+_STDLIB_NON_GLOBAL = frozenset({"random.Random", "random.SystemRandom"})
+
+
+def _has_seed(node: ast.Call) -> bool:
+    if node.args:
+        return True
+    return any(kw.arg in ("seed", "x") for kw in node.keywords)
+
+
+@register_rule
+class DeterminismRule(Rule):
+    name = "determinism"
+    description = (
+        "all randomness is explicitly seeded (derive_seed); unseeded "
+        "default_rng()/Random() and the global np.random/random APIs "
+        "break bit-identity replay"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if SCOPE and not module.in_package(*SCOPE):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = module.resolve(node.func)
+            if target is None:
+                continue
+            if target in SEEDED_CONSTRUCTORS:
+                if not _has_seed(node):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{target}() constructed without a seed — pass "
+                        "derive_seed(...) so replay stays bit-identical",
+                    )
+            elif (
+                target.startswith(GLOBAL_STATE_PREFIX)
+                and target not in _NUMPY_NON_GLOBAL
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"legacy global-state API {target}() — use a seeded "
+                    "np.random.default_rng(derive_seed(...)) generator",
+                )
+            elif (
+                target.startswith(STDLIB_RANDOM_PREFIX)
+                and target not in _STDLIB_NON_GLOBAL
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"stdlib global-state API {target}() — use a seeded "
+                    "random.Random(derive_seed(...)) instance",
+                )

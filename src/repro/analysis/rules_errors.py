@@ -1,0 +1,218 @@
+"""``typed-errors`` — request-path errors are typed and HTTP-mappable.
+
+Two halves, one invariant: *anything a request can make the tier raise
+travels as a* :class:`~repro.errors.ReproError` *subclass with a
+deliberate HTTP status*.
+
+**Raise discipline.**  In ``repro/serving/`` and ``repro/core/`` (the
+request path — everything reachable from an HTTP verb), ``raise`` of a
+bare builtin exception (``ValueError``, ``KeyError``, ``TypeError``,
+...) is flagged: the HTTP front end would answer it through a generic
+catch with an untyped name, clients cannot programmatically
+distinguish it, and ``except ReproError`` boundaries miss it.  The
+pipe-protocol signals ``EOFError`` / ``BrokenPipeError`` /
+``TimeoutError`` are allowed — the shard transport deliberately
+speaks OS-level exceptions for OS-level failures (the router converts
+them to typed :class:`~repro.errors.ShardError`\\ s at the boundary).
+Re-raising a caught exception (bare ``raise``) is always fine.
+
+**Mapping completeness.**  The HTTP mapper
+(:meth:`~repro.serving.http` ``Handler._fail``) routes exception
+classes to status codes via ``isinstance`` checks.  When
+``repro/serving/http.py`` is analysed, this rule *imports the live
+hierarchy* (:mod:`repro.errors`), walks every concrete
+:class:`~repro.errors.ReproError` subclass, and diffs it against the
+class names mentioned in the mapper's AST: a subclass none of whose
+ancestors appears in the mapper has no deliberate status (it would
+fall to the 500 fallback) and is flagged; conversely a name the
+mapper tests that no longer exists in the hierarchy is a stale
+mapping and is flagged too.  Adding an error class and forgetting the
+mapper — or renaming one and leaving the old mapping — fails tier-1.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ModuleInfo, Rule, register_rule
+
+__all__ = ["TypedErrorsRule"]
+
+SCOPE = ("repro/serving/", "repro/core/")
+
+#: The HTTP mapper module (relative path) and the method holding the
+#: isinstance dispatch.
+MAPPER_MODULE = "repro/serving/http.py"
+MAPPER_FUNCTION = "_fail"
+
+#: Builtin exceptions whose *deliberate* raise in request-path code is
+#: a finding.  (Catching them is fine — the HTTP layer converts user
+#: input with int()/float() and maps the resulting ValueError.)
+FLAGGED_BUILTINS = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "ValueError",
+        "TypeError",
+        "KeyError",
+        "IndexError",
+        "LookupError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "RuntimeError",
+        "NotImplementedError",
+        "OSError",
+        "IOError",
+        "AttributeError",
+        "StopIteration",
+    }
+)
+
+#: Pipe-protocol signals the shard transport raises on purpose: the
+#: router's crash detector keys on exactly these OS-level types.
+ALLOWED_BUILTINS = frozenset({"EOFError", "BrokenPipeError", "TimeoutError"})
+
+
+def _exception_name(node: ast.expr | None) -> str | None:
+    """The raised class name for ``raise X(...)`` / ``raise X`` shapes."""
+    if node is None:  # bare re-raise
+        return None
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    return None  # attribute raises (exc.With...) and exotic shapes
+
+
+def _mapped_names(tree: ast.Module) -> tuple[set, int] | None:
+    """Class names the mapper's isinstance checks test, + the def line.
+
+    Returns ``None`` when the mapper function cannot be found (itself
+    reported as a finding by the caller).
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == MAPPER_FUNCTION:
+            names: set = set()
+            for call in ast.walk(node):
+                if (
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Name)
+                    and call.func.id == "isinstance"
+                    and len(call.args) == 2
+                ):
+                    classes = call.args[1]
+                    elts = (
+                        classes.elts
+                        if isinstance(classes, ast.Tuple)
+                        else [classes]
+                    )
+                    for elt in elts:
+                        if isinstance(elt, ast.Name):
+                            names.add(elt.id)
+            return names, node.lineno
+    return None
+
+
+def _hierarchy() -> dict:
+    """name -> class for every ReproError subclass (ReproError included).
+
+    Imported live — the AST of ``repro/errors.py`` cannot see dynamic
+    subclassing, and the MRO walk below needs real classes anyway.
+    """
+    from repro.errors import ReproError
+
+    classes = {"ReproError": ReproError}
+    stack = [ReproError]
+    while stack:
+        for sub in stack.pop().__subclasses__():
+            if sub.__name__ not in classes:
+                classes[sub.__name__] = sub
+                stack.append(sub)
+    return classes
+
+
+@register_rule
+class TypedErrorsRule(Rule):
+    name = "typed-errors"
+    description = (
+        "request-path code raises ReproError subclasses, and every "
+        "concrete subclass has an HTTP status mapping in serving/http.py"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.in_package(*SCOPE):
+            yield from self._check_raises(module)
+        if module.relpath == MAPPER_MODULE:
+            yield from self._check_mapping(module)
+
+    # -- raise discipline --------------------------------------------------------
+
+    def _check_raises(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            name = _exception_name(node.exc)
+            if name in FLAGGED_BUILTINS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"raise {name} in request-path code — raise a "
+                    "ReproError subclass (repro.errors) so the HTTP "
+                    "mapper and except-boundaries stay complete",
+                )
+
+    # -- mapping completeness ----------------------------------------------------
+
+    def _check_mapping(self, module: ModuleInfo) -> Iterator[Finding]:
+        located = _mapped_names(module.tree)
+        if located is None:
+            yield Finding(
+                rule=self.name,
+                path=module.relpath,
+                line=1,
+                message=(
+                    f"HTTP error mapper {MAPPER_FUNCTION}() not found — "
+                    "the typed-errors completeness check has nothing to diff "
+                    "against (rename the mapper and this rule together)"
+                ),
+            )
+            return
+        mapped, def_line = located
+        classes = _hierarchy()
+        for name in sorted(classes):
+            cls = classes[name]
+            covered = any(
+                ancestor.__name__ in mapped for ancestor in cls.__mro__
+            )
+            if not covered:
+                yield Finding(
+                    rule=self.name,
+                    path=module.relpath,
+                    line=def_line,
+                    message=(
+                        f"error class {name} has no HTTP status mapping in "
+                        f"{MAPPER_FUNCTION}() (neither it nor any ancestor is "
+                        "isinstance-checked) — it would answer 500"
+                    ),
+                )
+        for name in sorted(mapped):
+            if name.endswith("Error") and name not in classes and name not in (
+                "TimeoutError",
+                "KeyError",
+                "TypeError",
+                "ValueError",
+                "IndexError",
+                "OSError",
+            ):
+                yield Finding(
+                    rule=self.name,
+                    path=module.relpath,
+                    line=def_line,
+                    message=(
+                        f"HTTP mapper tests {name}, which is not in the "
+                        "ReproError hierarchy — stale mapping (removed or "
+                        "renamed error class?)"
+                    ),
+                )

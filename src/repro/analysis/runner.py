@@ -1,0 +1,229 @@
+"""Drive rules over files: collect, suppress, baseline, classify.
+
+:func:`analyze_paths` is the one entry point shared by the CLI
+(:mod:`repro.analysis.__main__`), the library API, and the tier-1 gate
+(``tests/analysis/test_repo_clean.py``).  The pipeline per file:
+
+1. read + parse (a file that does not parse is itself a finding —
+   rule name ``parse-error`` — never a crash of the pass);
+2. run every rule, collecting raw findings;
+3. apply inline pragmas: a finding on a pragma'd line for an allowed
+   rule becomes ``suppressed`` (kept, reported, never fatal); a
+   malformed pragma emits a ``bad-pragma`` finding on its own;
+4. apply the baseline: matching findings become ``baselined``.
+
+The resulting :class:`AnalysisReport` splits findings into the
+*enforced* set (what fails the gate), the *report-only* set (paths the
+caller marked advisory — ``benchmarks/``, ``examples/``), suppressed
+findings, and stale baseline entries.  ``report.exit_code`` folds the
+gate policy into one number: non-zero on any enforced finding or any
+stale baseline entry.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import collect_pragmas
+from repro.analysis.registry import ModuleInfo, Rule, default_rules
+
+__all__ = ["AnalysisReport", "analyze_paths", "analyze_source", "iter_python_files"]
+
+#: Synthetic rule names emitted by the runner itself (not registered
+#: rules — they cannot be pragma-suppressed or baselined away).
+PARSE_ERROR_RULE = "parse-error"
+BAD_PRAGMA_RULE = "bad-pragma"
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one pass produced, pre-classified for the gate.
+
+    ``enforced`` findings (plus ``stale_baseline`` entries) fail the
+    gate; ``report_only`` findings are advisory; ``suppressed`` keeps
+    the pragma'd findings visible for audit.
+    """
+
+    enforced: list = field(default_factory=list)
+    report_only: list = field(default_factory=list)
+    suppressed: list = field(default_factory=list)
+    baselined: list = field(default_factory=list)
+    stale_baseline: list = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if (self.enforced or self.stale_baseline) else 0
+
+    def to_dict(self) -> dict:
+        return {
+            "files_checked": self.files_checked,
+            "enforced": [f.to_dict() for f in self.enforced],
+            "report_only": [f.to_dict() for f in self.report_only],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "stale_baseline": [
+                {"rule": r, "path": p, "line": n} for (r, p, n) in self.stale_baseline
+            ],
+            "exit_code": self.exit_code,
+        }
+
+
+def analyze_source(
+    source: str,
+    relpath: str,
+    rules: Sequence[Rule] | None = None,
+) -> list:
+    """Lint one in-memory module; findings with pragmas already applied.
+
+    The workhorse for rule unit tests (no filesystem) and for
+    :func:`analyze_paths`.  Baseline application is the caller's job —
+    the baseline is a repository-level concept, not a module-level one.
+    """
+    if rules is None:
+        rules = default_rules()
+    try:
+        module = ModuleInfo.parse(source, relpath)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=PARSE_ERROR_RULE,
+                path=relpath,
+                line=exc.lineno or 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+
+    findings: list = []
+    for rule in rules:
+        findings.extend(rule.check(module))
+
+    pragmas = collect_pragmas(source)
+    by_line: dict = {}
+    for pragma in pragmas:
+        if pragma.error is not None:
+            findings.append(
+                Finding(
+                    rule=BAD_PRAGMA_RULE,
+                    path=relpath,
+                    line=pragma.comment_line,
+                    message=pragma.error,
+                )
+            )
+        else:
+            by_line.setdefault(pragma.line, []).append(pragma)
+
+    out: list = []
+    for finding in findings:
+        pragma = next(
+            (p for p in by_line.get(finding.line, ()) if p.allows(finding.rule)),
+            None,
+        )
+        if pragma is not None:
+            finding = Finding(
+                rule=finding.rule,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message,
+                suppressed=True,
+                reason=pragma.reason,
+            )
+        out.append(finding)
+    out.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return out
+
+
+def iter_python_files(paths: Iterable[str]) -> list:
+    """``(abspath, relpath)`` for every ``.py`` under ``paths``, sorted.
+
+    ``relpath`` starts at the innermost ``repro`` package directory
+    when there is one (``src/repro/serving/server.py`` →
+    ``repro/serving/server.py``) so rule scoping and baseline keys are
+    independent of where the checkout lives; paths outside the package
+    (``benchmarks/bench_foo.py``) keep their path relative to the
+    argument's parent.
+    """
+    collected: list = []
+    for path in paths:
+        path = os.path.abspath(os.fspath(path))
+        if os.path.isfile(path):
+            files = [path] if path.endswith(".py") else []
+            root_parent = os.path.dirname(path)
+        else:
+            root_parent = os.path.dirname(path.rstrip(os.sep))
+            files = []
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in ("__pycache__", ".git")
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(dirpath, name))
+        for abspath in files:
+            rel = os.path.relpath(abspath, root_parent).replace(os.sep, "/")
+            # Re-anchor at the repro package root when present, so
+            # ``src/repro/...`` and an installed tree lint identically.
+            parts = rel.split("/")
+            if "repro" in parts:
+                rel = "/".join(parts[parts.index("repro"):])
+            collected.append((abspath, rel))
+    # De-duplicate (overlapping arguments) while keeping sort order.
+    seen = set()
+    unique = []
+    for item in sorted(collected, key=lambda x: x[1]):
+        if item[1] not in seen:
+            seen.add(item[1])
+            unique.append(item)
+    return unique
+
+
+def analyze_paths(
+    paths: Iterable[str],
+    *,
+    rules: Sequence[Rule] | None = None,
+    baseline: Baseline | None = None,
+    report_only_paths: Iterable[str] = (),
+) -> AnalysisReport:
+    """Run the full pass over files/directories and classify the output.
+
+    ``report_only_paths`` are matched as relpath *prefixes* against
+    each finding (``benchmarks/`` makes every finding under that tree
+    advisory).  The baseline is consumed in deterministic file order;
+    stale entries are computed after the sweep.
+    """
+    if rules is None:
+        rules = default_rules()
+    if baseline is None:
+        baseline = Baseline()
+    advisory = tuple(p.replace(os.sep, "/").rstrip("/") + "/" for p in report_only_paths)
+
+    report = AnalysisReport()
+    for abspath, relpath in iter_python_files(paths):
+        with open(abspath, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        report.files_checked += 1
+        for finding in analyze_source(source, relpath, rules):
+            if finding.suppressed:
+                report.suppressed.append(finding)
+            elif baseline.consume(finding):
+                report.baselined.append(
+                    Finding(
+                        rule=finding.rule,
+                        path=finding.path,
+                        line=finding.line,
+                        col=finding.col,
+                        message=finding.message,
+                        baselined=True,
+                    )
+                )
+            elif finding.path.startswith(advisory) if advisory else False:
+                report.report_only.append(finding)
+            else:
+                report.enforced.append(finding)
+    report.stale_baseline = baseline.stale_entries()
+    return report

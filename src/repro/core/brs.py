@@ -47,6 +47,7 @@ from repro.core.rule import Rule, cover_mask
 from repro.core.scoring import RuleList
 from repro.core.search_cache import SearchContext
 from repro.core.weights import WeightFunction
+from repro.errors import EngineError
 from repro.table.table import Table
 
 __all__ = ["BRSResult", "brs", "brs_iter", "brs_time_limited"]
@@ -125,7 +126,7 @@ def brs_iter(
     a cache built for a different ``(table, wf, mw)`` is ignored.
     """
     if engine not in ("incremental", "scratch"):
-        raise ValueError(f"unknown search engine {engine!r}")
+        raise EngineError(f"unknown search engine {engine!r}")
     resolved_pool = resolve_pool(pool, n_workers)
     if context is not None:
         context.check_compatible(table, wf, mw, measures, max_rule_size, prune)
@@ -285,7 +286,7 @@ def brs_time_limited(
     worker pool.
     """
     if time_limit_seconds <= 0:
-        raise ValueError("time_limit_seconds must be positive")
+        raise EngineError("time_limit_seconds must be positive")
     picks: list[MarginalResult] = []
     stats = SearchStats()
     deadline = time.perf_counter() + time_limit_seconds

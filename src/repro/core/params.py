@@ -27,6 +27,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.weights import WeightFunction
+from repro.errors import ParameterError
 from repro.table.stats import TableStats, compute_stats
 from repro.table.table import Table
 
@@ -145,7 +146,7 @@ def kkt_analysis(
     fs = [min(max(float(f), 1e-12), 1.0) for f in top_fractions]
     ws = [float(w) for w in column_weights]
     if len(fs) != len(ws):
-        raise ValueError("top_fractions and column_weights must align")
+        raise ParameterError("top_fractions and column_weights must align")
     ratios = tuple(
         (math.log(f) / w) if w > 0 else -math.inf for f, w in zip(fs, ws)
     )
@@ -183,7 +184,7 @@ def exponent_for_target_fraction(
     Section 6.1: ``k = −s · Σ_c ln f_c``.
     """
     if not 0.0 <= target_fraction <= 1.0:
-        raise ValueError("target_fraction must be in [0, 1]")
+        raise ParameterError("target_fraction must be in [0, 1]")
     total_log = sum(math.log(min(max(float(f), 1e-12), 1.0)) for f in top_fractions)
     return -target_fraction * total_log
 

@@ -39,6 +39,27 @@ class WeightFunctionError(ReproError):
     """
 
 
+class EngineError(ReproError, ValueError):
+    """A search-engine selector or engine-level knob is invalid.
+
+    Raised by :func:`repro.core.brs.brs_iter` for an unknown ``engine``
+    name and by :func:`repro.core.brs.brs_time_limited` for a
+    non-positive time limit.  Dual-inherits :class:`ValueError` so
+    pre-existing ``except ValueError`` call sites keep working; the
+    HTTP front end maps it (via :class:`ReproError`) to 400.
+    """
+
+
+class ParameterError(ReproError, ValueError):
+    """An analysis-parameter value is out of its documented domain.
+
+    Raised by :mod:`repro.core.params` validation (mismatched
+    weight/fraction vector lengths, a target fraction outside
+    ``[0, 1]``).  Dual-inherits :class:`ValueError` for backward
+    compatibility; maps to HTTP 400 on the wire.
+    """
+
+
 class SamplingError(ReproError):
     """Sampling machinery was misused (bad rates, empty reservoirs, ...)."""
 

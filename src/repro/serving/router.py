@@ -574,6 +574,7 @@ class ShardRouter:
                 continue
             busy_since = shard.busy_since
             if busy_since is not None and (
+                # repro-lint: allow[clock-discipline] reason=the watchdog measures real pipe stall time against busy_since stamps from another thread
                 time.monotonic() - busy_since > self._wedge_timeout
             ):
                 self._breakers[index].record_failure()

@@ -122,6 +122,13 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
     clock:
         Injectable monotonic clock shared by the registry and
         scheduler (tests).
+    wall_clock:
+        Injectable *wall* clock (default ``time.time``) for the two
+        places a monotonic reading cannot work because it does not
+        survive restarts: uptime in :meth:`stats`, and the downtime
+        correction applied to restored sessions' recency (snapshots
+        store ``saved_at`` as wall time).  Tests freeze it alongside
+        ``clock`` to make warm-restart idle math deterministic.
     session_id_prefix:
         Prefix of generated session ids (default ``"sess"``).  The
         sharded router gives each shard's server a distinct prefix so
@@ -177,6 +184,7 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         checkpoint_interval: float | None = None,
         reaper_interval: float | None = None,
         clock: Callable[[], float] = time.monotonic,
+        wall_clock: Callable[[], float] = time.time,
         session_id_prefix: str = "sess",
         default_deadline: float | None = None,
         chaos: ChaosPolicy | None = None,
@@ -238,6 +246,7 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         if self.catalog.pool is not None:
             self.catalog.pool.scheduler = self.scheduler
         self._clock = clock
+        self._wall_clock = wall_clock
         self._closed = False
         if default_deadline is not None and default_deadline <= 0:
             raise ServingError("default_deadline must be > 0 seconds (or None)")
@@ -280,7 +289,7 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
             # server the caller never sees must not leak it.
             self.catalog.close()
             raise
-        self.started_at = time.time()
+        self.started_at = self._wall_clock()
 
     # -- tables ------------------------------------------------------------------
 
@@ -328,7 +337,7 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
             # persisted as idle/age seconds, and the measured downtime
             # (wall clock) is added so TTL keeps counting while the
             # server was down.
-            downtime = max(0.0, time.time() - snapshot.saved_at)
+            downtime = max(0.0, self._wall_clock() - snapshot.saved_at)
             now = self._clock()
             try:
                 self.registry.admit(
@@ -706,6 +715,7 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
             expansions=expansions,
             idle_seconds=max(0.0, now - entry.last_used),
             age_seconds=max(0.0, now - entry.created_at),
+            saved_at=self._wall_clock(),
         )
         try:
             self.store.save(snapshot)
@@ -772,7 +782,7 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
     def stats(self) -> dict:
         pool = self.catalog.pool
         return {
-            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "uptime_seconds": round(self._wall_clock() - self.started_at, 3),
             "default_deadline": self.default_deadline,
             "deadline_aborts": self.deadline_aborts,
             "default_approx": self.default_approx,

@@ -568,9 +568,11 @@ class ShardProcess:
           request/response stream, so the worker must be killed and
           replaced (the router's recovery spine does both).
         """
+        # repro-lint: allow[clock-discipline] reason=pipe deadlines bound real OS waits (lock timeout, poll); no test seam crosses the process boundary
         deadline_at = None if timeout is None else time.monotonic() + max(0.0, timeout)
         if deadline_at is None:
             self.lock.acquire()
+        # repro-lint: allow[clock-discipline] reason=pipe deadlines bound real OS waits (lock timeout, poll); no test seam crosses the process boundary
         elif not self.lock.acquire(timeout=max(0.0, deadline_at - time.monotonic())):
             raise ShardBusyError(
                 f"shard {self.index} is saturated: {op!r} could not reach the "
@@ -582,6 +584,7 @@ class ShardProcess:
                     f"shard {self.index} handle was condemned after an earlier "
                     "missed deadline"
                 )
+            # repro-lint: allow[clock-discipline] reason=busy_since feeds the watchdog's real-time wedge clock across threads
             self.busy_since = time.monotonic()
             self._next_request += 1
             request_id = self._next_request
@@ -590,6 +593,7 @@ class ShardProcess:
             ).encode("utf-8")
             self.conn.send_bytes(frame)
             if deadline_at is not None and not self.conn.poll(
+                # repro-lint: allow[clock-discipline] reason=pipe deadlines bound real OS waits (lock timeout, poll); no test seam crosses the process boundary
                 max(0.0, deadline_at - time.monotonic())
             ):
                 self.condemned = True

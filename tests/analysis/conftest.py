@@ -1,0 +1,34 @@
+"""Shared plumbing for the static-analysis suite.
+
+Every test under ``tests/analysis`` is stamped with the ``lint``
+marker (registered in ``pytest.ini``) so ``-m lint`` runs the
+invariant-linter gate alone — the fast lane after editing a rule or
+adding a pragma.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+_ANALYSIS_DIR = Path(__file__).resolve().parent
+
+#: Repository root (tests/analysis/ -> tests/ -> root).
+REPO_ROOT = _ANALYSIS_DIR.parent.parent
+
+
+def pytest_collection_modifyitems(items):
+    """Stamp every test under tests/analysis with the ``lint`` marker."""
+    for item in items:
+        try:
+            path = Path(str(item.fspath)).resolve()
+        except OSError:  # pragma: no cover - exotic collection nodes
+            continue
+        if _ANALYSIS_DIR in path.parents or path.parent == _ANALYSIS_DIR:
+            item.add_marker(pytest.mark.lint)
+
+
+@pytest.fixture
+def repo_root():
+    return REPO_ROOT

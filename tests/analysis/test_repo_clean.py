@@ -1,0 +1,239 @@
+"""The tier-1 gate: the repository's own source passes its own linter.
+
+``test_src_tree_is_clean`` is the enforcement point — every PR runs
+the full five-rule pass over ``src/repro`` against the checked-in
+baseline, so re-introducing a naked clock read, a blocking call under
+a lock, a bare builtin raise on the request path, a torn-write
+``open``, or unseeded randomness fails CI.  The re-introduction tests
+prove the gate has teeth by mutating real source in memory and
+checking the pass catches it.  The CLI tests pin the ``python -m
+repro.analysis`` contract (exit codes, ``--json`` shape) that
+tooling depends on.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis import analyze_paths, analyze_source, load_baseline
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME
+
+
+@pytest.fixture(scope="module")
+def repo_report():
+    from tests.analysis.conftest import REPO_ROOT
+
+    baseline = load_baseline(REPO_ROOT / DEFAULT_BASELINE_NAME)
+    return analyze_paths([str(REPO_ROOT / "src" / "repro")], baseline=baseline)
+
+
+def test_src_tree_is_clean(repo_report):
+    """THE gate: src/repro has no enforced findings, no stale baseline."""
+    rendered = "\n".join(f.render() for f in repo_report.enforced)
+    assert repo_report.enforced == [], f"lint findings in src/repro:\n{rendered}"
+    assert repo_report.stale_baseline == [], (
+        "stale baseline entries (code was fixed — remove them): "
+        f"{repo_report.stale_baseline}"
+    )
+    assert repo_report.exit_code == 0
+
+
+def test_shipped_baseline_is_empty(repo_report):
+    """Everything the rules flagged at rollout was fixed or pragma'd —
+    the baseline starts (and should stay) empty."""
+    assert repo_report.baselined == []
+
+
+def test_suppressions_all_carry_reasons(repo_report):
+    assert repo_report.suppressed, "expected the documented pragma suppressions"
+    for finding in repo_report.suppressed:
+        assert finding.reason, f"suppression without a reason: {finding.render()}"
+    # Today's suppressions are all deliberate real-time waits in the
+    # serving tier's timer/pipe plumbing.
+    assert {f.rule for f in repo_report.suppressed} == {"clock-discipline"}
+
+
+def test_benchmarks_and_examples_sweep_report_only():
+    """Satellite: the benchmark/example trees are swept advisory-only —
+    findings there are logged in the JSON report, never failing."""
+    from tests.analysis.conftest import REPO_ROOT
+
+    report = analyze_paths(
+        [
+            str(REPO_ROOT / "src" / "repro"),
+            str(REPO_ROOT / "benchmarks"),
+            str(REPO_ROOT / "examples"),
+        ],
+        baseline=load_baseline(REPO_ROOT / DEFAULT_BASELINE_NAME),
+        report_only_paths=["benchmarks", "examples"],
+    )
+    assert report.exit_code == 0
+    payload = report.to_dict()
+    assert "report_only" in payload  # the advisory findings are logged
+    # The published-numbers trees are currently clean (all draws seeded).
+    assert payload["report_only"] == []
+    assert report.files_checked > 100
+
+
+# -- the gate has teeth: re-introducing fixed bugs fails ---------------------------
+
+
+def _server_source():
+    from tests.analysis.conftest import REPO_ROOT
+
+    path = REPO_ROOT / "src" / "repro" / "serving" / "server.py"
+    return path.read_text(encoding="utf-8")
+
+
+def test_reintroducing_naked_time_time_in_server_is_caught():
+    """Mutate server.py back to the pre-PR shape (started_at from a
+    naked time.time()) and assert the pass flags it."""
+    source = _server_source()
+    fixed = "self.started_at = self._wall_clock()"
+    assert fixed in source  # the satellite fix this PR made
+    mutated = source.replace(fixed, "self.started_at = time.time()")
+    findings = [
+        f
+        for f in analyze_source(mutated, "repro/serving/server.py")
+        if not f.suppressed
+    ]
+    assert [f.rule for f in findings] == ["clock-discipline"]
+    assert "time.time" in findings[0].message
+
+
+def test_server_source_is_clean_unmutated():
+    findings = [
+        f
+        for f in analyze_source(_server_source(), "repro/serving/server.py")
+        if not f.suppressed
+    ]
+    assert findings == []
+
+
+def test_reintroducing_close_under_lock_is_caught():
+    """The PR 4 eviction race: a close() moved back inside the registry
+    lock must fail the gate."""
+    from tests.analysis.conftest import REPO_ROOT
+
+    path = REPO_ROOT / "src" / "repro" / "serving" / "registry.py"
+    source = path.read_text(encoding="utf-8")
+    # The real registry is clean today...
+    clean = [
+        f
+        for f in analyze_source(source, "repro/serving/registry.py")
+        if not f.suppressed
+    ]
+    assert clean == []
+    # ...and would not be with a close() added under its lock.
+    mutated = source.replace(
+        "with self._lock:",
+        "with self._lock:\n            self.on_evict and self.on_evict([]).close()",
+        1,
+    )
+    findings = [
+        f
+        for f in analyze_source(mutated, "repro/serving/registry.py")
+        if not f.suppressed
+    ]
+    assert [f.rule for f in findings] == ["lock-blocking"]
+
+
+def test_removing_an_error_mapping_is_caught():
+    """Deleting a branch from the HTTP mapper orphans part of the
+    hierarchy (those classes would answer 500) — flagged."""
+    from tests.analysis.conftest import REPO_ROOT
+
+    path = REPO_ROOT / "src" / "repro" / "serving" / "http.py"
+    source = path.read_text(encoding="utf-8")
+    assert "ReproError" in source
+    # Narrow the catch-all ReproError branch to SchemaError only: every
+    # subclass not covered by an earlier specific branch is orphaned.
+    mutated = source.replace("(ReproError, KeyError", "(SchemaError, KeyError")
+    assert mutated != source
+    findings = [
+        f
+        for f in analyze_source(mutated, "repro/serving/http.py")
+        if not f.suppressed and f.rule == "typed-errors"
+    ]
+    assert findings, "orphaned hierarchy classes must be flagged"
+    # SamplingError (and ten siblings) lost their only route to 400;
+    # EngineError/ParameterError stay covered via their ValueError base.
+    assert any("SamplingError" in f.message for f in findings)
+    assert not any("EngineError" in f.message for f in findings)
+
+
+# -- the CLI contract --------------------------------------------------------------
+
+
+def _run_cli(*argv, cwd):
+    env_src = str(cwd / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_cli_clean_tree_exits_zero(repo_root):
+    proc = _run_cli("src/repro", cwd=repo_root)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 finding(s)" in proc.stdout
+
+
+def test_cli_json_exits_nonzero_on_findings(tmp_path, repo_root):
+    bad = tmp_path / "repro" / "serving"
+    bad.mkdir(parents=True)
+    (bad / "oops.py").write_text(
+        "import time\n\ndef f():\n    return time.time()\n", encoding="utf-8"
+    )
+    proc = _run_cli(
+        "--json", "--no-baseline", str(tmp_path / "repro"), cwd=repo_root
+    )
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["exit_code"] == 1
+    assert [f["rule"] for f in payload["enforced"]] == ["clock-discipline"]
+    assert payload["enforced"][0]["path"] == "repro/serving/oops.py"
+
+
+def test_cli_unknown_rule_is_usage_error(repo_root):
+    proc = _run_cli("--rules", "no-such-rule", "src/repro", cwd=repo_root)
+    assert proc.returncode == 2
+    assert "unknown rule" in proc.stderr
+
+
+def test_cli_write_baseline_then_clean(tmp_path, repo_root):
+    bad = tmp_path / "repro" / "serving"
+    bad.mkdir(parents=True)
+    (bad / "oops.py").write_text(
+        "import time\n\ndef f():\n    return time.time()\n", encoding="utf-8"
+    )
+    baseline = tmp_path / "lint-baseline.json"
+    proc = _run_cli(
+        "--baseline",
+        str(baseline),
+        "--write-baseline",
+        str(tmp_path / "repro"),
+        cwd=repo_root,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert baseline.exists()
+    # With the grandfathered baseline the same tree is clean...
+    proc = _run_cli(
+        "--baseline", str(baseline), str(tmp_path / "repro"), cwd=repo_root
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    # ...and fixing the code makes the entry stale: exit 1 again until
+    # the baseline shrinks (regenerate) — it can never grow cover.
+    (bad / "oops.py").write_text("def f():\n    return 0\n", encoding="utf-8")
+    proc = _run_cli(
+        "--baseline", str(baseline), str(tmp_path / "repro"), cwd=repo_root
+    )
+    assert proc.returncode == 1
+    assert "stale-baseline" in proc.stdout

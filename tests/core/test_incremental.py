@@ -29,7 +29,7 @@ from repro.core import (
     tuple_measures,
 )
 from repro.core.marginal import SearchStats
-from repro.errors import RuleError
+from repro.errors import EngineError, RuleError
 from repro.session import DrillDownSession
 from tests.conftest import random_table
 
@@ -192,6 +192,9 @@ class TestContextReuse:
             brs(tiny_table, SizeWeight(), 2, 3.0, context=ctx)  # different wf object
 
     def test_unknown_engine_rejected(self, tiny_table):
+        # EngineError subclasses ValueError, so both spellings catch it.
+        with pytest.raises(EngineError):
+            brs(tiny_table, SizeWeight(), 2, 3.0, engine="warp")
         with pytest.raises(ValueError):
             brs(tiny_table, SizeWeight(), 2, 3.0, engine="warp")
 

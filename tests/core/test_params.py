@@ -15,6 +15,7 @@ from repro.core import (
     kkt_analysis,
     recommend_min_sample_size,
 )
+from repro.errors import ParameterError
 from repro.table import Table, compute_stats
 
 
@@ -91,11 +92,14 @@ class TestKKT:
         assert analysis.instantiated_fraction == pytest.approx(target)
 
     def test_target_fraction_bounds(self):
-        with pytest.raises(ValueError):
+        # ParameterError subclasses ValueError: both spellings catch it.
+        with pytest.raises(ParameterError):
             exponent_for_target_fraction([0.5], 1.5)
+        with pytest.raises(ValueError):
+            exponent_for_target_fraction([0.5], -0.1)
 
     def test_mismatched_lengths(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ParameterError):
             kkt_analysis([0.5], [1.0, 1.0], 1.0)
 
     def test_parametric_mw_on_table(self, tiny_table):

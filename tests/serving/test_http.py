@@ -176,6 +176,62 @@ class TestErrorMappingRegressions:
             assert status == 400, f"column {column}: expected 400, got {status}"
             assert body["error"] == "IndexError"
 
+    def test_engine_and_parameter_errors_are_typed_400s(
+        self, http_tier, monkeypatch
+    ):
+        """core validation errors travel the wire under their own names.
+
+        ``brs_iter``/``params`` used to raise bare ``ValueError``: the
+        mapper answered 400, but the body said ``"ValueError"`` — the
+        client could not tell a bad engine knob from any other bad
+        input, and ``except ReproError`` boundaries missed it.  Now
+        they raise :class:`EngineError` / :class:`ParameterError`
+        (``ReproError`` subclasses) and the wire carries the type.
+        These assertions failed before that change.
+        """
+        from repro.errors import EngineError, ParameterError
+
+        base, tier = http_tier
+        sid = call(base, "POST", "/sessions", {"table": "retail"})[1]["session_id"]
+        root = {"rule": [None, None, None, None]}
+
+        def bad_engine(*args, **kwargs):
+            raise EngineError("unknown search engine 'warp'")
+
+        monkeypatch.setattr(tier, "expand", bad_engine)
+        status, body = call(base, "POST", f"/sessions/{sid}/expand", root)
+        assert status == 400
+        assert body["error"] == "EngineError"
+        assert "warp" in body["message"]
+
+        def bad_params(*args, **kwargs):
+            raise ParameterError("target_fraction must be in [0, 1]")
+
+        monkeypatch.setattr(tier, "expand", bad_params)
+        status, body = call(base, "POST", f"/sessions/{sid}/expand", root)
+        assert status == 400
+        assert body["error"] == "ParameterError"
+
+    def test_core_validation_raises_typed_and_legacy_catchable(self):
+        """The dual inheritance contract: new typed classes are still
+        ValueErrors, so pre-existing except-clauses keep working."""
+        from repro.core.brs import brs_iter, brs_time_limited
+        from repro.core.params import exponent_for_target_fraction, kkt_analysis
+        from repro.errors import EngineError, ParameterError, ReproError
+
+        with pytest.raises(EngineError):
+            brs_iter(None, None, 3.0, engine="warp")
+        with pytest.raises(ReproError):  # and via the typed base
+            brs_iter(None, None, 3.0, engine="warp")
+        with pytest.raises(EngineError):
+            brs_time_limited(None, None, 3.0, 0.0)
+        with pytest.raises(ParameterError):
+            exponent_for_target_fraction([0.5], 1.5)
+        with pytest.raises(ParameterError):
+            kkt_analysis([0.5], [1.0, 2.0], 1.0)
+        assert issubclass(EngineError, ValueError)
+        assert issubclass(ParameterError, ValueError)
+
     def test_wrong_content_type_is_400(self, http_tier):
         """A declared non-JSON body used to be parsed as JSON anyway."""
         base, _ = http_tier

@@ -357,6 +357,49 @@ class TestRestartEquivalence:
         monkeypatch.undo()
         server.close()
 
+    def test_frozen_wall_clock_downtime_corrects_restored_idle(
+        self, tmp_path, retail
+    ):
+        """The wall_clock seam end to end: idle before the save, the
+        measured downtime, and idle after the restore must add exactly
+        (frozen clocks — no tolerance, no sleeps).
+
+        Monotonic clocks restart from an arbitrary zero, so recency is
+        persisted as idle-seconds plus a wall ``saved_at``; on restore
+        the server adds ``wall_clock() - saved_at`` so TTL kept counting
+        while the process was down.
+        """
+        clock, wall = FakeClock(), FakeClock()
+        wall.advance(1_000_000.0)  # wall time is an epoch, not zero
+        server, sid = _explored_server(
+            tmp_path, retail, clock=clock, wall_clock=wall
+        )
+        clock.advance(40.0)  # idle 40 s before the checkpoint
+        assert server.checkpoint_all() == 1
+        assert server.store.load(sid).saved_at == wall.now  # seam stamps it
+        server.close()
+
+        wall.advance(300.0)  # the server is down for 300 wall seconds
+        revived_clock = FakeClock()  # fresh monotonic origin, as after reboot
+        revived = DrillDownServer(
+            persist_dir=tmp_path, clock=revived_clock, wall_clock=wall
+        )
+        revived.register_table("retail", retail)
+        assert revived.restored == 1
+        entry = revived.registry.peek(sid)
+        # idle = 40 (pre-save) + 300 (downtime), on the *new* monotonic axis.
+        assert revived_clock.now - entry.last_used == pytest.approx(340.0)
+        revived.close()
+
+    def test_frozen_wall_clock_uptime_in_stats(self, retail):
+        wall = FakeClock()
+        wall.advance(5_000.0)
+        server = DrillDownServer(wall_clock=wall)
+        server.register_table("retail", retail)
+        wall.advance(12.5)
+        assert server.stats()["uptime_seconds"] == 12.5
+        server.close()
+
     def test_closing_a_session_deletes_its_snapshot(self, tmp_path, retail):
         server, sid = _explored_server(tmp_path, retail)
         assert server.checkpoint(sid) is True

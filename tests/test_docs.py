@@ -56,6 +56,7 @@ def test_expected_docs_exist():
     """The documentation surface this repo promises is present."""
     for name in (
         "README.md",
+        "docs/ANALYSIS.md",
         "docs/ARCHITECTURE.md",
         "docs/EXPERIMENTS.md",
         "docs/SERVING.md",
