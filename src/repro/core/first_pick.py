@@ -44,7 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.weights import WeightFunction
     from repro.table.table import Table
 
-__all__ = ["FirstPickCache", "build_first_pick_cache"]
+__all__ = ["FirstPickCache", "build_first_pick_cache", "extend_first_pick_cache"]
 
 
 class FirstPickCache:
@@ -231,6 +231,82 @@ def build_first_pick_cache(
         table,
         wf,
         mw,
+        entries,
+        pair_limit=pair_limit,
+        pair_threshold=pair_threshold,
+    )
+
+
+def extend_first_pick_cache(
+    cache: FirstPickCache,
+    table: "Table",
+    wf: "WeightFunction",
+    *,
+    pair_limit: int = 0,
+    pair_threshold: int = 2,
+) -> FirstPickCache | None:
+    """Delta-maintain ``cache`` onto ``table``, an appended version of
+    the cache's table, in O(appended rows).
+
+    The level-1 vectors are per-bin fold-left sums in ascending row
+    order (that is how ``np.bincount`` accumulates).  The old entry
+    already holds the fold over the prefix rows, and ``np.add.at``
+    applies its updates unbuffered in index order, so folding only the
+    appended rows on top reproduces the cold pass's IEEE accumulation
+    order exactly — the returned cache's entries are bit-identical to
+    ``build_first_pick_cache(table, wf, cache.mw)``.
+
+    Returns ``None`` whenever the delta cannot be maintained and the
+    caller must rebuild cold: a weighting outside the scalar
+    column-set family, a per-position weight that changed between
+    versions (e.g. a ``bits`` weighting over a dictionary that grew),
+    or tables that do not stand in the dictionary-prefix append
+    relation.  Level-2 pair entries are never carried over — they
+    rebuild lazily through :meth:`FirstPickCache.note_pair`.
+    """
+    old = cache.table
+    n_old = old.n_rows
+    if table.n_rows < n_old or table.schema != old.schema:
+        return None
+    fast_weight = _column_set_weight(wf)
+    if fast_weight is None:
+        return None
+    cat_positions = tuple(table.schema.categorical_indexes)
+    if not cat_positions or len(cache.entries) != len(cat_positions):
+        return None
+    codes = table.categorical_code_arrays()
+    old_codes = old.categorical_code_arrays()
+    for pos, idx in enumerate(cat_positions):
+        old_col = old.categorical(idx)
+        if table.categorical(idx).values[: old_col.distinct_count] != old_col.values:
+            return None
+        if not np.array_equal(codes[pos][:n_old], old_codes[pos]):
+            return None
+    entries = []
+    for pos, idx in enumerate(cat_positions):
+        weight = _extension_weight(fast_weight, cat_positions, (), pos)
+        old_entry = cache.entries[pos]
+        if old_entry is None or old_entry[0] != weight:
+            return None
+        _weight, old_supported, old_counts, old_marginals = old_entry
+        n_values = table.categorical(idx).distinct_count
+        counts = np.zeros(n_values, dtype=np.float64)
+        marginals = np.zeros(n_values, dtype=np.float64)
+        counts[old_supported] = old_counts
+        marginals[old_supported] = old_marginals
+        tail = codes[pos][n_old:]
+        # Cold per-row values at the base vector: measures are all-ones
+        # and top == 0.0, so every appended row adds 1.0 to its count
+        # bin and max(weight - 0.0, 0.0) * 1.0 to its marginal bin.
+        np.add.at(counts, tail, np.ones(tail.size, dtype=np.float64))
+        gain = float(np.maximum(weight - 0.0, 0.0) * 1.0)
+        np.add.at(marginals, tail, np.full(tail.size, gain, dtype=np.float64))
+        supported = np.nonzero(counts > 0)[0]
+        entries.append((weight, supported, counts[supported], marginals[supported]))
+    return FirstPickCache(
+        table,
+        wf,
+        cache.mw,
         entries,
         pair_limit=pair_limit,
         pair_threshold=pair_threshold,

@@ -338,6 +338,58 @@ class _TableExport:
         self.top_owner: tuple[int, int] | None = None
         self.closed = False
 
+    @classmethod
+    def grown(
+        cls, old: "_TableExport", table: "Table", measures: np.ndarray
+    ) -> "_TableExport":
+        """Build ``table``'s export by growing ``old``'s data segment.
+
+        The append fast path: ``table`` extends ``old``'s table row-wise
+        (dictionary-prefix invariant), so every exported array is the
+        old bytes plus a tail.  The old segment's regions are copied
+        once into a freshly sized segment — the grow-and-copy — and only
+        the appended tails are read from the table's own arrays.
+        Workers attach the new segment by name as usual; the bytes are
+        identical to a cold export of ``table``.
+        """
+        self = cls.__new__(cls)
+        n = table.n_rows
+        _, _, n_old, old_offsets, old_measures_offset = old.meta
+        code_arrays = table.categorical_code_arrays()
+        data_bytes = sum(a.nbytes for a in code_arrays) + measures.nbytes
+        self._data_shm = _shared_memory.SharedMemory(create=True, size=max(data_bytes, 1))
+        self._top_shm = _shared_memory.SharedMemory(create=True, size=max(n * 8, 1))
+        self._views = []
+        old_buf = old._data_shm.buf
+        cat_offsets = []
+        offset = 0
+        for arr, old_off in zip(code_arrays, old_offsets):
+            view = np.ndarray(arr.shape, arr.dtype, buffer=self._data_shm.buf, offset=offset)
+            view[:n_old] = np.ndarray((n_old,), np.int32, buffer=old_buf, offset=old_off)
+            view[n_old:] = arr[n_old:]
+            self._views.append(view)
+            cat_offsets.append(offset)
+            offset += arr.nbytes
+        mview = np.ndarray(measures.shape, np.float64, buffer=self._data_shm.buf, offset=offset)
+        mview[:n_old] = np.ndarray(
+            (n_old,), np.float64, buffer=old_buf, offset=old_measures_offset
+        )
+        mview[n_old:] = measures[n_old:]
+        self._views.append(mview)
+        self._top_view = np.ndarray((n,), np.float64, buffer=self._top_shm.buf)
+        self.measures = measures
+        self.meta = (
+            self._data_shm.name,
+            self._top_shm.name,
+            n,
+            tuple(cat_offsets),
+            offset,
+        )
+        self.lock = threading.Lock()
+        self.top_owner = None
+        self.closed = False
+        return self
+
     def publish_top(self, top: np.ndarray, owner: tuple[int, int]) -> None:
         """Write ``top`` into the shared segment unless ``owner`` already did.
 
@@ -576,6 +628,9 @@ class CountingPool:
         # garbage collected.
         self._exports: dict[int, list[tuple[np.ndarray, _TableExport]]] = {}
         self._finalizers: dict[int, weakref.finalize] = {}
+        #: Exports built by the append fast path (:meth:`append_export`
+        #: growing a resident segment instead of a cold re-copy).
+        self.exports_grown = 0
         _live_pools.add(self)
 
     # -- executor lifecycle ----------------------------------------------------
@@ -663,6 +718,68 @@ class CountingPool:
             pool=self, export=export, codes=codes, measures=export.measures,
             tenant=tenant,
         )
+
+    def append_export(self, old_table: "Table", table: "Table") -> bool:
+        """Export ``table`` (an appended version of ``old_table``) incrementally.
+
+        The versioned catalog's export-maintenance hook: when
+        ``old_table`` has a resident default-measures export, the new
+        version's segment is built by one grow-and-copy of the old
+        bytes (:meth:`_TableExport.grown`) instead of re-reading every
+        array from the table.  Returns ``True`` when the grown path
+        ran; on any miss (pool unusable, table below threshold, no old
+        export) the cold :meth:`backend_for` path is taken instead and
+        ``False`` is returned — either way a subsequent
+        :meth:`backend_for` call finds the export resident.
+
+        ``table`` must extend ``old_table`` row-wise with the
+        dictionary-prefix invariant (:meth:`repro.table.table.Table.append_rows`);
+        the caller (the catalog) owns that guarantee.
+        """
+        if (
+            not self.usable
+            or table.n_rows < self.min_table_rows
+            or not table.schema.categorical_indexes
+        ):
+            return False
+        measures = np.ones(table.n_rows, dtype=np.float64)
+        n_old = old_table.n_rows
+        old_export = None
+        for stored, candidate in self._exports.get(id(old_table), []):
+            if not candidate.closed and np.array_equal(stored, measures[:n_old]):
+                old_export = candidate
+                break
+        if old_export is None:
+            self.backend_for(table)
+            return False
+        try:
+            export = _TableExport.grown(old_export, table, measures)
+        except OSError:  # pragma: no cover - /dev/shm unavailable
+            self._broken = True
+            return False
+        key = id(table)
+        self._exports.setdefault(key, []).append((measures, export))
+        if key not in self._finalizers:
+            self._finalizers[key] = weakref.finalize(table, self._drop_table, key)
+        self.exports_grown += 1
+        return True
+
+    def drop_export(self, table: "Table") -> int:
+        """Unlink ``table``'s exports *now* (the version-reap path).
+
+        The weakref finalizer frees exports when a table is garbage
+        collected, but a reaped version should release its shared
+        memory deterministically, not whenever the collector gets
+        around to it.  Returns the number of exports closed; idempotent
+        (a later GC finalizer finds nothing to drop).
+        """
+        key = id(table)
+        fin = self._finalizers.get(key)
+        if fin is not None:
+            fin.detach()
+        n = len(self._exports.get(key, ()))
+        self._drop_table(key)
+        return n
 
     def export_count(self, table: "Table | None" = None) -> int:
         """Live shared-memory exports — for ``table`` only, when given.

@@ -103,6 +103,19 @@ class UnknownTableError(ServingError):
     """A table name is not registered in the :class:`~repro.serving.TableCatalog`."""
 
 
+class TableConflictError(ServingError):
+    """A table name is already registered with different data.
+
+    Served tables are versioned, not silently mutable: re-registering a
+    name with other rows is refused so no client can swap data out from
+    under live sessions by accident.  The remedies are explicit —
+    ``append_rows(name, rows)`` grows the table in place as a new
+    version, ``replace_table(name, table)`` swaps it wholesale (also as
+    a new version), and ``unregister`` + ``register`` starts over.
+    Maps to HTTP 409 Conflict.
+    """
+
+
 class UnknownSessionError(ServingError):
     """A session id is not (or no longer) in the :class:`~repro.serving.SessionRegistry`.
 

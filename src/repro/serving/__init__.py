@@ -6,8 +6,11 @@ The per-session machinery (incremental
 mine one immutable table export; this package is the tier that
 multiplexes *tenants* on top of it:
 
-* :class:`TableCatalog` — register immutable tables once, export each
-  to the shared pool a single time;
+* :class:`TableCatalog` — register tables as versioned records
+  (:class:`TableVersion`), export each version to the shared pool once,
+  grow exports and level-1 marginal caches incrementally under
+  ``append_rows``, and reap superseded versions when their last pinned
+  session closes;
 * :class:`SessionRegistry` — create/lookup/expire
   :class:`~repro.session.DrillDownSession`\\ s per tenant (TTL + LRU,
   eviction-safe ``close()``);
@@ -45,7 +48,7 @@ See docs/SERVING.md for topology, tenancy semantics, budget knobs,
 durability, fault tolerance, and a curl walkthrough.
 """
 
-from repro.serving.catalog import TableCatalog
+from repro.serving.catalog import TableCatalog, TableVersion
 from repro.serving.contexts import ContextStore
 from repro.serving.faults import ChaosPolicy, ChaosRule, CircuitBreaker, ShardWatchdog
 from repro.serving.persistence import (
@@ -84,6 +87,7 @@ __all__ = [
     "SNAPSHOT_VERSION",
     "TableCatalog",
     "TableSampleSet",
+    "TableVersion",
     "TenantBudget",
     "WEIGHT_FUNCTIONS",
     "build_sample_set",

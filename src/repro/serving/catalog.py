@@ -1,4 +1,4 @@
-"""The table catalog: register immutable tables once, export them once.
+"""The table catalog: versioned, append-able tables over one shared pool.
 
 A :class:`TableCatalog` is the serving tier's source of truth for
 tables.  Tenants refer to tables by name; the catalog holds the
@@ -7,13 +7,34 @@ their shared-memory exports — alive for as long as they are served)
 and owns the one :class:`~repro.core.parallel.CountingPool` every
 tenant session counts through.
 
-Registration is the only moment a table's data moves: with a usable
-pool, :meth:`TableCatalog.register` eagerly places the table's
+Registration is the only moment a whole table's data moves: with a
+usable pool, :meth:`TableCatalog.register` eagerly places the table's
 dictionary-encoded code arrays and measures into the pool's shared
 immutable region, so the first tenant's first expansion pays no export
-cost and the hundredth tenant shares the same bytes.  Tables are
-immutable (`Table` has no mutating API), which is what makes one
-export safe to serve to everyone.
+cost and the hundredth tenant shares the same bytes.  Every individual
+``Table`` object stays immutable (`Table` has no mutating API), which
+is what makes one export safe to serve to everyone.
+
+*Names*, however, are versioned (the commits+refs shape of dataset
+versioning): :meth:`register` creates version 1 and
+:meth:`append_rows` / :meth:`replace_table` create versions 2, 3, ….
+An append extends the dictionary-encoded code arrays under the
+prefix-preserving invariant (:meth:`repro.table.table.Table.append_rows`),
+so the catalog can maintain the expensive per-table structures
+incrementally instead of rebuilding them cold: the pool export is
+grown by one copy of the resident segment
+(:meth:`~repro.core.parallel.CountingPool.append_export`), the
+first-pick marginal vectors get delta bincounts over only the appended
+rows (:func:`~repro.core.first_pick.extend_first_pick_cache`,
+bit-identical to a cold rebuild), a §4.3 reservoir keeps a uniform
+fresh sample current in O(appended), and the deterministic sample set
+— whose delta cannot be maintained without perturbing seeded draws —
+is rebuilt *lazily* on next access and its persisted file
+re-fingerprinted.  Sessions pin the version they started on (they hold
+the ``Table`` object; nothing the catalog does ever mutates it), new
+sessions get the latest version, and a superseded version is reaped —
+export unlinked, weight registry purged — when its last pinned session
+closes (:meth:`unpin`).
 
 Ownership: the catalog owns a pool it *created* (``n_workers=``) and
 closes it — terminating workers and unlinking every export — in
@@ -28,10 +49,17 @@ import hashlib
 import os
 import re
 import threading
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterator, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
-from repro.core.first_pick import FirstPickCache, build_first_pick_cache
+import numpy as np
+
+from repro.core.first_pick import (
+    FirstPickCache,
+    build_first_pick_cache,
+    extend_first_pick_cache,
+)
 from repro.core.parallel import CountingPool
 from repro.core.weights import (
     BitsWeight,
@@ -39,7 +67,8 @@ from repro.core.weights import (
     SizeWeight,
     WeightFunction,
 )
-from repro.errors import ServingError, UnknownTableError
+from repro.errors import ServingError, TableConflictError, UnknownTableError
+from repro.sampling.reservoir import ReservoirSampler
 from repro.serving.marginals import (
     load_first_pick,
     save_first_pick,
@@ -53,7 +82,7 @@ from repro.serving.samples import (
 )
 from repro.table.table import Table
 
-__all__ = ["TableCatalog", "WEIGHT_FUNCTIONS"]
+__all__ = ["TableCatalog", "TableVersion", "WEIGHT_FUNCTIONS"]
 
 #: Weight functions creatable by name over the wire.  Factories take
 #: the served table — Bits weighting derives per-column bit counts
@@ -68,6 +97,36 @@ WEIGHT_FUNCTIONS: dict[str, Callable[[Table], WeightFunction]] = {
 }
 
 _SAMPLE_FILE_SAFE = re.compile(r"[^A-Za-z0-9._-]")
+
+
+@dataclass
+class TableVersion:
+    """One live version of a registered table name.
+
+    ``pins`` counts the live sessions mining exactly this version; a
+    superseded version is reaped (export unlinked, weight-registry
+    entries purged) when its last pin is released.  ``appended`` is the
+    row count the creating :meth:`TableCatalog.append_rows` added
+    (``0`` for register / replace versions).
+    """
+
+    version: int
+    table: Table
+    appended: int = 0
+    pins: int = 0
+
+    @property
+    def rows(self) -> int:
+        return self.table.n_rows
+
+    def describe(self) -> dict:
+        """JSON-friendly summary for ``/stats``."""
+        return {
+            "version": self.version,
+            "rows": self.rows,
+            "appended": self.appended,
+            "pins": self.pins,
+        }
 
 
 class TableCatalog:
@@ -197,55 +256,244 @@ class TableCatalog:
             self._pool = None
             self._owns_pool = False
         self._tables: dict[str, Table] = {}
+        # Version records: name -> latest version number, plus one
+        # TableVersion per *live* version — the latest, and any
+        # superseded version still pinned by an open session.  A record
+        # outlives unregister while pinned (reaped on last unpin).
+        self._latest: dict[str, int] = {}
+        self._records: dict[tuple[str, int], TableVersion] = {}
+        # §4.3 freshness: one uniform reservoir per name, offered every
+        # appended row id in O(appended) — the sample that is *already
+        # current* the moment an append lands, while the deterministic
+        # sample set rebuilds lazily.
+        self._fresh: dict[str, ReservoirSampler] = {}
+        self._stale_samples: set[str] = set()
+        self._versions_created = 0
+        self._versions_reaped = 0
+        self._appends = 0
+        self._rows_appended = 0
+        self._marginals_delta = 0
+        self._samples_lazy_rebuilt = 0
+        self._artifacts_purged = 0
+        # Serialises version transitions (append/replace/unregister):
+        # incremental maintenance reads the old version's structures and
+        # must not race another writer's install.
+        self._version_lock = threading.Lock()
+        #: Fired (outside catalog locks) with ``(name, table)`` after a
+        #: version is reaped — the serving facade's hook for dropping
+        #: per-table derived state (context prototypes).
+        self.on_reap: Callable[[str, Table], None] | None = None
         self._lock = threading.Lock()
         self._closed = False
 
     # -- registration ------------------------------------------------------------
 
     def register(self, name: str, table: Table) -> Table:
-        """Register ``table`` under ``name`` and export it to the pool.
+        """Register ``table`` under ``name`` (version 1) and export it.
 
         Idempotent for the same object (re-registering the identical
         table is a no-op returning it); a *different* table under an
-        existing name raises :class:`~repro.errors.ServingError` —
-        served tables are immutable, replacement would invalidate every
-        tenant's displayed counts.  The shared-memory export (when a
-        usable pool exists and the table is large enough to benefit)
-        happens here, once, so no tenant pays it later.
+        existing name raises
+        :class:`~repro.errors.TableConflictError` — the catalog never
+        swaps data out from under live sessions implicitly.  Growth is
+        explicit: :meth:`append_rows` extends the table as a new
+        version, :meth:`replace_table` swaps it wholesale.  The
+        shared-memory export (when a usable pool exists and the table
+        is large enough to benefit) happens here, once, so no tenant
+        pays it later.
         """
         if not name:
             raise ServingError("table name must be non-empty")
-        with self._lock:
-            if self._closed:
-                raise ServingError("table catalog is closed")
-            existing = self._tables.get(name)
-            if existing is not None:
-                if existing is table:
-                    return table
-                raise ServingError(
-                    f"table {name!r} is already registered with different data; "
-                    "served tables are immutable — register under a new name"
+        with self._version_lock:
+            with self._lock:
+                if self._closed:
+                    raise ServingError("table catalog is closed")
+                existing = self._tables.get(name)
+                if existing is not None:
+                    if existing is table:
+                        return table
+                    raise TableConflictError(
+                        f"table {name!r} is already registered with different "
+                        "data; use append_rows(name, rows) to grow it as a new "
+                        "version, or replace_table(name, table) to swap it"
+                    )
+                # Normally version 1; if pinned records from a previous
+                # registration of this name are still alive, continue
+                # their numbering so (name, version) keys never collide.
+                version = 1 + max(
+                    (v for (n, v) in self._records if n == name), default=0
                 )
-            self._tables[name] = table
-        if self._pool is not None:
-            # Eager export: backend_for creates (or reuses) the table's
-            # shared region; the backend object itself is discarded.
-            self._pool.backend_for(table)
-        if self._sample_budget is not None:
-            samples = self._build_or_load_samples(name, table)
-            with self._lock:
-                self._samples[name] = samples
+                self._tables[name] = table
+                self._latest[name] = version
+                self._records[(name, version)] = TableVersion(
+                    version=version, table=table
+                )
+                self._versions_created += 1
             if self._pool is not None:
-                # Approximate expansions mine the sample tables, so they
-                # are exported alongside the exact arrays (small enough
-                # that the pool may serve them serially anyway).
-                for sample in samples.samples:
-                    self._pool.backend_for(sample.table)
-        if self._marginal_mw is not None:
-            marginals = self._build_or_load_marginals(name, table)
+                # Eager export: backend_for creates (or reuses) the table's
+                # shared region; the backend object itself is discarded.
+                self._pool.backend_for(table)
+            if self._sample_budget is not None:
+                samples = self._build_or_load_samples(name, table)
+                with self._lock:
+                    self._samples[name] = samples
+                    self._fresh[name] = self._new_reservoir(name, table)
+                if self._pool is not None:
+                    # Approximate expansions mine the sample tables, so they
+                    # are exported alongside the exact arrays (small enough
+                    # that the pool may serve them serially anyway).
+                    for sample in samples.samples:
+                        self._pool.backend_for(sample.table)
+            if self._marginal_mw is not None:
+                marginals = self._build_or_load_marginals(name, table)
+                with self._lock:
+                    self._marginals[name] = marginals
+            return table
+
+    def append_rows(self, name: str, rows: Sequence[Sequence[Any]]) -> TableVersion:
+        """Append ``rows`` to ``name`` as a new table version.
+
+        The incremental-maintenance path: the new version's table
+        extends the old one under the dictionary-prefix invariant, the
+        pool export is built by one grow-and-copy of the resident
+        segment, the first-pick marginal vectors get delta bincounts
+        over only the appended rows (bit-identical to a cold rebuild;
+        any cache whose delta cannot be maintained — e.g. a ``bits``
+        weighting over a dictionary that grew — is rebuilt cold), the
+        freshness reservoir is offered the appended row ids, and the
+        deterministic sample set is marked stale for lazy rebuild (its
+        persisted file is re-fingerprinted then).  Sessions already
+        open keep mining the old version untouched; the returned record
+        is what new sessions will pin.
+        """
+        rows = [tuple(row) for row in rows]
+        if not rows:
+            raise ServingError("append_rows needs at least one row")
+        with self._version_lock:
             with self._lock:
+                if self._closed:
+                    raise ServingError("table catalog is closed")
+                old = self._tables.get(name)
+                if old is None:
+                    raise UnknownTableError(f"no table registered as {name!r}")
+            new_table = old.append_rows(rows)
+            record = self._install_version(name, new_table, old, appended=len(rows))
+            self._appends += 1
+            self._rows_appended += len(rows)
+            return record
+
+    def replace_table(self, name: str, table: Table) -> TableVersion:
+        """Swap ``name``'s data wholesale as a new table version.
+
+        No append relation is assumed, so every per-table structure is
+        rebuilt cold (export, marginal caches, freshness reservoir) or
+        marked for lazy rebuild (the deterministic sample set).  Pinned
+        sessions keep the version they started on, exactly as for
+        :meth:`append_rows`.
+        """
+        with self._version_lock:
+            with self._lock:
+                if self._closed:
+                    raise ServingError("table catalog is closed")
+                old = self._tables.get(name)
+                if old is None:
+                    raise UnknownTableError(f"no table registered as {name!r}")
+                if old is table:
+                    latest = self._records[(name, self._latest[name])]
+                    return latest
+            return self._install_version(name, table, None, appended=0)
+
+    def _new_reservoir(self, name: str, table: Table) -> ReservoirSampler:
+        """A freshness reservoir seeded per name, primed with every
+        current row id (the Create-pass scan §4.3 starts from)."""
+        assert self._sample_budget is not None
+        rng = np.random.default_rng(derive_seed(f"{name}#fresh", self._sample_seed))
+        reservoir = ReservoirSampler(self._sample_budget, rng)
+        reservoir.offer(np.arange(table.n_rows, dtype=np.int64))
+        return reservoir
+
+    def _install_version(
+        self, name: str, table: Table, old: Table | None, *, appended: int
+    ) -> TableVersion:
+        """Install ``table`` as ``name``'s next version (under
+        ``_version_lock``).  ``old`` non-``None`` marks the append
+        relation and enables every incremental path."""
+        if self._pool is not None:
+            if old is None or not self._pool.append_export(old, table):
+                self._pool.backend_for(table)
+        if self._marginal_mw is not None:
+            marginals = self._maintain_marginals(name, table, old)
+        if self._sample_budget is not None:
+            with self._lock:
+                self._stale_samples.add(name)
+                fresh = self._fresh.get(name)
+            if old is not None and fresh is not None:
+                fresh.offer(np.arange(old.n_rows, table.n_rows, dtype=np.int64))
+            else:
+                with self._lock:
+                    self._fresh[name] = self._new_reservoir(name, table)
+        with self._lock:
+            previous_v = self._latest[name]
+            version = previous_v + 1
+            record = TableVersion(version=version, table=table, appended=appended)
+            self._tables[name] = table
+            self._latest[name] = version
+            self._records[(name, version)] = record
+            self._versions_created += 1
+            if self._marginal_mw is not None:
                 self._marginals[name] = marginals
-        return table
+            previous = self._records.get((name, previous_v))
+        if previous is not None and previous.pins == 0:
+            self._reap(name, previous)
+        return record
+
+    def _maintain_marginals(
+        self, name: str, table: Table, old: Table | None
+    ) -> dict[str, FirstPickCache]:
+        """New-version first-pick caches: delta-extended from the old
+        version's where the append relation holds and per-position
+        weights are unchanged, rebuilt cold otherwise; either way the
+        persisted files are rewritten under the new fingerprint."""
+        assert self._marginal_mw is not None
+        with self._lock:
+            old_marginals = dict(self._marginals.get(name, {}))
+        fingerprint = table_fingerprint(table)
+        caches: dict[str, FirstPickCache] = {}
+        for weighting in self._marginal_weightings:
+            wf = self.weight(weighting, table)
+            cache = None
+            old_cache = old_marginals.get(weighting) if old is not None else None
+            if old_cache is not None and old_cache.table is old:
+                cache = extend_first_pick_cache(
+                    old_cache,
+                    table,
+                    wf,
+                    pair_limit=self._marginal_pairs,
+                    pair_threshold=self._marginal_pair_threshold,
+                )
+                if cache is not None:
+                    self._marginals_delta += 1
+            if cache is None:
+                cache = build_first_pick_cache(
+                    table,
+                    wf,
+                    self._marginal_mw,
+                    pair_limit=self._marginal_pairs,
+                    pair_threshold=self._marginal_pair_threshold,
+                )
+                if cache is None:  # no categorical columns: nothing to serve
+                    continue
+                self._marginals_built += 1
+            caches[weighting] = cache
+            path = self._marginal_path(name, weighting)
+            if path is not None:
+                try:
+                    save_first_pick(
+                        cache, path, fingerprint=fingerprint, weighting=weighting
+                    )
+                except OSError:  # pragma: no cover - disk-full etc.
+                    pass
+        return caches
 
     def _sample_path(self, name: str) -> Path | None:
         """Persistence path for ``name``'s samples (``None`` = memory only).
@@ -419,11 +667,49 @@ class TableCatalog:
             return entry[1]
 
     def samples_for(self, name: str) -> TableSampleSet | None:
-        """The pre-built sample set for ``name`` (``None`` when the
-        catalog was built without a ``sample_budget`` or the table is
-        unknown)."""
+        """The sample set for ``name``, current for its latest version
+        (``None`` when the catalog was built without a
+        ``sample_budget`` or the table is unknown).
+
+        Appends mark sample sets *stale* rather than rebuilding them
+        inline — the deterministic draw cannot be delta-maintained
+        without perturbing the seeded sequence — so the first access
+        after an append pays one rebuild here, producing exactly
+        ``build_sample_set`` over the new version (the persisted file
+        auto-rejects on its row-count fingerprint and is rewritten:
+        re-fingerprinted).  Equal to a fresh registration's samples,
+        which is what keeps approximate expansions byte-equal across
+        backends.
+        """
         with self._lock:
-            return self._samples.get(name)
+            table = self._tables.get(name)
+            stale = name in self._stale_samples
+            if not stale or table is None:
+                return self._samples.get(name)
+        samples = self._build_or_load_samples(name, table)
+        with self._lock:
+            if self._tables.get(name) is table:
+                self._samples[name] = samples
+                self._stale_samples.discard(name)
+                self._samples_lazy_rebuilt += 1
+        if self._pool is not None:
+            for sample in samples.samples:
+                self._pool.backend_for(sample.table)
+        return samples
+
+    def fresh_sample(self, name: str) -> tuple[int, ...] | None:
+        """Row ids in ``name``'s §4.3 freshness reservoir, or ``None``.
+
+        The reservoir is offered every appended row id in O(appended),
+        so it is uniform over the *latest* version the moment an append
+        lands — the always-current counterpart to the lazily rebuilt
+        deterministic sample set.
+        """
+        with self._lock:
+            reservoir = self._fresh.get(name)
+        if reservoir is None:
+            return None
+        return tuple(int(i) for i in reservoir.result())
 
     def sample_stats(self) -> dict:
         """Sampling counters + per-table summaries for ``/stats``."""
@@ -432,24 +718,166 @@ class TableCatalog:
                 "budget": self._sample_budget,
                 "built": self._samples_built,
                 "loaded": self._samples_loaded,
+                "lazy_rebuilt": self._samples_lazy_rebuilt,
+                "stale": sorted(self._stale_samples),
+                "fresh": {
+                    name: {"seen": r.seen, "size": r.size}
+                    for name, r in sorted(self._fresh.items())
+                },
                 "tables": {name: s.describe() for name, s in sorted(self._samples.items())},
             }
 
-    def unregister(self, name: str) -> None:
-        """Forget ``name``.  The export is unlinked once the table is
-        garbage collected (the pool holds only a weak finalizer), so
-        sessions still mining it are unaffected."""
-        table = None
+    # -- version lifecycle -------------------------------------------------------
+
+    def latest_version(self, name: str) -> int:
+        """The latest version number of ``name`` (what a new session
+        pins).  Raises :class:`~repro.errors.UnknownTableError`."""
         with self._lock:
-            table = self._tables.pop(name, None)
-            self._samples.pop(name, None)
-            self._marginals.pop(name, None)
-        if table is not None:
-            with self._weights_lock:
-                for key in [
-                    k for k, (held, _wf) in self._weights.items() if held is table
-                ]:
-                    del self._weights[key]
+            try:
+                return self._latest[name]
+            except KeyError:
+                raise UnknownTableError(f"no table registered as {name!r}") from None
+
+    def pin(self, name: str, version: int | None = None) -> TableVersion:
+        """Pin a version of ``name`` for a session and return its record.
+
+        ``None`` (the common case: session create) pins the latest
+        version; an explicit ``version`` (snapshot restore) pins that
+        version *if its record is still alive* and raises
+        :class:`~repro.errors.UnknownTableError` otherwise — the caller
+        then decides whether to fall back to the latest.
+        """
+        with self._lock:
+            if version is None:
+                version = self._latest.get(name)
+                if version is None:
+                    raise UnknownTableError(f"no table registered as {name!r}")
+            record = self._records.get((name, version))
+            if record is None:
+                raise UnknownTableError(
+                    f"table {name!r} has no live version {version}"
+                )
+            record.pins += 1
+            return record
+
+    def unpin(self, name: str, version: int) -> Table | None:
+        """Release one pin on ``(name, version)``.
+
+        When that was the last pin and the version is dead — superseded
+        by a newer one, or its name unregistered — the version is
+        reaped: record dropped, pool export unlinked, weight-registry
+        entries purged, and (once no version of the name survives
+        anywhere) persisted artifacts purged.  Returns the reaped
+        :class:`~repro.table.Table` so the caller can drop its own
+        derived state (e.g. context prototypes), else ``None``.
+        """
+        with self._lock:
+            record = self._records.get((name, version))
+            if record is None:
+                return None
+            if record.pins > 0:
+                record.pins -= 1
+            if record.pins > 0 or self._latest.get(name) == version:
+                return None
+        self._reap(name, record)
+        return record.table
+
+    def _reap(self, name: str, record: TableVersion) -> None:
+        """Reap one dead version: drop its record, unlink its export,
+        purge its weight-registry entries; purge persisted artifacts
+        once the name has no surviving version at all."""
+        table = record.table
+        with self._lock:
+            self._records.pop((name, record.version), None)
+            self._versions_reaped += 1
+            purge = name not in self._tables and not any(
+                key[0] == name for key in self._records
+            )
+        if self._pool is not None:
+            self._pool.drop_export(table)
+        with self._weights_lock:
+            for key in [
+                k for k, (held, _wf) in self._weights.items() if held is table
+            ]:
+                del self._weights[key]
+        if purge:
+            self._purge_artifacts(name)
+        if self.on_reap is not None:
+            self.on_reap(name, table)
+
+    def _purge_artifacts(self, name: str) -> None:
+        """Delete ``name``'s persisted sample and marginal files.
+
+        Without this, every unregister strands its artifacts on disk
+        forever: at best fingerprint-rejected litter on a future
+        re-register, at worst an unbounded byte leak in long-running
+        deployments.
+        """
+        paths = [self._sample_path(name)]
+        paths += [self._marginal_path(name, w) for w in self._marginal_weightings]
+        for path in paths:
+            if path is None:
+                continue
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
+            except OSError:  # pragma: no cover - racing cleaner
+                continue
+            self._artifacts_purged += 1
+
+    def version_stats(self) -> dict:
+        """Version-record counters + per-name summaries for ``/stats``."""
+        with self._lock:
+            tables: dict[str, dict] = {}
+            for (name, _version), record in sorted(self._records.items()):
+                entry = tables.setdefault(
+                    name, {"latest": self._latest.get(name), "versions": []}
+                )
+                entry["versions"].append(record.describe())
+            return {
+                "created": self._versions_created,
+                "reaped": self._versions_reaped,
+                "appends": self._appends,
+                "rows_appended": self._rows_appended,
+                "marginals_delta": self._marginals_delta,
+                "samples_lazy_rebuilt": self._samples_lazy_rebuilt,
+                "artifacts_purged": self._artifacts_purged,
+                "exports_grown": 0 if self._pool is None else self._pool.exports_grown,
+                "tables": tables,
+            }
+
+    def unregister(self, name: str) -> None:
+        """Forget ``name``, reap its unpinned versions, and purge its
+        persisted artifacts.
+
+        Versions still pinned by open sessions survive as records —
+        their exports stay linked, so those sessions are unaffected —
+        and are reaped when their last pin is released.  Unpinned
+        versions (including the latest) are reaped immediately;
+        reaping the last surviving version also deletes the name's
+        persisted sample/marginal files.
+        """
+        with self._version_lock:
+            with self._lock:
+                self._tables.pop(name, None)
+                self._samples.pop(name, None)
+                self._marginals.pop(name, None)
+                self._fresh.pop(name, None)
+                self._stale_samples.discard(name)
+                self._latest.pop(name, None)
+                dead = [
+                    record
+                    for (n, _v), record in sorted(self._records.items())
+                    if n == name and record.pins == 0
+                ]
+                any_records = any(key[0] == name for key in self._records)
+            for record in dead:
+                self._reap(name, record)
+            if not any_records:
+                # Nothing was registered (or everything already reaped):
+                # still sweep any stray persisted files, idempotently.
+                self._purge_artifacts(name)
 
     # -- lookup ------------------------------------------------------------------
 
@@ -496,6 +924,10 @@ class TableCatalog:
             self._tables.clear()
             self._samples.clear()
             self._marginals.clear()
+            self._latest.clear()
+            self._records.clear()
+            self._fresh.clear()
+            self._stale_samples.clear()
         with self._weights_lock:
             self._weights.clear()
         if self._pool is not None and self._owns_pool:

@@ -17,6 +17,9 @@ Endpoints (all bodies JSON)::
     GET    /tables                       registered table names
     POST   /tables                       {"name", "dataset"} or
                                          {"name", "columns", "rows"[, "numeric"]}
+    POST   /tables/<name>/rows           {"rows": [[...], ...]} — append rows
+                                         as a new table version (docs/SERVING.md,
+                                         "Versioned tables")
     POST   /sessions                     {"table"[, "tenant", "wf", "k", "mw",
                                          "measure"]} -> {"session_id", ...}
     GET    /sessions/<id>                displayed tree as nested JSON
@@ -33,8 +36,10 @@ Rules travel as one JSON array entry per column with ``null`` for the
 contains JSON ``null`` values is not addressable over the wire (use
 the programmatic facade for that).
 
-Error mapping: unknown table/session -> 404, closed session -> 409,
-exhausted tenant budget -> 429 (with ``Retry-After`` when the bucket
+Error mapping: unknown table/session -> 404, closed session or a
+conflicting re-registration (``TableConflictError`` — the name already
+holds different data; append or replace instead) -> 409, exhausted
+tenant budget -> 429 (with ``Retry-After`` when the bucket
 refills), a dead/wedged/circuit-open shard or an exceeded deadline ->
 503 with ``Retry-After``, a client whose socket stalls mid-request ->
 408 (see ``request_timeout``), any other
@@ -83,6 +88,7 @@ from repro.errors import (
     ReproError,
     SessionClosedError,
     ShardError,
+    TableConflictError,
     TenantBudgetError,
     UnknownSessionError,
     UnknownTableError,
@@ -182,6 +188,7 @@ def _table_from_body(body: dict) -> Table:
 # -- the handler ----------------------------------------------------------------
 
 _SESSION_PATH = re.compile(r"^/sessions/([^/]+)(?:/(expand|expand_star|collapse|render))?$")
+_TABLE_ROWS_PATH = re.compile(r"^/tables/([^/]+)/rows$")
 
 
 def make_handler(
@@ -278,7 +285,11 @@ def make_handler(
         def _fail(self, exc: Exception) -> None:
             if isinstance(exc, (UnknownTableError, UnknownSessionError)):
                 status = 404
-            elif isinstance(exc, SessionClosedError):
+            elif isinstance(exc, (SessionClosedError, TableConflictError)):
+                # A closed session or a name already registered with
+                # different data: the request conflicts with live state
+                # (the conflict message names the remedies —
+                # append_rows / replace_table).
                 status = 409
             elif isinstance(exc, TenantBudgetError):
                 status = 429
@@ -372,6 +383,15 @@ def make_handler(
                         {"name": name, "rows": table.n_rows,
                          "columns": list(table.column_names)},
                     )
+                table_match = _TABLE_ROWS_PATH.match(self.path)
+                if table_match:
+                    rows = body.get("rows")
+                    if not isinstance(rows, list) or not rows:
+                        raise ReproError(
+                            '"rows" must be a non-empty JSON array of row arrays'
+                        )
+                    record = self.tier.append_rows(table_match.group(1), rows)
+                    return self._json(200, {"name": table_match.group(1), **record})
                 if self.path == "/sessions":
                     deadline = self._deadline()
                     session_id = self.tier.create_session(

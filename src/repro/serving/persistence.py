@@ -212,6 +212,11 @@ class SessionSnapshot:
     wf_spec: str
     state: dict
     expansions: int = 0
+    #: Catalog version of ``table`` the session was pinned to when
+    #: snapshotted — *provenance*, not an address: restore always pins
+    #: the freshly registered table (the snapshot stores no rows), so a
+    #: version from a previous run need not exist anymore.
+    table_version: int | None = None
     #: Idle/age seconds *at snapshot time*; restore adds measured
     #: downtime (wall clock) on top.
     idle_seconds: float = 0.0
@@ -321,6 +326,7 @@ class SnapshotStore:
             "measure": state["measure"],
             "columns": list(state["columns"]),
             "expansions": snapshot.expansions,
+            "table_version": snapshot.table_version,
             "idle_seconds": snapshot.idle_seconds,
             "age_seconds": snapshot.age_seconds,
             "saved_at": snapshot.saved_at,
@@ -492,6 +498,11 @@ class SnapshotStore:
             wf_spec=str(meta["wf"]),
             state=state,
             expansions=int(meta.get("expansions", 0)),
+            table_version=(
+                None
+                if meta.get("table_version") is None
+                else int(meta["table_version"])
+            ),
             idle_seconds=float(meta.get("idle_seconds", 0.0)),
             age_seconds=float(meta.get("age_seconds", 0.0)),
             saved_at=float(meta.get("saved_at", 0.0)),

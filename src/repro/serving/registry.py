@@ -74,6 +74,12 @@ class SessionEntry:
     #: was created by name; ``None`` for bring-your-own instances, which
     #: cannot be snapshotted (no way to name the weighting on restore).
     wf_spec: str | None = None
+    #: Catalog version of :attr:`table` this session is pinned to
+    #: (``None`` outside the serving facade).  A session mines exactly
+    #: the version it started on; the serving tier releases the pin —
+    #: possibly reaping the version — when the entry leaves the
+    #: registry.
+    table_version: int | None = None
     #: Set (under :attr:`lock`) whenever an expansion or collapse
     #: mutates the tree; cleared by a successful checkpoint.
     dirty: bool = False
@@ -180,6 +186,7 @@ class SessionRegistry:
         tenant: str = "default",
         table: str | None = None,
         wf_spec: str | None = None,
+        table_version: int | None = None,
     ) -> SessionEntry:
         """Register ``session``; may LRU-evict to make room.
 
@@ -198,6 +205,7 @@ class SessionRegistry:
                 last_used=now,
                 table=table,
                 wf_spec=wf_spec,
+                table_version=table_version,
             )
             self._next_id += 1
             self._entries[entry.session_id] = entry
@@ -216,6 +224,7 @@ class SessionRegistry:
         expansions: int = 0,
         table: str | None = None,
         wf_spec: str | None = None,
+        table_version: int | None = None,
     ) -> SessionEntry:
         """Re-enter a *restored* session under its original identity.
 
@@ -245,6 +254,7 @@ class SessionRegistry:
                 expansions=expansions,
                 table=table,
                 wf_spec=wf_spec,
+                table_version=table_version,
             )
             self._entries[session_id] = entry
         self._close_evicted(victims, "lru")

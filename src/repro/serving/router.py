@@ -52,9 +52,10 @@ from repro.errors import (
     ServingError,
     ShardDownError,
     UnknownSessionError,
+    UnknownTableError,
 )
 from repro.serving.faults import ChaosPolicy, CircuitBreaker, ShardWatchdog
-from repro.serving.persistence import encode_rule
+from repro.serving.persistence import _SNAPSHOT_SUFFIX, _encode_value, encode_rule
 from repro.serving.shard import (
     ShardBusyError,
     ShardProcess,
@@ -249,9 +250,23 @@ class ShardRouter:
         # its wire encoding (re-sent verbatim when a shard restarts).
         self._lock = threading.RLock()
         self._tables: dict[str, tuple[Table, dict]] = {}
+        self._table_versions: dict[str, int] = {}
         self._sessions: dict[str, tuple[int, str]] = {}
         self._closed = False
         self.restarts = 0
+        # Snapshots written under a *different* shard count live in
+        # ``shard-NN`` directories no current slot owns.  They are
+        # inert (placement changed, so no shard will ever restore
+        # them); with a byte cap configured they are swept here, under
+        # the same policy that compacts live snapshot directories.
+        self.orphaned_swept = 0
+        if self._persist_dir is not None and persist_max_bytes is not None:
+            for path in self._orphaned_snapshot_files():
+                try:
+                    path.unlink()
+                    self.orphaned_swept += 1
+                except OSError:  # pragma: no cover - unlink race
+                    pass
         # Per-slot incarnation counter, baked into the shard's session
         # id prefix: a restarted shard's *fresh* registry must never
         # re-issue an id a client may still hold from before the crash
@@ -276,6 +291,25 @@ class ShardRouter:
             self.watchdog.start()
 
     # -- shard lifecycle ---------------------------------------------------------
+
+    def _orphaned_snapshot_files(self) -> list[Path]:
+        """Snapshot files under ``shard-NN`` directories no current
+        slot owns (``NN >= n_shards`` — leftovers from a run with a
+        different shard count).  No shard will ever restore these: the
+        tables they name now place on other slots."""
+        if self._persist_dir is None or not self._persist_dir.is_dir():
+            return []
+        orphaned: list[Path] = []
+        for child in sorted(self._persist_dir.glob("shard-*")):
+            if not child.is_dir():
+                continue
+            try:
+                index = int(child.name.split("-", 1)[1])
+            except ValueError:
+                continue
+            if index >= self.n_shards:
+                orphaned.extend(sorted(child.glob(f"*{_SNAPSHOT_SUFFIX}")))
+        return orphaned
 
     def _shard_kwargs(self, index: int) -> dict:
         kwargs = dict(self._base_kwargs)
@@ -388,7 +422,7 @@ class ShardRouter:
             except ServingError:  # pragma: no cover - one bad table
                 continue  # must not cost the shard its other tables
             with self._lock:
-                for sid, table_name in result.get("sessions", ()):
+                for sid, table_name, _version in result.get("sessions", ()):
                     self._sessions.setdefault(sid, (shard.index, table_name))
 
     # -- placement ---------------------------------------------------------------
@@ -643,9 +677,65 @@ class ShardRouter:
         )
         with self._lock:
             self._tables[name] = (table, encoded)
-            for sid, table_name in result.get("sessions", ()):
+            self._table_versions[name] = int(result.get("version", 1))
+            for sid, table_name, _version in result.get("sessions", ()):
                 self._sessions.setdefault(sid, (shard.index, table_name))
         return table
+
+    def append_rows(self, name: str, rows) -> dict:
+        """Append ``rows`` to ``name`` on its owning shard (a new table
+        version; see :meth:`DrillDownServer.append_rows`).
+
+        The router mirrors the append locally with the same
+        deterministic :meth:`Table.append_rows`, so the ``(table,
+        encoding)`` it would replay into a restarted shard stays
+        current — a crash after an append warm-restores the *appended*
+        table, and pre-append snapshots restore pinned to it only if
+        their own version was reaped (they re-pin the latest, exactly
+        like a single-process restart).
+
+        Deliberately **not** retryable: an append observed by a shard
+        crash may have been applied, and re-sending it would
+        double-append.
+        """
+        with self._lock:
+            if self._closed:
+                raise ServingError("router is closed")
+            held = self._tables.get(name)
+        if held is None:
+            raise UnknownTableError(
+                f"no table {name!r} is registered (register it first)"
+            )
+        normalized = [tuple(row) for row in rows]
+        encoded_rows = [[_encode_value(v) for v in row] for row in normalized]
+        shard = self._shard(self._placement(name))
+        result = self._request(
+            shard, "append_rows", {"name": name, "rows": encoded_rows}, use_default=False
+        )
+        new_table = held[0].append_rows(normalized)
+        with self._lock:
+            # Lost-update guard: only advance the mirror if nobody
+            # re-registered/replaced the table while the pipe was busy.
+            if self._tables.get(name, (None,))[0] is held[0]:
+                self._tables[name] = (new_table, encode_table(new_table))
+                self._table_versions[name] = int(result["version"])
+        return result
+
+    def replace_table(self, name: str, table: Table) -> dict:
+        """Swap in ``table`` as a new version of ``name`` (see
+        :meth:`DrillDownServer.replace_table`)."""
+        with self._lock:
+            if self._closed:
+                raise ServingError("router is closed")
+        encoded = encode_table(table)
+        shard = self._shard(self._placement(name))
+        result = self._request(
+            shard, "replace_table", {"name": name, "table": encoded}, use_default=False
+        )
+        with self._lock:
+            self._tables[name] = (table, encoded)
+            self._table_versions[name] = int(result["version"])
+        return result
 
     def unregister_table(self, name: str) -> None:
         with self._lock:
@@ -655,6 +745,7 @@ class ShardRouter:
         self._request(shard, "unregister_table", {"name": name}, use_default=False)
         with self._lock:
             self._tables.pop(name, None)
+            self._table_versions.pop(name, None)
 
     def tables(self) -> tuple[str, ...]:
         with self._lock:
@@ -873,6 +964,7 @@ class ShardRouter:
         """
         with self._lock:
             placement = {name: self._placement(name) for name in self._tables}
+            versions = dict(self._table_versions)
             session_count = len(self._sessions)
         shards = []
         for index in range(self.n_shards):
@@ -892,6 +984,9 @@ class ShardRouter:
                 "n_shards": self.n_shards,
                 "restarts": self.restarts,
                 "placement": placement,
+                "table_versions": versions,
+                "orphaned_snapshots": len(self._orphaned_snapshot_files()),
+                "orphaned_swept": self.orphaned_swept,
                 "default_deadline": self._default_deadline,
                 "deadline_aborts": self.deadline_aborts,
                 "wedge_kills": self.wedge_kills,
@@ -910,6 +1005,7 @@ class ShardRouter:
             shards, self._shards = self._shards, []
             self._sessions.clear()
             self._tables.clear()
+            self._table_versions.clear()
         if self.watchdog is not None:
             self.watchdog.stop()
         for shard in shards:

@@ -271,9 +271,13 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
                 for snapshot in self.store.load_all():
                     self._pending_restore.setdefault(snapshot.table, []).append(snapshot)
                 self.registry.reserve_ids(self.store.session_ids())
-                self.registry.on_evict = self._on_registry_evict
             else:
                 self.store = None
+            # Always installed (not only with a store): eviction is also
+            # the moment a session's table-version pin is released, which
+            # may reap the version it held alive.
+            self.registry.on_evict = self._on_registry_evict
+            self.catalog.on_reap = self._on_version_reaped
             self.reaper: ReaperThread | None = None
             if reaper_interval is not None:
                 self.reaper = ReaperThread(
@@ -308,11 +312,42 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         self._restore_pending(name, table)
         return table
 
+    def append_rows(self, name: str, rows) -> dict:
+        """Append ``rows`` to a served table as a new catalog version.
+
+        Live sessions keep the version they were created on — their
+        trees, contexts, and estimates stay bit-identical — while
+        sessions created after this call mine the grown table.  The
+        expensive per-table structures are maintained incrementally
+        (export grow-and-copy, delta first-pick bincounts, reservoir
+        freshness; see :meth:`TableCatalog.append_rows`).  Returns the
+        new version's summary (``version``, ``rows``, ``appended``).
+        """
+        if self._closed:
+            raise ServingError("server is closed")
+        return self.catalog.append_rows(name, rows).describe()
+
+    def replace_table(self, name: str, table: Table) -> dict:
+        """Swap a served table's data wholesale as a new catalog version.
+
+        The explicit alternative to the (refused) re-register of a name
+        with different data; pinned sessions are unaffected, per-table
+        structures rebuild cold.  Returns the new version's summary.
+        """
+        if self._closed:
+            raise ServingError("server is closed")
+        return self.catalog.replace_table(name, table).describe()
+
     def _restore_pending(self, name: str, table: Table) -> None:
         """Admit every pending snapshot taken over catalog table ``name``."""
         with self._persist_lock:
             pending = self._pending_restore.pop(name, [])
         for snapshot in pending:  # already least-recent first (store order)
+            # Restored sessions pin the *current* latest version: the
+            # snapshot stores no rows, so it is restored over whatever
+            # ``table`` was just registered (its ``table_version`` field
+            # is informational provenance, not an address).
+            record = self.catalog.pin(name)
             try:
                 wf = self.weight(snapshot.wf_spec, table)
                 session = DrillDownSession.restore(
@@ -330,6 +365,7 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
                     ),
                 )
             except ReproError:
+                self.catalog.unpin(name, record.version)
                 with self._persist_lock:
                     self.restore_skipped += 1
                 continue
@@ -349,9 +385,11 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
                     expansions=snapshot.expansions,
                     table=name,
                     wf_spec=snapshot.wf_spec,
+                    table_version=record.version,
                 )
             except ServingError:
                 session.close()
+                self.catalog.unpin(name, record.version)
                 with self._persist_lock:
                     self.restore_skipped += 1
                 continue
@@ -406,27 +444,36 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         if self._closed:
             raise ServingError("server is closed")
         self._resolve_deadline(deadline)
-        source = self.catalog.get(table)
-        session = DrillDownSession(
-            source,
-            wf=self.weight(wf, source),
-            k=k,
-            mw=mw,
-            measure=measure,
-            pool=self.catalog.pool,
-            context_store=self.contexts,
-            tenant=tenant,
-            samples=self.catalog.samples_for(table),
-            default_approx=self.default_approx,
-            error_target=self.default_error_target,
-            marginals=self.catalog.marginals_for(table, wf, mw),
-        )
-        return self.registry.add(
-            session,
-            tenant=tenant,
-            table=table,
-            wf_spec=wf if isinstance(wf, str) else None,
-        ).session_id
+        # New sessions pin the latest version; the pin holds the version
+        # record (and so its export) alive until the session leaves the
+        # registry, even across later appends and unregisters.
+        record = self.catalog.pin(table)
+        source = record.table
+        try:
+            session = DrillDownSession(
+                source,
+                wf=self.weight(wf, source),
+                k=k,
+                mw=mw,
+                measure=measure,
+                pool=self.catalog.pool,
+                context_store=self.contexts,
+                tenant=tenant,
+                samples=self.catalog.samples_for(table),
+                default_approx=self.default_approx,
+                error_target=self.default_error_target,
+                marginals=self.catalog.marginals_for(table, wf, mw),
+            )
+            return self.registry.add(
+                session,
+                tenant=tenant,
+                table=table,
+                wf_spec=wf if isinstance(wf, str) else None,
+                table_version=record.version,
+            ).session_id
+        except BaseException:
+            self.catalog.unpin(table, record.version)
+            raise
 
     def session(self, session_id: str) -> DrillDownSession:
         """The live session for ``session_id`` (touches TTL/LRU)."""
@@ -713,6 +760,7 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
             wf_spec=entry.wf_spec,
             state=state,
             expansions=expansions,
+            table_version=entry.table_version,
             idle_seconds=max(0.0, now - entry.last_used),
             age_seconds=max(0.0, now - entry.created_at),
             saved_at=self._wall_clock(),
@@ -750,14 +798,26 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
         return True
 
     def _on_registry_evict(self, entry: SessionEntry, reason: str) -> None:
-        """Orphan cleanup: an evicted/closed session's snapshot goes too.
+        """Orphan cleanup: an evicted/closed session's snapshot goes
+        too, and its table-version pin is released — when that was the
+        last pin on a superseded (or unregistered) version, the version
+        is reaped: export unlinked, artifacts purged, context
+        prototypes dropped (via :attr:`TableCatalog.on_reap`).
 
         Fired for TTL expiry, LRU eviction, and explicit closes — but
         not by ``close_all`` (shutdown keeps snapshots for the next
-        warm restart; see :meth:`SessionRegistry.close_all`).
+        warm restart; see :meth:`SessionRegistry.close_all`, and the
+        catalog's own close releases everything anyway).
         """
         if self.store is not None:
             self.store.delete(entry.session_id)
+        if entry.table is not None and entry.table_version is not None:
+            self.catalog.unpin(entry.table, entry.table_version)
+
+    def _on_version_reaped(self, name: str, table: Table) -> None:
+        """Drop derived per-table state when the catalog reaps a version."""
+        if self.contexts is not None:
+            self.contexts.drop_table(table)
 
     # -- introspection / lifecycle -----------------------------------------------
 
@@ -789,6 +849,7 @@ ReaperThread` enforcing TTL expiry (and checkpointing) without
             "default_error_target": self.default_error_target,
             "samples": self.catalog.sample_stats(),
             "marginals": self.catalog.marginal_stats(),
+            "versions": self.catalog.version_stats(),
             "tables": list(self.tables()),
             "registry": self.registry.stats(),
             "scheduler": self.scheduler.stats(),

@@ -259,13 +259,28 @@ def _op_register_table(server, args: dict) -> dict:
     return {
         "rows": table.n_rows,
         "columns": list(table.column_names),
-        "sessions": [[e.session_id, e.table] for e in server.registry.entries()],
+        "version": server.catalog.latest_version(args["name"]),
+        "sessions": [
+            [e.session_id, e.table, e.table_version]
+            for e in server.registry.entries()
+        ],
     }
 
 
 def _op_unregister_table(server, args: dict) -> dict:
     server.unregister_table(args["name"])
     return {}
+
+
+def _op_append_rows(server, args: dict) -> dict:
+    # Rows travel as the snapshot format's tagged value arrays, so every
+    # value type a cell can hold round-trips exactly (intervals included).
+    rows = [[_decode_value(v) for v in row] for row in args["rows"]]
+    return server.append_rows(args["name"], rows)
+
+
+def _op_replace_table(server, args: dict) -> dict:
+    return server.replace_table(args["name"], decode_table(args["table"]))
 
 
 def _op_tables(server, args: dict) -> dict:
@@ -281,7 +296,11 @@ def _op_create_session(server, args: dict) -> dict:
         mw=args.get("mw", 5.0),
         measure=args.get("measure"),
     )
-    return {"session_id": session_id}
+    entry = server.registry.peek(session_id)
+    return {
+        "session_id": session_id,
+        "table_version": None if entry is None else entry.table_version,
+    }
 
 
 def _op_expand(server, args: dict) -> dict:
@@ -360,6 +379,8 @@ _OP_HANDLERS = {
     "ping": _op_ping,
     "register_table": _op_register_table,
     "unregister_table": _op_unregister_table,
+    "append_rows": _op_append_rows,
+    "replace_table": _op_replace_table,
     "tables": _op_tables,
     "create_session": _op_create_session,
     "expand": _op_expand,

@@ -69,6 +69,35 @@ class CategoricalColumn:
             codes.append(code)
         return cls(np.asarray(codes, dtype=np.int32), values)
 
+    def extend_with_values(self, raw: Iterable[Any]) -> "CategoricalColumn":
+        """Return a column with ``raw`` appended, dictionary prefix kept.
+
+        Existing values keep their codes and unseen values get fresh
+        codes in first-seen order — exactly the assignment
+        :meth:`from_values` would produce had the whole stream been
+        encoded at once, so an append is bit-identical (codes *and*
+        dictionary) to a cold re-encode of old+new.  This is the
+        invariant the versioned catalog's incremental maintenance
+        (export grow, first-pick delta bincounts) rests on.
+        """
+        values = list(self._values)
+        value_to_code = dict(self._value_to_code)
+        new_codes: list[int] = []
+        for v in raw:
+            try:
+                code = value_to_code.get(v)
+            except TypeError:
+                raise EncodingError(f"unhashable value: {v!r}") from None
+            if code is None:
+                code = len(values)
+                value_to_code[v] = code
+                values.append(v)
+            new_codes.append(code)
+        codes = np.concatenate(
+            [self._codes, np.asarray(new_codes, dtype=np.int32)]
+        )
+        return CategoricalColumn(codes, values)
+
     # -- basic protocol ---------------------------------------------------------
 
     def __len__(self) -> int:
@@ -208,6 +237,11 @@ class NumericColumn:
     def take(self, indexes: np.ndarray) -> "NumericColumn":
         """Return a new column with rows gathered by ``indexes``."""
         return NumericColumn(self._data[indexes])
+
+    def extend_with_values(self, raw: Iterable[float]) -> "NumericColumn":
+        """Return a column with ``raw`` appended (one ``float64`` copy)."""
+        tail = np.asarray(list(raw), dtype=np.float64)
+        return NumericColumn(np.concatenate([self._data, tail]))
 
     def mask_range(self, lo: float, hi: float, *, closed_right: bool = False) -> np.ndarray:
         """Boolean mask of rows with value in ``[lo, hi)`` (or ``[lo, hi]``)."""

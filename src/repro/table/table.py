@@ -231,6 +231,30 @@ class Table:
         columns[idx] = column
         return Table(self._schema.replace(name, schema), columns)
 
+    def append_rows(self, rows: Iterable[Sequence[Any]]) -> "Table":
+        """Return a table with ``rows`` appended (a new table version).
+
+        The dictionary-prefix invariant: every existing categorical
+        code keeps its meaning, unseen values extend the dictionaries
+        in first-seen order, and numeric tails are one ``float64``
+        copy — so the result is bit-identical (schema, dictionaries,
+        code arrays) to :meth:`from_rows` over old rows + new rows,
+        while costing O(appended) encoding work instead of O(total).
+        The parent table is untouched; sessions pinned to it keep
+        mining exactly the rows they started with.
+        """
+        width = len(self._schema)
+        buffers: list[list[Any]] = [[] for _ in self._schema]
+        for row in rows:
+            if len(row) != width:
+                raise SchemaError(f"row has {len(row)} fields, expected {width}")
+            for buf, value in zip(buffers, row):
+                buf.append(value)
+        columns = [
+            col.extend_with_values(buf) for col, buf in zip(self._columns, buffers)
+        ]
+        return Table(self._schema, columns)
+
     def concat(self, other: "Table") -> "Table":
         """Stack two tables with equal schemas.
 

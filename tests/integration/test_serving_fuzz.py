@@ -30,6 +30,16 @@ builds the same set by hand (same table bytes, same derived seed), so
 * seeded ``approx=True`` transcripts must produce the *same estimates
   and confidence metadata* on every backend, including the shard
   workers that rebuild samples from wire-decoded tables.
+
+The append/version dimension (ISSUE 10): with ``append_prob`` set the
+generator interleaves ``append_rows`` ops — each creates a new table
+version on both serving tiers while the standalone side mirrors the
+append with the same deterministic :meth:`Table.append_rows`.
+Sessions opened *before* an append stay pinned to their version
+(their renders must not move by a byte); sessions opened *after* see
+the appended table and must match a standalone session built directly
+over it — across the incremental export growth and delta-maintained
+first-pick marginals the serving tiers use under the hood.
 """
 
 from __future__ import annotations
@@ -124,6 +134,7 @@ def run_replay(
     approx: bool = False,
     marginal_cache: bool = True,
     marginal_pairs: int = 0,
+    append_prob: float = 0.0,
 ) -> int:
     rng = np.random.default_rng(seed)
     tables = _make_tables(seed)
@@ -168,6 +179,26 @@ def run_replay(
             live.append(replica)
 
         for step in range(steps):
+            if append_prob and rng.random() < append_prob:
+                # Append to a random table on both serving tiers and
+                # mirror it standalone with the same deterministic
+                # Table.append_rows.  Live replicas keep their pinned
+                # pre-append sessions; replicas created after this step
+                # open over the appended table on every backend.
+                name = f"table-{rng.integers(N_TABLES)}"
+                new_rows = [
+                    tuple(f"v{rng.integers(7)}" for _ in range(3))
+                    for _ in range(int(rng.integers(1, 4)))
+                ]
+                server_record = server.append_rows(name, new_rows)
+                router_record = router.append_rows(name, new_rows)
+                assert server_record["version"] == router_record["version"], (
+                    f"step {step}: version skew after append on {name!r}"
+                )
+                tables[name] = tables[name].append_rows(new_rows)
+                assert server_record["rows"] == tables[name].n_rows
+                performed += 1
+                continue
             if not live or (len(live) < MAX_LIVE_SESSIONS and rng.random() < 0.25):
                 create()
                 performed += 1
@@ -330,6 +361,37 @@ class TestMultiTenantReplayParity:
         """Same transcript invariant with the bounded level-2 pair
         cache switched on in both serving tiers."""
         performed = run_replay(5, 2, steps=40, marginal_pairs=8)
+        assert performed >= 25
+
+    @pytest.mark.versioning
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_replay_with_interleaved_appends(self, seed, n_shards):
+        """The append/version dimension: randomly interleaved
+        ``append_rows`` ops must leave every pre-append (pinned)
+        session's transcript untouched and every post-append session
+        byte-equal to a standalone session over the appended table —
+        across the one-process server and 1/2/4-shard routers, i.e.
+        across incremental export growth, delta-maintained first-pick
+        marginals, and the shard wire protocol's append op."""
+        performed = run_replay(seed, n_shards, steps=40, append_prob=0.15)
+        assert performed >= 25
+
+    @pytest.mark.versioning
+    def test_append_replay_unchanged_by_registration_time_sampling(self):
+        """Appends under a ``sample_budget``: the serving tiers lazily
+        rebuild each table's sample set after an append, and exact
+        transcripts must still match a standalone replica that has no
+        samples at all."""
+        performed = run_replay(2, 2, steps=40, append_prob=0.15, sample_budget=32)
+        assert performed >= 25
+
+    @pytest.mark.versioning
+    @pytest.mark.cache
+    def test_append_replay_parity_without_marginal_cache(self):
+        """Appends with the first-pick cache disabled: parity must not
+        depend on the delta-maintenance path existing at all."""
+        performed = run_replay(6, 2, steps=40, append_prob=0.2, marginal_cache=False)
         assert performed >= 25
 
     def test_replay_with_deadlines_enabled_is_still_bit_identical(self):

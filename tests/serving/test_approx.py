@@ -48,6 +48,9 @@ class TestCatalogSamples:
                 "budget": 90,
                 "built": 1,
                 "loaded": 0,
+                "lazy_rebuilt": 0,
+                "stale": [],
+                "fresh": {"t": {"seen": table.n_rows, "size": 90}},
                 "tables": {"t": samples.describe()},
             }
 

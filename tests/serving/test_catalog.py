@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import ServingError, UnknownTableError
+from repro.errors import ServingError, TableConflictError, UnknownTableError
 from repro.serving import TableCatalog
 
 
@@ -24,7 +24,10 @@ class TestRegistration:
     def test_register_different_table_rejected(self, retail, tiny_table):
         catalog = TableCatalog()
         catalog.register("retail", retail)
-        with pytest.raises(ServingError, match="immutable"):
+        # The typed conflict (HTTP 409) names both explicit remedies.
+        with pytest.raises(TableConflictError, match="append_rows"):
+            catalog.register("retail", tiny_table)
+        with pytest.raises(TableConflictError, match="replace_table"):
             catalog.register("retail", tiny_table)
 
     def test_empty_name_rejected(self, retail):

@@ -505,3 +505,54 @@ class TestRequestTimeouts:
                    {"table": "retail", "mw": 3.0})[1]["session_id"]
         assert call(base, "POST", f"/sessions/{sid}/expand",
                     {"rule": [None, None, None, None]})[0] == 200
+
+
+class TestVersionedTables:
+    """The ISSUE 10 HTTP surface: append rows, typed 409 conflicts."""
+
+    @pytest.mark.versioning
+    def test_append_rows_endpoint(self, http_tier):
+        base, _ = http_tier
+        status, body = call(base, "POST", "/tables", {
+            "name": "mini",
+            "columns": ["A", "B"],
+            "rows": [["a", "x"], ["a", "y"], ["b", "x"]],
+        })
+        assert status == 201
+        status, body = call(base, "POST", "/tables/mini/rows",
+                            {"rows": [["c", "x"], ["a", "z"]]})
+        assert status == 200
+        assert body["name"] == "mini" and body["version"] == 2
+        assert body["rows"] == 5 and body["appended"] == 2
+        # Fresh sessions see the appended rows.
+        created = call(base, "POST", "/sessions", {"table": "mini"})[1]
+        assert created["root"]["count"] == 5
+        # Version counters surface through /stats.
+        stats = call(base, "GET", "/stats")[1]
+        assert stats["versions"]["tables"]["mini"]["latest"] == 2
+
+    @pytest.mark.versioning
+    def test_append_validation(self, http_tier):
+        base, _ = http_tier
+        assert call(base, "POST", "/tables/retail/rows", {})[0] == 400
+        assert call(base, "POST", "/tables/retail/rows", {"rows": []})[0] == 400
+        status, body = call(base, "POST", "/tables/nope/rows",
+                            {"rows": [["x"]]})
+        assert status == 404 and body["error"] == "UnknownTableError"
+
+    @pytest.mark.versioning
+    def test_conflicting_registration_is_409(self, http_tier):
+        """Satellite regression: re-registering a live name with
+        different data used to be an untyped 400; it is now a
+        ``TableConflictError`` mapped to 409 Conflict, and the message
+        names both remedies."""
+        base, _ = http_tier
+        status, body = call(base, "POST", "/tables", {
+            "name": "retail",
+            "columns": ["A"],
+            "rows": [["a"]],
+        })
+        assert status == 409
+        assert body["error"] == "TableConflictError"
+        assert "append_rows" in body["message"]
+        assert "replace_table" in body["message"]

@@ -734,3 +734,44 @@ class TestRefundPolicy:
         assert server.scheduler.balance("alice") == balance - retail.n_rows
         assert server.registry.entry(sid).expansions == 0
         server.close()
+
+
+class TestTableVersionProvenance:
+    """Snapshots record which catalog version a session was pinned to."""
+
+    @pytest.mark.versioning
+    def test_table_version_round_trips(self, tmp_path, retail):
+        session = DrillDownSession(retail, k=3, mw=3.0)
+        session.expand(session.root.rule)
+        store = SnapshotStore(tmp_path)
+        store.save(SessionSnapshot(
+            session_id="sess-000009",
+            table="retail",
+            tenant="alice",
+            wf_spec="size",
+            state=session.snapshot(),
+            expansions=len(session.history),
+            table_version=3,
+        ))
+        assert store.load("sess-000009").table_version == 3
+
+    @pytest.mark.versioning
+    def test_missing_table_version_decodes_to_none(self, tmp_path, retail):
+        """Pre-versioning snapshots (no ``table_version`` key) must keep
+        loading — the field is provenance, not an address."""
+        session = DrillDownSession(retail, k=3, mw=3.0)
+        store = SnapshotStore(tmp_path)
+        store.save(SessionSnapshot(
+            session_id="sess-000010",
+            table="retail",
+            tenant="alice",
+            wf_spec="size",
+            state=session.snapshot(),
+            expansions=0,
+        ))
+        path = store.root / "sess-000010.jsonl"
+        lines = path.read_text().splitlines()
+        meta = json.loads(lines[0])
+        meta.pop("table_version", None)
+        path.write_text("\n".join([json.dumps(meta)] + lines[1:]) + "\n")
+        assert store.load("sess-000010").table_version is None

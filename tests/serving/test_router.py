@@ -431,3 +431,49 @@ def test_numpy_count_types_cross_the_wire(rng):
         assert all(isinstance(c.weight, float) for c in children)
         assert all(isinstance(c.rule, Rule) for c in children)
         assert isinstance(np.float64(1.0), np.floating)  # sanity: numpy present
+
+
+class TestVersionedTables:
+    @pytest.mark.versioning
+    def test_append_survives_shard_crash(self, rng, tmp_path):
+        """The router's local table mirror must track appends: a killed
+        shard is re-registered with the *appended* encoding, so sessions
+        created after the restart see the appended table."""
+        table = random_table(rng, n_rows=40, n_columns=3, domain=3)
+        extra = [("v0", "v1", "v0"), ("v9", "v9", "v9")]
+        with ShardRouter(1, persist_dir=tmp_path) as router:
+            router.register_table("t", table)
+            record = router.append_rows("t", extra)
+            assert record["version"] == 2
+            router._shards[0].process.kill()
+            with pytest.raises(ShardDownError):
+                router.render(router.create_session("t", k=2, mw=3.0))
+            sid = router.create_session("t", k=2, mw=3.0)
+            children = router.expand(sid)
+            assert router.stats()["router"]["table_versions"]["t"] >= 1
+            # Parity against a single process over the appended rows.
+            with DrillDownServer() as server:
+                server.register_table("t", table.append_rows(extra))
+                ssid = server.create_session("t", k=2, mw=3.0)
+                server.expand(ssid)
+                assert router.render(sid) == server.render(ssid)
+
+    @pytest.mark.versioning
+    def test_orphaned_snapshots_counted_and_swept(self, tmp_path):
+        """Satellite regression: snapshots under a ``shard-NN`` directory
+        no current slot owns (a previous run used more shards) were
+        silently ignored forever.  They must be *counted* in stats and,
+        when the byte-cap compaction policy is configured, swept."""
+        orphan = tmp_path / "shard-03" / "s3-000001.jsonl"
+        orphan.parent.mkdir(parents=True)
+        orphan.write_text("{}\n")
+        with ShardRouter(2, persist_dir=tmp_path) as router:
+            stats = router.stats()["router"]
+            assert stats["orphaned_snapshots"] == 1
+            assert stats["orphaned_swept"] == 0
+        assert orphan.exists(), "no byte cap: orphans are reported, not deleted"
+        with ShardRouter(2, persist_dir=tmp_path, persist_max_bytes=10_000) as router:
+            stats = router.stats()["router"]
+            assert stats["orphaned_snapshots"] == 0
+            assert stats["orphaned_swept"] == 1
+        assert not orphan.exists()
